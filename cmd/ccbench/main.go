@@ -1,0 +1,139 @@
+// Command ccbench regenerates every table and figure of the paper's
+// evaluation (Tables I–V, Figures 5–6) and the theory/ablation experiments
+// indexed in DESIGN.md §3, at reproduction scale.
+//
+// Usage:
+//
+//	ccbench -table 1|2|3|4|5        one table
+//	ccbench -figure 5|6             one figure
+//	ccbench -experiment gamma|rounds|scaling|spark|variants|methods|rerandom|segments
+//	ccbench -all                    everything (the EXPERIMENTS.md run)
+//
+// Flags -scale, -reps, -segments, -seed and -capacity tune the campaign;
+// the defaults match the committed EXPERIMENTS.md numbers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dbcc/internal/bench"
+)
+
+func main() {
+	var (
+		table      = flag.Int("table", 0, "print table 1-5")
+		figure     = flag.Int("figure", 0, "print figure 5 or 6")
+		experiment = flag.String("experiment", "", "run experiment: gamma|appendixb|naive|transaction|rounds|scaling|spark|variants|methods|rerandom|segments")
+		all        = flag.Bool("all", false, "run everything")
+		scale      = flag.Float64("scale", 1.0, "dataset scale (1.0 ≈ 1/10000 of the paper)")
+		reps       = flag.Int("reps", 3, "repetitions per cell (paper: 3)")
+		segments   = flag.Int("segments", 8, "virtual MPP segments")
+		seed       = flag.Uint64("seed", 2019, "base seed")
+		capacity   = flag.Float64("capacity", 6.2, "cluster storage capacity as a multiple of the largest input (0 = unlimited)")
+		noVerify   = flag.Bool("noverify", false, "skip oracle verification of every labelling")
+		quiet      = flag.Bool("quiet", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	cfg := bench.Config{
+		Scale:          *scale,
+		Segments:       *segments,
+		Reps:           *reps,
+		Seed:           *seed,
+		CapacityFactor: *capacity,
+		Verify:         !*noVerify,
+	}
+	progress := func(s string) {
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "running %s...\n", s)
+		}
+	}
+	out := os.Stdout
+
+	needCampaign := *all || *table >= 3 && *table <= 5 || *figure == 6
+	var camp *bench.Campaign
+	if needCampaign {
+		camp = bench.RunCampaign(cfg, progress)
+	}
+
+	ran := false
+	section := func() {
+		if ran {
+			fmt.Fprintln(out)
+		}
+		ran = true
+	}
+	if *all || *table == 1 {
+		section()
+		bench.Table1(out)
+	}
+	if *all || *table == 2 {
+		section()
+		bench.Table2(out, cfg)
+	}
+	if *all || *table == 3 {
+		section()
+		bench.Table3(out, camp)
+	}
+	if *all || *table == 4 {
+		section()
+		bench.Table4(out, camp)
+	}
+	if *all || *table == 5 {
+		section()
+		bench.Table5(out, camp)
+	}
+	if *all || *figure == 5 {
+		section()
+		bench.Figure5(out, cfg)
+	}
+	if *all || *figure == 6 {
+		section()
+		bench.Figure6(out, camp)
+	}
+	runExp := func(name string) {
+		section()
+		switch name {
+		case "gamma":
+			bench.GammaExperiment(out, 50, *seed)
+		case "appendixb":
+			bench.AppendixBExperiment(out, 20000, *seed)
+		case "naive":
+			bench.NaiveExperiment(out, cfg)
+		case "transaction":
+			bench.TransactionExperiment(out, cfg)
+		case "broadcast":
+			bench.BroadcastExperiment(out, cfg)
+		case "rounds":
+			bench.RoundsExperiment(out, cfg)
+		case "scaling":
+			bench.ScalingExperiment(out, cfg)
+		case "spark":
+			bench.SparkExperiment(out, cfg)
+		case "variants":
+			bench.VariantsExperiment(out, cfg)
+		case "methods":
+			bench.MethodsExperiment(out, cfg)
+		case "rerandom":
+			bench.RerandomExperiment(out, cfg)
+		case "segments":
+			bench.SegmentsExperiment(out, cfg)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+	}
+	if *all {
+		for _, e := range []string{"gamma", "appendixb", "naive", "transaction", "broadcast", "rounds", "scaling", "spark", "variants", "methods", "rerandom", "segments"} {
+			runExp(e)
+		}
+	} else if *experiment != "" {
+		runExp(*experiment)
+	}
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,156 @@
+// Command ccsql is a minimal interactive SQL shell over the embedded MPP
+// engine, demonstrating the SQL substrate stand-alone. The paper's
+// user-defined functions (axplusb, axbp, enc, hrand) are pre-registered,
+// so the queries of Appendix A can be typed directly.
+//
+// Meta-commands: \d lists tables, \stats prints engine counters,
+// \load NAME FILE bulk-loads an edge list, \q quits.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dbcc"
+	"dbcc/internal/engine"
+)
+
+func main() {
+	segments := flag.Int("segments", 0, "virtual MPP segments (0 = default)")
+	flag.Parse()
+
+	db := dbcc.Open(dbcc.Config{Segments: *segments})
+	sess := db.SQL()
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 1<<20), 1<<20)
+
+	fmt.Printf("dbcc SQL shell — %d segments. End statements with ';', \\q to quit.\n",
+		db.Cluster().Segments())
+	var buf strings.Builder
+	prompt := "sql> "
+	for {
+		fmt.Print(prompt)
+		if !in.Scan() {
+			fmt.Println()
+			return
+		}
+		line := strings.TrimSpace(in.Text())
+		if buf.Len() == 0 && strings.HasPrefix(line, "\\") {
+			if meta(db, line) {
+				return
+			}
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteString("\n")
+		if !strings.HasSuffix(line, ";") {
+			prompt = "...> "
+			continue
+		}
+		prompt = "sql> "
+		stmt := buf.String()
+		buf.Reset()
+		execute(db, sess, stmt)
+	}
+}
+
+// execute runs one statement, printing rows for SELECTs, plans for
+// EXPLAIN, and row counts for everything else.
+func execute(db *dbcc.DB, sess interface {
+	Query(string) (engine.Schema, []engine.Row, error)
+	Exec(string) (int64, error)
+	Explain(string) (string, error)
+}, stmt string) {
+	trimmed := strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(stmt), ";"))
+	if trimmed == "" {
+		return
+	}
+	if strings.HasPrefix(strings.ToLower(trimmed), "explain") {
+		plan, err := sess.Explain(trimmed)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Println(plan)
+		return
+	}
+	if strings.HasPrefix(strings.ToLower(trimmed), "select") {
+		schema, rows, err := sess.Query(trimmed)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Println(strings.Join(schema, "\t"))
+		const maxShow = 50
+		for i, row := range rows {
+			if i == maxShow {
+				fmt.Printf("... (%d more rows)\n", len(rows)-maxShow)
+				break
+			}
+			parts := make([]string, len(row))
+			for j, d := range row {
+				if d.Null {
+					parts[j] = "NULL"
+				} else {
+					parts[j] = fmt.Sprintf("%d", d.Int)
+				}
+			}
+			fmt.Println(strings.Join(parts, "\t"))
+		}
+		fmt.Printf("(%d rows)\n", len(rows))
+		return
+	}
+	n, err := sess.Exec(trimmed)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("ok (%d rows)\n", n)
+}
+
+// meta handles backslash commands; it returns true on quit.
+func meta(db *dbcc.DB, line string) bool {
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case "\\q", "\\quit":
+		return true
+	case "\\d":
+		for _, name := range db.Cluster().TableNames() {
+			t, _ := db.Cluster().Table(name)
+			fmt.Printf("%-24s (%s)  %d rows\n", name, strings.Join(t.Schema, ", "), t.Rows())
+		}
+	case "\\stats":
+		s := db.Cluster().Stats()
+		fmt.Printf("queries=%d rowsWritten=%d written=%.2fMiB live=%.2fMiB peak=%.2fMiB shuffled=%.2fMiB\n",
+			s.Queries, s.RowsWritten, float64(s.BytesWritten)/(1<<20),
+			float64(s.LiveBytes)/(1<<20), float64(s.PeakBytes)/(1<<20),
+			float64(s.ShuffleBytes)/(1<<20))
+	case "\\load":
+		if len(fields) != 3 {
+			fmt.Println("usage: \\load TABLENAME FILE")
+			return false
+		}
+		f, err := os.Open(fields[2])
+		if err != nil {
+			fmt.Println("error:", err)
+			return false
+		}
+		g, err := dbcc.ReadGraph(bufio.NewReader(f))
+		f.Close()
+		if err != nil {
+			fmt.Println("error:", err)
+			return false
+		}
+		if err := db.LoadGraph(fields[1], g); err != nil {
+			fmt.Println("error:", err)
+			return false
+		}
+		fmt.Printf("loaded %d edges into %s(v1, v2)\n", g.NumEdges(), fields[1])
+	default:
+		fmt.Println("meta commands: \\d  \\stats  \\load NAME FILE  \\q")
+	}
+	return false
+}

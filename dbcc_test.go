@@ -1,0 +1,132 @@
+package dbcc
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	db := Open(Config{Segments: 4})
+	g := GeneratePath(200)
+	res, err := db.ConnectedComponents(g, Params{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Labels.NumComponents() != 1 {
+		t.Fatalf("path has %d components", res.Labels.NumComponents())
+	}
+	if err := Verify(g, res.Labels); err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds < 1 || res.Elapsed <= 0 || res.Stats.Queries == 0 {
+		t.Fatalf("metrics not populated: %+v", res)
+	}
+}
+
+func TestAllPublicAlgorithms(t *testing.T) {
+	g := GenerateRMAT(8, 300, 2)
+	for _, alg := range []string{RandomisedContraction, HashToMin, TwoPhase, Cracker, BFS, ""} {
+		db := Open(Config{Segments: 3})
+		res, err := db.ConnectedComponents(g, Params{Algorithm: alg, Seed: 4})
+		if err != nil {
+			t.Fatalf("%q: %v", alg, err)
+		}
+		if err := Verify(g, res.Labels); err != nil {
+			t.Fatalf("%q: %v", alg, err)
+		}
+	}
+}
+
+func TestUnknownAlgorithm(t *testing.T) {
+	db := Open(Config{})
+	if _, err := db.ConnectedComponents(GeneratePath(5), Params{Algorithm: "nope"}); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestMethodsAndVariants(t *testing.T) {
+	g := GenerateBitcoin(100, 7)
+	for _, m := range []Method{FiniteFields, GFPrime, Encryption, RandomReals} {
+		for _, v := range []Variant{Fast, Safe} {
+			db := Open(Config{Segments: 3})
+			res, err := db.ConnectedComponents(g, Params{Seed: 6, Method: m, Variant: v})
+			if err != nil {
+				t.Fatalf("%v/%v: %v", m, v, err)
+			}
+			if err := Verify(g, res.Labels); err != nil {
+				t.Fatalf("%v/%v: %v", m, v, err)
+			}
+		}
+	}
+}
+
+func TestSpaceLimitSurfaces(t *testing.T) {
+	db := Open(Config{Segments: 2})
+	_, err := db.ConnectedComponents(GeneratePath(2000), Params{Algorithm: HashToMin, MaxLiveBytes: 1000})
+	if !errors.Is(err, ErrSpaceLimit) {
+		t.Fatalf("err = %v, want ErrSpaceLimit", err)
+	}
+}
+
+func TestConnectedComponentsOfResidentTable(t *testing.T) {
+	db := Open(Config{Segments: 3})
+	if err := db.LoadGraph("edges", GeneratePathUnion(4, 100)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.ConnectedComponentsOf("edges", Params{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Labels.NumComponents() != 4 {
+		t.Fatalf("components %d, want 4", res.Labels.NumComponents())
+	}
+}
+
+func TestSQLSessionExposed(t *testing.T) {
+	db := Open(Config{Segments: 2})
+	if err := db.LoadGraph("e", GeneratePath(10)); err != nil {
+		t.Fatal(err)
+	}
+	_, rows, err := db.SQL().Query("select count(*) as n from e")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0][0].Int != 9 {
+		t.Fatalf("count %v", rows[0])
+	}
+	// The paper's UDF is pre-registered.
+	_, rows, err = db.SQL().Query("select axplusb(1, 42, 0) as r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0][0].Int != 42 {
+		t.Fatalf("axplusb identity: %v", rows[0])
+	}
+}
+
+func TestReadGraph(t *testing.T) {
+	g, err := ReadGraph(strings.NewReader("# c\n1 2\n2 3\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 2 {
+		t.Fatalf("edges %d", g.NumEdges())
+	}
+	l := SequentialComponents(g)
+	if l.NumComponents() != 1 {
+		t.Fatalf("components %d", l.NumComponents())
+	}
+}
+
+func TestSparkProfileStillCorrect(t *testing.T) {
+	db := Open(Config{Segments: 3, SparkSQLProfile: true})
+	g := GenerateImage2D(15, 15, 3)
+	res, err := db.ConnectedComponents(g, Params{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(g, res.Labels); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,68 @@
+// Command bitcoin reproduces the paper's Bitcoin address-clustering use
+// case (Sec. VII-A): transactions spending inputs from multiple addresses
+// reveal that those addresses are controlled by one entity. Linking every
+// address to the transactions that spend from it and computing connected
+// components groups addresses into entities.
+//
+// The blockchain itself (250 GB in the paper) is unavailable, so the input
+// is the synthetic transaction/address graph of internal/datagen, which
+// preserves the heavy-tailed address reuse that shapes the real graph.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+
+	"dbcc"
+)
+
+func main() {
+	numTx := flag.Int("tx", 50_000, "number of transactions to synthesise")
+	seed := flag.Uint64("seed", 2019, "generator seed")
+	flag.Parse()
+
+	db := dbcc.Open(dbcc.Config{})
+	g := dbcc.GenerateBitcoin(*numTx, *seed)
+	fmt.Printf("transaction graph: %d edge rows, %d vertices (transactions + addresses)\n",
+		g.NumEdges(), g.NumVertices())
+
+	res, err := db.ConnectedComponents(g, dbcc.Params{Seed: *seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Each component is one presumed entity; count addresses per entity
+	// (vertices below 2^40 are addresses, above are transaction IDs).
+	const txBase = int64(1) << 40
+	entities := make(map[int64]int)
+	for v, label := range res.Labels {
+		if v < txBase {
+			entities[label]++
+		}
+	}
+	sizes := make([]int, 0, len(entities))
+	totalAddrs := 0
+	for _, n := range entities {
+		sizes = append(sizes, n)
+		totalAddrs += n
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(sizes)))
+
+	fmt.Printf("entities (components): %d covering %d addresses\n", len(entities), totalAddrs)
+	fmt.Printf("resolved in %d contraction rounds, %v\n", res.Rounds, res.Elapsed)
+	fmt.Println("largest entities by controlled addresses:")
+	for i, n := range sizes {
+		if i >= 10 {
+			break
+		}
+		fmt.Printf("  #%-2d %6d addresses\n", i+1, n)
+	}
+
+	// The de-anonymisation claim rests on correctness; double-check it.
+	if err := dbcc.Verify(g, res.Labels); err != nil {
+		log.Fatalf("verification failed: %v", err)
+	}
+	fmt.Println("clustering verified against Union/Find oracle ✓")
+}

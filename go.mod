@@ -1,0 +1,3 @@
+module dbcc
+
+go 1.22

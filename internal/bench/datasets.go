@@ -1,0 +1,132 @@
+// Package bench is the experiment harness: it regenerates every table and
+// figure of the paper's evaluation (Tables I–V, Figures 5–6) plus the
+// theory experiments and ablations indexed in DESIGN.md §3, at the
+// reproduction scale of roughly 1/10 000 of the paper's datasets.
+package bench
+
+import (
+	"math"
+	"strings"
+
+	"dbcc/internal/datagen"
+	"dbcc/internal/graph"
+)
+
+// Dataset is one entry of the paper's Table II, with its laptop-scale
+// generator and the values the paper reported (for side-by-side output).
+type Dataset struct {
+	// Name as printed in the paper's tables.
+	Name string
+	// Gen builds the stand-in graph; scale multiplies the edge count
+	// (scale 1 ≈ 1/10 000 of the paper), seed varies repetitions.
+	Gen func(scale float64, seed uint64) *graph.Graph
+	// PaperV, PaperE are the paper's |V| and |E| in millions; PaperComps
+	// is the paper's component count in thousands (Table II).
+	PaperV, PaperE float64
+	PaperComps     float64
+	// PaperSecsRC .. PaperSecsCR are the paper's Table III runtimes in
+	// seconds (0 = did not finish).
+	PaperSecsRC, PaperSecsHM, PaperSecsTP, PaperSecsCR float64
+}
+
+// Datasets returns the twelve Table II datasets in the paper's order.
+func Datasets() []Dataset {
+	return []Dataset{
+		{
+			Name: "Andromeda",
+			Gen: func(s float64, seed uint64) *graph.Graph {
+				w := int(560 * math.Sqrt(s))
+				h := int(330 * math.Sqrt(s))
+				return datagen.Image2D(w, h, w*h/25, 1.1, 0.2, seed)
+			},
+			PaperV: 1459, PaperE: 2287, PaperComps: 62166,
+			PaperSecsRC: 5431, PaperSecsHM: 0, PaperSecsTP: 37987, PaperSecsCR: 14506,
+		},
+		{
+			Name: "Bitcoin addresses",
+			Gen: func(s float64, seed uint64) *graph.Graph {
+				return datagen.Bitcoin(int(52000*s), seed)
+			},
+			PaperV: 878, PaperE: 830, PaperComps: 216917,
+			PaperSecsRC: 1530, PaperSecsHM: 11696, PaperSecsTP: 9811, PaperSecsCR: 3457,
+		},
+		{
+			Name: "Bitcoin full",
+			Gen: func(s float64, seed uint64) *graph.Graph {
+				return datagen.BitcoinFull(int(52000*s), seed)
+			},
+			PaperV: 1476, PaperE: 2079, PaperComps: 37,
+			PaperSecsRC: 6398, PaperSecsHM: 0, PaperSecsTP: 77359, PaperSecsCR: 26015,
+		},
+		candels("Candels10", 10, 83, 238, 39, 424, 3178, 1425, 867),
+		candels("Candels20", 20, 166, 483, 48, 749, 5868, 2836, 1766),
+		candels("Candels40", 40, 332, 975, 91, 1482, 13892, 6363, 3726),
+		candels("Candels80", 80, 663, 1958, 224, 3463, 0, 15560, 8619),
+		candels("Candels160", 160, 1326, 3923, 617, 9260, 0, 32615, 23409),
+		{
+			Name: "Friendster",
+			Gen: func(s float64, seed uint64) *graph.Graph {
+				n := int(6600 * s)
+				if n < 60 {
+					n = 60
+				}
+				return datagen.Friendster(n, 27, seed)
+			},
+			PaperV: 66, PaperE: 1806, PaperComps: 0.001,
+			PaperSecsRC: 2462, PaperSecsHM: 9554, PaperSecsTP: 4409, PaperSecsCR: 5092,
+		},
+		{
+			Name: "RMAT",
+			Gen: func(s float64, seed uint64) *graph.Graph {
+				return datagen.RMAT(14, int(208000*s), 0.57, 0.19, 0.19, 0.05, seed)
+			},
+			PaperV: 39, PaperE: 2079, PaperComps: 5,
+			PaperSecsRC: 2151, PaperSecsHM: 4384, PaperSecsTP: 2816, PaperSecsCR: 3187,
+		},
+		{
+			Name: "Path100M",
+			Gen: func(s float64, seed uint64) *graph.Graph {
+				return datagen.Path(int(10000 * s))
+			},
+			PaperV: 100, PaperE: 100, PaperComps: 0.001,
+			PaperSecsRC: 366, PaperSecsHM: 0, PaperSecsTP: 1406, PaperSecsCR: 0,
+		},
+		{
+			Name: "PathUnion10",
+			Gen: func(s float64, seed uint64) *graph.Graph {
+				return datagen.PathUnion(10, int(15400*s))
+			},
+			PaperV: 154, PaperE: 154, PaperComps: 0.01,
+			PaperSecsRC: 386, PaperSecsHM: 0, PaperSecsTP: 4022, PaperSecsCR: 1202,
+		},
+	}
+}
+
+// candels builds a Candels-series entry: the frame count scales with the
+// series index, like the paper's increasing video prefixes.
+func candels(name string, size int, pv, pe, pc, rc, hm, tp, cr float64) Dataset {
+	return Dataset{
+		Name: name,
+		Gen: func(s float64, seed uint64) *graph.Graph {
+			frames := int(float64(15*size) / 10 * s)
+			if frames < 2 {
+				frames = 2
+			}
+			n := 32 * 18 * frames
+			return datagen.Video3D(32, 18, frames, n/2000+1, 1.1, 0.04, seed)
+		},
+		PaperV: pv, PaperE: pe, PaperComps: pc,
+		PaperSecsRC: rc, PaperSecsHM: hm, PaperSecsTP: tp, PaperSecsCR: cr,
+	}
+}
+
+// DatasetByName returns the Table II entry with the given name
+// (ASCII case-insensitive).
+func DatasetByName(name string) (Dataset, bool) {
+	for _, d := range Datasets() {
+		if strings.EqualFold(d.Name, name) {
+			return d, true
+		}
+	}
+	return Dataset{}, false
+}

@@ -1,0 +1,259 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"dbcc/internal/ccalg"
+	"dbcc/internal/graph"
+	"dbcc/internal/unionfind"
+)
+
+// Campaign holds the outcomes of the full Tables III–V benchmark sweep:
+// one Outcome per (dataset, algorithm) cell.
+type Campaign struct {
+	Config   Config
+	Capacity int64
+	Cells    []Outcome
+}
+
+// RunCampaign executes the full sweep behind Tables III, IV and V.
+func RunCampaign(cfg Config, progress func(string)) *Campaign {
+	capacity := capacityBytes(cfg)
+	camp := &Campaign{Config: cfg, Capacity: capacity}
+	for _, ds := range Datasets() {
+		for _, alg := range TableAlgorithms() {
+			if progress != nil {
+				progress(fmt.Sprintf("%s / %s", ds.Name, alg.FullName))
+			}
+			camp.Cells = append(camp.Cells, Run(ds, alg, cfg, capacity))
+		}
+	}
+	return camp
+}
+
+// Cell returns the outcome for a dataset/algorithm pair.
+func (c *Campaign) Cell(dataset, alg string) (Outcome, bool) {
+	for _, o := range c.Cells {
+		if o.Dataset == dataset && o.Algorithm == alg {
+			return o, true
+		}
+	}
+	return Outcome{}, false
+}
+
+// Table1 prints the complexity summary of the paper's Table I from the
+// algorithm registry.
+func Table1(w io.Writer) {
+	fmt.Fprintln(w, "TABLE I — CONNECTED COMPONENT ALGORITHMS")
+	fmt.Fprintf(w, "%-32s %-18s %s\n", "Algorithm", "Number of steps", "Space")
+	for _, a := range ccalg.Algorithms() {
+		if a.Name == "bfs" {
+			continue // BFS appears in Sec. IV, not Table I
+		}
+		fmt.Fprintf(w, "%-32s %-18s %s\n", a.FullName, a.StepsBig0, a.SpaceBig0)
+	}
+}
+
+// Table2 generates every dataset at the configured scale and prints the
+// measured inventory next to the paper's numbers (paper values quoted in
+// millions of vertices/edges and thousands of components).
+func Table2(w io.Writer, cfg Config) {
+	fmt.Fprintln(w, "TABLE II — DATASETS (measured at reproduction scale; paper values in [brackets])")
+	fmt.Fprintf(w, "%-18s %12s %12s %12s   %s\n", "Dataset", "|V|", "|E|", "components", "[paper |V|M / |E|M / comps k]")
+	for _, d := range Datasets() {
+		g := d.Gen(cfg.Scale, cfg.Seed)
+		comps := CountComponents(g)
+		fmt.Fprintf(w, "%-18s %12d %12d %12d   [%.0f / %.0f / %.0f]\n",
+			d.Name, g.NumVertices(), g.NumEdges(), comps, d.PaperV, d.PaperE, d.PaperComps)
+	}
+}
+
+// cellTime renders one Table III cell.
+func cellTime(o Outcome) string {
+	if o.DNF {
+		return "–"
+	}
+	if o.Err != nil {
+		return "ERR"
+	}
+	return fmt.Sprintf("%.2f", o.MeanSecs)
+}
+
+// Table3 prints the runtime matrix of the paper's Table III, plus the
+// relative standard deviation summary the paper reports in Sec. VII-B.
+func Table3(w io.Writer, camp *Campaign) {
+	fmt.Fprintln(w, "TABLE III — RUNTIMES IN SECONDS (– = did not finish within the storage capacity)")
+	fmt.Fprintf(w, "%-18s %10s %10s %10s %10s   %s\n", "Dataset", "RC", "HM", "TP", "CR", "[paper RC/HM/TP/CR]")
+	for _, d := range Datasets() {
+		row := make([]string, 0, 4)
+		for _, alg := range TableAlgorithms() {
+			o, _ := camp.Cell(d.Name, alg.Name)
+			row = append(row, cellTime(o))
+		}
+		paper := make([]string, 0, 4)
+		for _, alg := range TableAlgorithms() {
+			if s := d.PaperSecs(alg.Name); s > 0 {
+				paper = append(paper, fmt.Sprintf("%.0f", s))
+			} else {
+				paper = append(paper, "–")
+			}
+		}
+		fmt.Fprintf(w, "%-18s %10s %10s %10s %10s   [%s]\n",
+			d.Name, row[0], row[1], row[2], row[3], strings.Join(paper, "/"))
+	}
+	// Relative standard deviation per algorithm (paper: RC 4.0%, HM 2.2%,
+	// TP 2.1%, CR 1.6%).
+	fmt.Fprintln(w)
+	fmt.Fprint(w, "mean relative stddev over completed runs: ")
+	var parts []string
+	for _, alg := range TableAlgorithms() {
+		var sum float64
+		var n int
+		for _, o := range camp.Cells {
+			if o.Algorithm == alg.Name && !o.DNF && o.Err == nil && o.Runs > 1 {
+				sum += o.RelStddev()
+				n++
+			}
+		}
+		if n > 0 {
+			parts = append(parts, fmt.Sprintf("%s %.1f%%", strings.ToUpper(alg.Name), sum/float64(n)))
+		}
+	}
+	fmt.Fprintln(w, strings.Join(parts, ", "))
+}
+
+// Table4 prints the maximum-space matrix of the paper's Table IV, in MiB
+// at reproduction scale.
+func Table4(w io.Writer, camp *Campaign) {
+	fmt.Fprintln(w, "TABLE IV — MAXIMUM SPACE USED IN MiB (beyond the input table; – = did not finish)")
+	fmt.Fprintf(w, "%-18s %8s %10s %10s %10s %10s\n", "Dataset", "input", "RC", "HM", "TP", "CR")
+	for _, d := range Datasets() {
+		vals := make([]string, 0, 4)
+		var input int64
+		for _, alg := range TableAlgorithms() {
+			o, _ := camp.Cell(d.Name, alg.Name)
+			if o.InputBytes > input {
+				input = o.InputBytes
+			}
+			if o.DNF {
+				vals = append(vals, "–")
+			} else if o.Err != nil {
+				vals = append(vals, "ERR")
+			} else {
+				vals = append(vals, fmt.Sprintf("%.1f", mib(o.PeakBytes)))
+			}
+		}
+		fmt.Fprintf(w, "%-18s %8.1f %10s %10s %10s %10s\n",
+			d.Name, mib(input), vals[0], vals[1], vals[2], vals[3])
+	}
+}
+
+// Table5 prints the total-data-written matrix of the paper's Table V.
+func Table5(w io.Writer, camp *Campaign) {
+	fmt.Fprintln(w, "TABLE V — TOTAL MiB WRITTEN (– = did not finish)")
+	fmt.Fprintf(w, "%-18s %8s %10s %10s %10s %10s\n", "Dataset", "input", "RC", "HM", "TP", "CR")
+	for _, d := range Datasets() {
+		vals := make([]string, 0, 4)
+		var input int64
+		for _, alg := range TableAlgorithms() {
+			o, _ := camp.Cell(d.Name, alg.Name)
+			if o.InputBytes > input {
+				input = o.InputBytes
+			}
+			if o.DNF {
+				vals = append(vals, "–")
+			} else if o.Err != nil {
+				vals = append(vals, "ERR")
+			} else {
+				vals = append(vals, fmt.Sprintf("%.1f", mib(o.Written)))
+			}
+		}
+		fmt.Fprintf(w, "%-18s %8.1f %10s %10s %10s %10s\n",
+			d.Name, mib(input), vals[0], vals[1], vals[2], vals[3])
+	}
+}
+
+func mib(b int64) float64 { return float64(b) / (1 << 20) }
+
+// Figure5 prints the component-size distributions of the Andromeda and
+// Bitcoin-addresses stand-ins in power-of-two buckets — the log-log view
+// of the paper's Figure 5.
+func Figure5(w io.Writer, cfg Config) {
+	fmt.Fprintln(w, "FIGURE 5 — COMPONENT SIZE DISTRIBUTION (log-log; count per power-of-two size bucket)")
+	for _, name := range []string{"Andromeda", "Bitcoin addresses"} {
+		d, _ := DatasetByName(name)
+		g := d.Gen(cfg.Scale, cfg.Seed)
+		sizes := componentSizes(g)
+		buckets := map[int]int{}
+		maxB := 0
+		for _, s := range sizes {
+			b := int(math.Log2(float64(s)))
+			buckets[b]++
+			if b > maxB {
+				maxB = b
+			}
+		}
+		fmt.Fprintf(w, "\n%s (%d components):\n", name, len(sizes))
+		fmt.Fprintf(w, "  %-14s %10s\n", "size", "count")
+		for b := 0; b <= maxB; b++ {
+			n := buckets[b]
+			bar := ""
+			if n > 0 {
+				bar = strings.Repeat("#", int(math.Ceil(math.Log2(float64(n)+1))))
+			}
+			fmt.Fprintf(w, "  2^%-2d .. 2^%-2d %10d %s\n", b, b+1, n, bar)
+		}
+	}
+}
+
+// componentSizes computes the multiset of component sizes of g using the
+// sequential oracle.
+func componentSizes(g *graph.Graph) []int {
+	sizes := unionfind.Components(g).ComponentSizes()
+	out := make([]int, 0, len(sizes))
+	for _, s := range sizes {
+		out = append(out, s)
+	}
+	return out
+}
+
+// Figure6 renders the Table III data as the horizontal bar chart of the
+// paper's Figure 6 (one row per dataset, one bar per algorithm, length
+// proportional to runtime).
+func Figure6(w io.Writer, camp *Campaign) {
+	fmt.Fprintln(w, "FIGURE 6 — IN-DATABASE EXECUTION TIMES (bar length ∝ runtime)")
+	// Normalise bars to the slowest completed run.
+	var maxSecs float64
+	for _, o := range camp.Cells {
+		if !o.DNF && o.Err == nil && o.MeanSecs > maxSecs {
+			maxSecs = o.MeanSecs
+		}
+	}
+	if maxSecs == 0 {
+		maxSecs = 1
+	}
+	names := map[string]string{"rc": "Randomised Contraction", "hm": "Hash-to-Min", "tp": "Two-Phase", "cr": "Cracker"}
+	for _, d := range Datasets() {
+		fmt.Fprintf(w, "\n%s\n", d.Name)
+		for _, alg := range TableAlgorithms() {
+			o, _ := camp.Cell(d.Name, alg.Name)
+			label := names[alg.Name]
+			if o.DNF {
+				fmt.Fprintf(w, "  %-24s %s\n", label, "did not finish")
+				continue
+			}
+			if o.Err != nil {
+				fmt.Fprintf(w, "  %-24s error: %v\n", label, o.Err)
+				continue
+			}
+			barLen := int(math.Round(50 * o.MeanSecs / maxSecs))
+			if barLen < 1 {
+				barLen = 1
+			}
+			fmt.Fprintf(w, "  %-24s %s %.2fs\n", label, strings.Repeat("█", barLen), o.MeanSecs)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package blowfish
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// BlockSize is the Blowfish block size in bytes. The 64-bit block is what
+// makes Blowfish a natural pseudo-random permutation over 64-bit vertex IDs.
+const BlockSize = 8
+
+// Cipher is an instance of Blowfish keyed with a particular key.
+type Cipher struct {
+	p [18]uint32
+	s [4][256]uint32
+}
+
+// New creates a Cipher from a key of 1 to 56 bytes.
+func New(key []byte) (*Cipher, error) {
+	if len(key) < 1 || len(key) > 56 {
+		return nil, errors.New("blowfish: invalid key size")
+	}
+	c := &Cipher{}
+	init := piBoxes()
+	c.p = init.p
+	c.s = init.s
+	c.expandKey(key)
+	return c, nil
+}
+
+// NewFromUint64 creates a Cipher keyed with the big-endian bytes of k — the
+// form used by the paper's encryption randomisation method, which draws one
+// 64-bit key per contraction round.
+func NewFromUint64(k uint64) *Cipher {
+	var key [8]byte
+	binary.BigEndian.PutUint64(key[:], k)
+	c, err := New(key[:])
+	if err != nil {
+		panic("blowfish: unreachable: 8-byte key rejected")
+	}
+	return c
+}
+
+// expandKey runs the Blowfish key schedule: XOR the key cyclically into the
+// P-array, then repeatedly encrypt the all-zero block, replacing the P-array
+// and S-box entries with the successive ciphertexts.
+func (c *Cipher) expandKey(key []byte) {
+	j := 0
+	for i := 0; i < 18; i++ {
+		var d uint32
+		for k := 0; k < 4; k++ {
+			d = d<<8 | uint32(key[j])
+			j++
+			if j >= len(key) {
+				j = 0
+			}
+		}
+		c.p[i] ^= d
+	}
+	var l, r uint32
+	for i := 0; i < 18; i += 2 {
+		l, r = c.encryptBlock(l, r)
+		c.p[i], c.p[i+1] = l, r
+	}
+	for i := 0; i < 4; i++ {
+		for k := 0; k < 256; k += 2 {
+			l, r = c.encryptBlock(l, r)
+			c.s[i][k], c.s[i][k+1] = l, r
+		}
+	}
+}
+
+// f is the Blowfish round function.
+func (c *Cipher) f(x uint32) uint32 {
+	return ((c.s[0][x>>24] + c.s[1][x>>16&0xff]) ^ c.s[2][x>>8&0xff]) + c.s[3][x&0xff]
+}
+
+// encryptBlock runs the 16-round Feistel network forward.
+func (c *Cipher) encryptBlock(l, r uint32) (uint32, uint32) {
+	for i := 0; i < 16; i += 2 {
+		l ^= c.p[i]
+		r ^= c.f(l)
+		r ^= c.p[i+1]
+		l ^= c.f(r)
+	}
+	l ^= c.p[16]
+	r ^= c.p[17]
+	return r, l
+}
+
+// decryptBlock runs the Feistel network backward.
+func (c *Cipher) decryptBlock(l, r uint32) (uint32, uint32) {
+	for i := 16; i > 0; i -= 2 {
+		l ^= c.p[i+1]
+		r ^= c.f(l)
+		r ^= c.p[i]
+		l ^= c.f(r)
+	}
+	l ^= c.p[1]
+	r ^= c.p[0]
+	return r, l
+}
+
+// Encrypt encrypts the 8-byte block src into dst (which may alias src).
+func (c *Cipher) Encrypt(dst, src []byte) {
+	l := binary.BigEndian.Uint32(src[0:4])
+	r := binary.BigEndian.Uint32(src[4:8])
+	l, r = c.encryptBlock(l, r)
+	binary.BigEndian.PutUint32(dst[0:4], l)
+	binary.BigEndian.PutUint32(dst[4:8], r)
+}
+
+// Decrypt decrypts the 8-byte block src into dst (which may alias src).
+func (c *Cipher) Decrypt(dst, src []byte) {
+	l := binary.BigEndian.Uint32(src[0:4])
+	r := binary.BigEndian.Uint32(src[4:8])
+	l, r = c.decryptBlock(l, r)
+	binary.BigEndian.PutUint32(dst[0:4], l)
+	binary.BigEndian.PutUint32(dst[4:8], r)
+}
+
+// Encrypt64 applies the cipher to a 64-bit value, treating its big-endian
+// bytes as one block. For a fixed key this is a bijection on uint64 — the
+// pseudo-random vertex relabelling eₖ(w) of the paper's encryption method.
+func (c *Cipher) Encrypt64(x uint64) uint64 {
+	l, r := c.encryptBlock(uint32(x>>32), uint32(x))
+	return uint64(l)<<32 | uint64(r)
+}
+
+// Decrypt64 inverts Encrypt64.
+func (c *Cipher) Decrypt64(x uint64) uint64 {
+	l, r := c.decryptBlock(uint32(x>>32), uint32(x))
+	return uint64(l)<<32 | uint64(r)
+}

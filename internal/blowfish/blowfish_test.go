@@ -1,0 +1,125 @@
+package blowfish
+
+import (
+	"encoding/binary"
+	"testing"
+	"testing/quick"
+)
+
+// TestPiDigits verifies the π-derived constants against the well-known
+// leading values of the Blowfish P-array.
+func TestPiDigits(t *testing.T) {
+	want := []uint32{0x243f6a88, 0x85a308d3, 0x13198a2e, 0x03707344,
+		0xa4093822, 0x299f31d0, 0x082efa98, 0xec4e6c89}
+	got := piBoxes().p[:8]
+	for i, w := range want {
+		if got[i] != w {
+			t.Fatalf("P[%d] = %#08x, want %#08x", i, got[i], w)
+		}
+	}
+}
+
+// Published Blowfish test vectors (Schneier's variable-key set).
+var vectors = []struct {
+	key, plain, cipher uint64
+}{
+	{0x0000000000000000, 0x0000000000000000, 0x4EF997456198DD78},
+	{0xFFFFFFFFFFFFFFFF, 0xFFFFFFFFFFFFFFFF, 0x51866FD5B85ECB8A},
+	{0x3000000000000000, 0x1000000000000001, 0x7D856F9A613063F2},
+	{0x1111111111111111, 0x1111111111111111, 0x2466DD878B963C9D},
+	{0x0123456789ABCDEF, 0x1111111111111111, 0x61F9C3802281B096},
+	{0xFEDCBA9876543210, 0x0123456789ABCDEF, 0x0ACEAB0FC6A0A28D},
+}
+
+func TestVectors(t *testing.T) {
+	for _, v := range vectors {
+		c := NewFromUint64(v.key)
+		if got := c.Encrypt64(v.plain); got != v.cipher {
+			t.Errorf("key %016X: Encrypt64(%016X) = %016X, want %016X",
+				v.key, v.plain, got, v.cipher)
+		}
+		if got := c.Decrypt64(v.cipher); got != v.plain {
+			t.Errorf("key %016X: Decrypt64(%016X) = %016X, want %016X",
+				v.key, v.cipher, got, v.plain)
+		}
+	}
+}
+
+func TestEncryptDecryptBytes(t *testing.T) {
+	c, err := New([]byte("round key"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	dst := make([]byte, 8)
+	c.Encrypt(dst, src)
+	back := make([]byte, 8)
+	c.Decrypt(back, dst)
+	for i := range src {
+		if back[i] != src[i] {
+			t.Fatalf("roundtrip mismatch: %v -> %v -> %v", src, dst, back)
+		}
+	}
+	// Byte and uint64 forms must agree.
+	x := binary.BigEndian.Uint64(src)
+	if got := c.Encrypt64(x); got != binary.BigEndian.Uint64(dst) {
+		t.Fatalf("Encrypt64 disagrees with Encrypt: %016X vs %x", got, dst)
+	}
+}
+
+func TestKeySizes(t *testing.T) {
+	for _, n := range []int{0, 57} {
+		if _, err := New(make([]byte, n)); err == nil {
+			t.Errorf("New with %d-byte key succeeded, want error", n)
+		}
+	}
+	for _, n := range []int{1, 8, 16, 56} {
+		if _, err := New(make([]byte, n)); err != nil {
+			t.Errorf("New with %d-byte key failed: %v", n, err)
+		}
+	}
+}
+
+// TestBijection property-checks that Encrypt64 is invertible (hence
+// injective), the property the randomisation method relies on.
+func TestBijection(t *testing.T) {
+	c := NewFromUint64(0xdeadbeefcafebabe)
+	err := quick.Check(func(x uint64) bool {
+		return c.Decrypt64(c.Encrypt64(x)) == x
+	}, &quick.Config{MaxCount: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestKeysDiffer ensures different round keys give different permutations.
+func TestKeysDiffer(t *testing.T) {
+	c1 := NewFromUint64(1)
+	c2 := NewFromUint64(2)
+	same := 0
+	for x := uint64(0); x < 64; x++ {
+		if c1.Encrypt64(x) == c2.Encrypt64(x) {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("%d/64 agreement between distinct keys", same)
+	}
+}
+
+func BenchmarkEncrypt64(b *testing.B) {
+	c := NewFromUint64(42)
+	var acc uint64
+	for i := 0; i < b.N; i++ {
+		acc ^= c.Encrypt64(uint64(i))
+	}
+	sink = acc
+}
+
+func BenchmarkKeySchedule(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		NewFromUint64(uint64(i))
+	}
+}
+
+var sink uint64

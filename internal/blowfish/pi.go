@@ -1,0 +1,91 @@
+// Package blowfish implements the Blowfish block cipher (Schneier, 1993),
+// which the paper proposes as the "encryption method" for randomising vertex
+// order: with a fresh key per contraction round, eₖ is a pseudo-random
+// bijection on 64-bit vertex IDs, and only the key — not a table of random
+// numbers — has to be distributed across the cluster.
+//
+// Blowfish's P-array and S-boxes are defined as the leading 8336 fractional
+// hexadecimal digits of π. Rather than embedding the 4 KiB constant tables,
+// this package computes the digits exactly at first use with fixed-point
+// big-integer arithmetic and Machin's formula; the published test vectors in
+// blowfish_test.go confirm bit-exactness.
+package blowfish
+
+import (
+	"math/big"
+	"sync"
+)
+
+// piWords returns the first n 32-bit words of the fractional part of π in
+// hexadecimal, most significant first: 0x243f6a88, 0x85a308d3, ...
+func piWords(n int) []uint32 {
+	bits := uint(32*n + 64) // 64 guard bits against truncation error
+	pi := machinPi(bits)
+	// Drop the integer part (3) to keep the fraction, then read 32-bit
+	// words from the most significant end.
+	frac := new(big.Int).Mod(pi, new(big.Int).Lsh(big.NewInt(1), bits))
+	words := make([]uint32, n)
+	for i := 0; i < n; i++ {
+		shift := bits - uint(32*(i+1))
+		w := new(big.Int).Rsh(frac, shift)
+		words[i] = uint32(w.Uint64() & 0xffffffff)
+	}
+	return words
+}
+
+// machinPi returns π in fixed point scaled by 2^bits, via
+// π = 16·atan(1/5) − 4·atan(1/239).
+func machinPi(bits uint) *big.Int {
+	pi := new(big.Int).Mul(atanInv(5, bits), big.NewInt(16))
+	pi.Sub(pi, new(big.Int).Mul(atanInv(239, bits), big.NewInt(4)))
+	return pi
+}
+
+// atanInv returns atan(1/x) in fixed point scaled by 2^bits, by the
+// alternating Gregory series Σ (−1)^k / ((2k+1)·x^(2k+1)).
+func atanInv(x int64, bits uint) *big.Int {
+	one := new(big.Int).Lsh(big.NewInt(1), bits)
+	term := new(big.Int).Div(one, big.NewInt(x))
+	sum := new(big.Int).Set(term)
+	xx := big.NewInt(x * x)
+	t := new(big.Int)
+	for k := int64(1); ; k++ {
+		term.Div(term, xx)
+		if term.Sign() == 0 {
+			break
+		}
+		t.Div(term, big.NewInt(2*k+1))
+		if k%2 == 1 {
+			sum.Sub(sum, t)
+		} else {
+			sum.Add(sum, t)
+		}
+	}
+	return sum
+}
+
+// initialState holds the π-derived P-array and S-boxes every cipher starts
+// its key schedule from.
+type initialState struct {
+	p [18]uint32
+	s [4][256]uint32
+}
+
+var (
+	initOnce  sync.Once
+	initBoxes initialState
+)
+
+// piBoxes computes (once) and returns the shared π-derived initial state.
+func piBoxes() *initialState {
+	initOnce.Do(func() {
+		words := piWords(18 + 4*256)
+		copy(initBoxes.p[:], words[:18])
+		words = words[18:]
+		for i := 0; i < 4; i++ {
+			copy(initBoxes.s[i][:], words[:256])
+			words = words[256:]
+		}
+	})
+	return &initBoxes
+}

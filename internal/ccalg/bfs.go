@@ -1,0 +1,86 @@
+package ccalg
+
+import (
+	"fmt"
+
+	"dbcc/internal/engine"
+)
+
+// BFS is the naive "Breadth First Search" strategy of Sec. IV, which is how
+// Apache MADlib computes connected components: every vertex starts with the
+// minimum ID in its closed neighbourhood as its representative, and each
+// round improves the representative to the minimum representative in the
+// closed neighbourhood, until a fixpoint. After n rounds each vertex holds
+// the minimum ID within distance n, so the round count is bounded by the
+// diameter — the behaviour that makes it unsuitable for Big Data (a
+// sequentially numbered path of n vertices takes n−1 rounds).
+func BFS(c *engine.Cluster, input string, opts Options) (*Result, error) {
+	if err := validateInput(c, input); err != nil {
+		return nil, err
+	}
+	r := newRun(c, opts)
+	defer r.cleanup()
+
+	// Symmetrised edge table, distributed by source.
+	if _, err := r.create("bfs_e", symmetric(input), 0); err != nil {
+		return nil, err
+	}
+	// Initial labels: minimum of the closed neighbourhood.
+	initial := engine.Project(
+		engine.GroupBy(engine.Scan("bfs_e"), []int{0},
+			engine.Agg{Op: engine.AggMin, Arg: engine.Col(1), Name: "mw"}),
+		engine.ProjCol{Expr: engine.Col(0), Name: "v"},
+		engine.ProjCol{Expr: engine.Least(engine.Col(0), engine.Col(1)), Name: "r"},
+	)
+	if _, err := r.create("bfs_l", initial, 0); err != nil {
+		return nil, err
+	}
+
+	rounds := 0
+	for {
+		rounds++
+		if rounds > maxRounds {
+			return nil, fmt.Errorf("ccalg: BFS exceeded %d rounds", maxRounds)
+		}
+		// Neighbour labels: for each edge (v, w), the label of w.
+		// Columns after join: v, w, lv(v), lv(r).
+		nbr := engine.Join(engine.Scan("bfs_e"), engine.Scan("bfs_l"), 1, 0)
+		nbrMin := engine.GroupBy(nbr, []int{0},
+			engine.Agg{Op: engine.AggMin, Arg: engine.Col(3), Name: "mr"})
+		// Improved label: min(own label, best neighbour label).
+		joined := engine.LeftJoin(engine.Scan("bfs_l"), nbrMin, 0, 0)
+		improved := engine.Project(joined,
+			engine.ProjCol{Expr: engine.Col(0), Name: "v"},
+			engine.ProjCol{Expr: engine.Least(engine.Col(1), engine.Col(3)), Name: "r"},
+		)
+		if _, err := r.create("bfs_l2", improved, 0); err != nil {
+			return nil, err
+		}
+		// Converged when no vertex changed its representative.
+		changed, err := countRows(c, engine.Filter(
+			engine.Join(engine.Scan("bfs_l"), engine.Scan("bfs_l2"), 0, 0),
+			engine.Bin(engine.OpNe, engine.Col(1), engine.Col(3)),
+		))
+		if err != nil {
+			return nil, err
+		}
+		if err := r.drop("bfs_l"); err != nil {
+			return nil, err
+		}
+		if err := r.rename("bfs_l2", "bfs_l"); err != nil {
+			return nil, err
+		}
+		if changed == 0 {
+			break
+		}
+	}
+
+	labels, err := r.labelsOf("bfs_l")
+	if err != nil {
+		return nil, err
+	}
+	if err := r.drop("bfs_l", "bfs_e"); err != nil {
+		return nil, err
+	}
+	return &Result{Labels: labels, Rounds: rounds}, nil
+}

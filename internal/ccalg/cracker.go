@@ -1,0 +1,248 @@
+package ccalg
+
+import (
+	"fmt"
+
+	"dbcc/internal/engine"
+)
+
+// Cracker is the vertex-pruning algorithm of Lulli et al. ("Fast connected
+// components computation in large graphs by vertex pruning", TPDS 2017),
+// ported with the same direct translation the paper applies to its Spark
+// implementation. Each round has two phases:
+//
+//   - Min selection: every vertex u computes the minimum of its closed
+//     neighbourhood and proposes it as a candidate to every member of that
+//     neighbourhood (including itself);
+//   - Pruning: every vertex v looks at its received candidate set C(v).
+//     If v is nobody's minimum (v ∉ C(v)) it is pruned from the graph and
+//     attached to min C(v) in the propagation tree; in either case the
+//     candidates in C(v) are re-linked to min C(v), preserving
+//     connectivity among the surviving local minima.
+//
+// When the graph runs out of edges, the surviving vertices seed their
+// components and labels propagate down the tree. The candidate re-linking
+// is what inflates communication on path-shaped inputs (Table I's
+// O(|V|·|E|/log|V|) bound and the Path100M failure in Table III).
+func Cracker(c *engine.Cluster, input string, opts Options) (*Result, error) {
+	if err := validateInput(c, input); err != nil {
+		return nil, err
+	}
+	r := newRun(c, opts)
+	defer r.cleanup()
+
+	// Working edge set: symmetric, deduplicated, loop-free.
+	if _, err := r.create("cr_e", engine.Distinct(engine.Filter(symmetric(input),
+		engine.Bin(engine.OpNe, engine.Col(0), engine.Col(1)))), 0); err != nil {
+		return nil, err
+	}
+	// All original vertices, for final labelling.
+	if _, err := r.create("cr_allv", engine.Project(
+		engine.GroupBy(symmetric(input), []int{0}),
+		engine.ProjCol{Expr: engine.Col(0), Name: "v"}), 0); err != nil {
+		return nil, err
+	}
+	// Propagation tree rows (parent, child); roots appear as (v, v).
+	if _, err := r.c.CreateTable("cr_tree", engine.Schema{"parent", "child"}, 1); err != nil {
+		return nil, err
+	}
+	r.temps["cr_tree"] = struct{}{}
+
+	rounds := 0
+	for {
+		n, err := countRows(c, engine.Scan("cr_e"))
+		if err != nil {
+			return nil, err
+		}
+		if n == 0 {
+			break
+		}
+		rounds++
+		if rounds > maxRounds {
+			return nil, fmt.Errorf("ccalg: Cracker exceeded %d rounds", maxRounds)
+		}
+		if err := crackerRound(r); err != nil {
+			return nil, err
+		}
+	}
+
+	// Propagation: seed labels at the roots, then push one tree level per
+	// round until every reachable vertex is labelled.
+	roots := engine.Project(
+		engine.Filter(engine.Scan("cr_tree"),
+			engine.Bin(engine.OpEq, engine.Col(0), engine.Col(1))),
+		engine.ProjCol{Expr: engine.Col(1), Name: "v"},
+		engine.ProjCol{Expr: engine.Col(0), Name: "r"},
+	)
+	if _, err := r.create("cr_lab", roots, 0); err != nil {
+		return nil, err
+	}
+	prev := int64(-1)
+	for {
+		n, err := countRows(c, engine.Scan("cr_lab"))
+		if err != nil {
+			return nil, err
+		}
+		if n == prev {
+			break
+		}
+		prev = n
+		rounds++
+		// Children of labelled parents inherit the label; union with the
+		// existing labels and deduplicate (each child has one parent, so
+		// no conflicts arise).
+		children := engine.Project(
+			engine.Join(engine.Scan("cr_tree"), engine.Scan("cr_lab"), 0, 0),
+			engine.ProjCol{Expr: engine.Col(1), Name: "v"},
+			engine.ProjCol{Expr: engine.Col(3), Name: "r"},
+		)
+		if _, err := r.create("cr_lab2",
+			engine.Distinct(engine.UnionAll(engine.Scan("cr_lab"), children)), 0); err != nil {
+			return nil, err
+		}
+		if err := r.drop("cr_lab"); err != nil {
+			return nil, err
+		}
+		if err := r.rename("cr_lab2", "cr_lab"); err != nil {
+			return nil, err
+		}
+	}
+
+	// Isolated input vertices (loop edges) never enter the working graph;
+	// they label themselves.
+	final := engine.Project(
+		engine.LeftJoin(engine.Scan("cr_allv"), engine.Scan("cr_lab"), 0, 0),
+		engine.ProjCol{Expr: engine.Col(0), Name: "v"},
+		engine.ProjCol{Expr: engine.Coalesce(engine.Col(2), engine.Col(0)), Name: "r"},
+	)
+	if _, err := r.create("cr_result", final, 0); err != nil {
+		return nil, err
+	}
+	labels, err := r.labelsOf("cr_result")
+	if err != nil {
+		return nil, err
+	}
+	if err := r.drop("cr_result", "cr_lab", "cr_tree", "cr_allv", "cr_e"); err != nil {
+		return nil, err
+	}
+	return &Result{Labels: labels, Rounds: rounds}, nil
+}
+
+// crackerRound performs one min-selection + pruning round, replacing cr_e
+// and appending to cr_tree.
+func crackerRound(r *run) error {
+	c := r.c
+	// Min of the closed neighbourhood per vertex.
+	mPlan := engine.Project(
+		engine.GroupBy(engine.Scan("cr_e"), []int{0},
+			engine.Agg{Op: engine.AggMin, Arg: engine.Col(1), Name: "mn"}),
+		engine.ProjCol{Expr: engine.Col(0), Name: "v"},
+		engine.ProjCol{Expr: engine.Least(engine.Col(0), engine.Col(1)), Name: "m"},
+	)
+	if _, err := r.create("cr_m", mPlan, 0); err != nil {
+		return err
+	}
+	// Min selection: candidate proposals (receiver, candidate). Each edge
+	// row (u, v) sends u's minimum to v; each vertex also proposes its
+	// minimum to itself.
+	toNeighbours := engine.Project(
+		engine.Join(engine.Scan("cr_e"), engine.Scan("cr_m"), 0, 0),
+		engine.ProjCol{Expr: engine.Col(1), Name: "v"},
+		engine.ProjCol{Expr: engine.Col(3), Name: "c"},
+	)
+	toSelf := engine.Project(engine.Scan("cr_m"),
+		engine.ProjCol{Expr: engine.Col(0), Name: "v"},
+		engine.ProjCol{Expr: engine.Col(1), Name: "c"})
+	if _, err := r.create("cr_g",
+		engine.Distinct(engine.UnionAll(toNeighbours, toSelf)), 0); err != nil {
+		return err
+	}
+	// The previous graph is no longer needed once the candidate table
+	// exists (a Spark port would unpersist the parent RDD here).
+	if err := r.drop("cr_m", "cr_e"); err != nil {
+		return err
+	}
+	// vmin(v) = min C(v).
+	if _, err := r.create("cr_vmin",
+		engine.GroupBy(engine.Scan("cr_g"), []int{0},
+			engine.Agg{Op: engine.AggMin, Arg: engine.Col(1), Name: "vmin"}), 0); err != nil {
+		return err
+	}
+	// Survivors: vertices that are somebody's minimum (v ∈ C(v)).
+	survivors := engine.Project(
+		engine.Filter(engine.Scan("cr_g"),
+			engine.Bin(engine.OpEq, engine.Col(0), engine.Col(1))),
+		engine.ProjCol{Expr: engine.Col(0), Name: "v"},
+	)
+	if _, err := r.create("cr_live", engine.Distinct(survivors), 0); err != nil {
+		return err
+	}
+	// Pruned vertices attach to their candidate minimum in the tree.
+	// Columns after left join: v, vmin, v(live).
+	prunedTree := engine.Project(
+		engine.Filter(
+			engine.LeftJoin(engine.Scan("cr_vmin"), engine.Scan("cr_live"), 0, 0),
+			engine.IsNull(engine.Col(2))),
+		engine.ProjCol{Expr: engine.Col(1), Name: "parent"},
+		engine.ProjCol{Expr: engine.Col(0), Name: "child"},
+	)
+	if _, err := r.create("cr_prune", prunedTree, 1); err != nil {
+		return err
+	}
+	// Next graph: every candidate re-linked to its receiver's minimum,
+	// re-symmetrised, loops dropped. Join columns: v, c, v, vmin.
+	relinked := engine.Project(
+		engine.Join(engine.Scan("cr_g"), engine.Scan("cr_vmin"), 0, 0),
+		engine.ProjCol{Expr: engine.Col(3), Name: "v"},
+		engine.ProjCol{Expr: engine.Col(1), Name: "w"},
+	)
+	rev := engine.Project(relinked,
+		engine.ProjCol{Expr: engine.Col(1), Name: "v"},
+		engine.ProjCol{Expr: engine.Col(0), Name: "w"})
+	sym := engine.Distinct(engine.Filter(engine.UnionAll(relinked, rev),
+		engine.Bin(engine.OpNe, engine.Col(0), engine.Col(1))))
+	if _, err := r.create("cr_e2", sym, 0); err != nil {
+		return err
+	}
+	// Roots: surviving vertices that no longer touch any edge and were not
+	// pruned — they seed their component. Columns after the two left
+	// joins: v, v(pruned child), v(next-graph vertex).
+	nextV := engine.Project(
+		engine.GroupBy(engine.Scan("cr_e2"), []int{0}),
+		engine.ProjCol{Expr: engine.Col(0), Name: "v"})
+	if _, err := r.create("cr_nextv", engine.Distinct(nextV), 0); err != nil {
+		return err
+	}
+	prunedChildren := engine.Project(engine.Scan("cr_prune"),
+		engine.ProjCol{Expr: engine.Col(1), Name: "v"})
+	lj1 := engine.LeftJoin(engine.Scan("cr_live"), engine.Distinct(prunedChildren), 0, 0)
+	lj2 := engine.LeftJoin(lj1, engine.Scan("cr_nextv"), 0, 0)
+	rootRows := engine.Project(
+		engine.Filter(lj2, engine.Bin(engine.OpAnd,
+			engine.IsNull(engine.Col(1)), engine.IsNull(engine.Col(2)))),
+		engine.ProjCol{Expr: engine.Col(0), Name: "parent"},
+		engine.ProjCol{Expr: engine.Col(0), Name: "child"},
+	)
+	if _, err := r.create("cr_roots", rootRows, 1); err != nil {
+		return err
+	}
+	// Append this round's tree rows.
+	treeRows, err := c.ReadAll("cr_prune")
+	if err != nil {
+		return err
+	}
+	rootRowsData, err := c.ReadAll("cr_roots")
+	if err != nil {
+		return err
+	}
+	if err := c.InsertRows("cr_tree", append(treeRows, rootRowsData...)); err != nil {
+		return err
+	}
+	if err := r.drop("cr_g", "cr_vmin", "cr_live", "cr_prune", "cr_roots", "cr_nextv"); err != nil {
+		return err
+	}
+	if err := r.rename("cr_e2", "cr_e"); err != nil {
+		return err
+	}
+	return r.checkSpace()
+}

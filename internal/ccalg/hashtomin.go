@@ -1,0 +1,126 @@
+package ccalg
+
+import (
+	"fmt"
+
+	"dbcc/internal/engine"
+)
+
+// HashToMin is the algorithm of Rastogi et al. ("Finding connected
+// components in Map-Reduce in logarithmic rounds", ICDE 2013), which the
+// paper reports as the best practical MapReduce algorithm of its
+// generation, ported to the database with the one-to-one translation the
+// paper describes: "a 'map' using key-value messages was converted to the
+// creation of a temporary database table distributed by the key, and the
+// subsequent 'reduce' was implemented as an aggregate function applied on
+// that table". Accordingly each round materialises the map phase's raw
+// message table — every vertex sends its whole cluster C(v) to the
+// minimum member and the minimum to every member — before the reduce
+// phase deduplicates it into the next cluster state.
+//
+// Rounds are O(log |V|) but the cluster state is O(|V|²) in the worst
+// case — the reason Hash-to-Min exhausts storage on the larger and the
+// path-shaped datasets of Table III (reproduced here through the
+// live-space budget).
+func HashToMin(c *engine.Cluster, input string, opts Options) (*Result, error) {
+	if err := validateInput(c, input); err != nil {
+		return nil, err
+	}
+	r := newRun(c, opts)
+	defer r.cleanup()
+
+	// Initial clusters: C(v) = N[v] — both edge orientations plus a self
+	// row per vertex; the raw map output is materialised first, MapReduce
+	// style, then reduced to the deduplicated state.
+	self := engine.Project(
+		engine.GroupBy(symmetric(input), []int{0}),
+		engine.ProjCol{Expr: engine.Col(0), Name: "v"},
+		engine.ProjCol{Expr: engine.Col(0), Name: "u"},
+	)
+	if _, err := r.create("hm_map", engine.UnionAll(symmetric(input), self), 0); err != nil {
+		return nil, err
+	}
+	if _, err := r.create("hm_c", engine.Distinct(engine.Scan("hm_map")), 0); err != nil {
+		return nil, err
+	}
+	if err := r.drop("hm_map"); err != nil {
+		return nil, err
+	}
+
+	rounds := 0
+	for {
+		rounds++
+		if rounds > maxRounds {
+			return nil, fmt.Errorf("ccalg: Hash-to-Min exceeded %d rounds", maxRounds)
+		}
+		// m(v) = min C(v).
+		if _, err := r.create("hm_m",
+			engine.GroupBy(engine.Scan("hm_c"), []int{0},
+				engine.Agg{Op: engine.AggMin, Arg: engine.Col(1), Name: "m"}), 0); err != nil {
+			return nil, err
+		}
+		// Join columns: v, u, v, m.
+		joined := engine.Join(engine.Scan("hm_c"), engine.Scan("hm_m"), 0, 0)
+		// Map phase: send the cluster to the min, (m, u), and the min to
+		// every member, (u, m). The raw message table is materialised
+		// before the reduce, as in the paper's MapReduce-to-SQL port.
+		toMin := engine.Project(joined,
+			engine.ProjCol{Expr: engine.Col(3), Name: "v"},
+			engine.ProjCol{Expr: engine.Col(1), Name: "u"})
+		toMembers := engine.Project(joined,
+			engine.ProjCol{Expr: engine.Col(1), Name: "v"},
+			engine.ProjCol{Expr: engine.Col(3), Name: "u"})
+		if _, err := r.create("hm_map", engine.UnionAll(toMin, toMembers), 0); err != nil {
+			return nil, err
+		}
+		// Reduce phase: deduplicate into the next cluster state.
+		n2, err := r.create("hm_c2", engine.Distinct(engine.Scan("hm_map")), 0)
+		if err != nil {
+			return nil, err
+		}
+		if err := r.drop("hm_map", "hm_m"); err != nil {
+			return nil, err
+		}
+		// Converged when the cluster table is unchanged (a fixpoint of the
+		// update). Multiset equality: equal cardinalities and the distinct
+		// union no larger than either side.
+		n1, err := countRows(c, engine.Scan("hm_c"))
+		if err != nil {
+			return nil, err
+		}
+		same := false
+		if n1 == n2 {
+			nu, err := countRows(c, engine.Distinct(engine.UnionAll(
+				engine.Scan("hm_c"), engine.Scan("hm_c2"))))
+			if err != nil {
+				return nil, err
+			}
+			same = nu == n1
+		}
+		if err := r.drop("hm_c"); err != nil {
+			return nil, err
+		}
+		if err := r.rename("hm_c2", "hm_c"); err != nil {
+			return nil, err
+		}
+		if same {
+			break
+		}
+	}
+
+	// At the fixpoint every vertex's cluster contains its component
+	// minimum, so the label is min C(v).
+	if _, err := r.create("hm_result",
+		engine.GroupBy(engine.Scan("hm_c"), []int{0},
+			engine.Agg{Op: engine.AggMin, Arg: engine.Col(1), Name: "r"}), 0); err != nil {
+		return nil, err
+	}
+	labels, err := r.labelsOf("hm_result")
+	if err != nil {
+		return nil, err
+	}
+	if err := r.drop("hm_result", "hm_c"); err != nil {
+		return nil, err
+	}
+	return &Result{Labels: labels, Rounds: rounds}, nil
+}

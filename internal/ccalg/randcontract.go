@@ -1,0 +1,401 @@
+package ccalg
+
+import (
+	"fmt"
+
+	"dbcc/internal/engine"
+	"dbcc/internal/sql"
+	"dbcc/internal/xrand"
+)
+
+// Method selects the vertex-order randomisation of Sec. V-C.
+type Method int
+
+// Randomisation methods.
+const (
+	// FiniteFields draws hᵢ(w) = Aᵢ·w + Bᵢ over GF(2^64) — the paper's
+	// final refinement (Fig. 3/4, Appendix A) using the min-relabelling
+	// optimisation of Sec. V-D.
+	FiniteFields Method = iota
+	// GFPrime is the SQL-only alternative the paper mentions: the same
+	// affine map over GF(p) for a prime p = 2^64−59 exceeding every
+	// vertex ID.
+	GFPrime
+	// Encryption draws a fresh Blowfish key per round and uses
+	// rᵢ(v) = argmin eₖᵢ(w); only the key crosses the network.
+	Encryption
+	// RandomReals materialises a per-vertex table of round-fresh random
+	// values and uses rᵢ(v) = argmin hᵢ(w) — full randomisation, at the
+	// cost of distributing one random number per vertex.
+	RandomReals
+)
+
+// String returns the method name used in reports.
+func (m Method) String() string {
+	switch m {
+	case FiniteFields:
+		return "finite-fields"
+	case GFPrime:
+		return "gf-prime"
+	case Encryption:
+		return "encryption"
+	case RandomReals:
+		return "random-reals"
+	}
+	return fmt.Sprintf("Method(%d)", int(m))
+}
+
+// Variant selects between the two implementations of Sec. V-D.
+type Variant int
+
+// Algorithm variants.
+const (
+	// Fast is Fig. 4 / Appendix A: per-round representative tables are
+	// kept and composed small-to-large after contraction finishes.
+	// Space is linear in expectation.
+	Fast Variant = iota
+	// Safe is Fig. 3: one full-size composition table L is folded every
+	// round, giving deterministically linear space.
+	Safe
+)
+
+// String returns the variant name used in reports.
+func (v Variant) String() string {
+	if v == Safe {
+		return "fig3-safe"
+	}
+	return "fig4-fast"
+}
+
+// RCOptions are the Randomised Contraction knobs.
+type RCOptions struct {
+	Method  Method
+	Variant Variant
+	// NoRerandomise reuses the round-1 keys for every round (ablation A3).
+	// Sec. V-B requires fresh randomness per round for the independence
+	// argument; disabling it demonstrates why.
+	NoRerandomise bool
+	// Deterministic disables randomisation entirely (h = identity), i.e.
+	// the "basic idea" of Sec. V-A choosing the minimum vertex ID of the
+	// closed neighbourhood. On a sequentially numbered path this is the
+	// Fig. 2(a) worst case: one vertex removed per round. Only meaningful
+	// with the FiniteFields or GFPrime methods.
+	Deterministic bool
+}
+
+// RandomisedContraction runs the paper's algorithm by issuing the SQL of
+// Appendix A (adapted per method and variant) through the SQL layer, just
+// as the paper's Python driver issues it to HAWQ.
+func RandomisedContraction(c *engine.Cluster, input string, opts Options) (*Result, error) {
+	if err := validateInput(c, input); err != nil {
+		return nil, err
+	}
+	RegisterUDFs(c)
+	r := newRun(c, opts)
+	defer r.cleanup()
+	res, err := runRC(r, sql.NewSession(c), input, opts)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// rcKeys holds one round's randomisation parameters.
+type rcKeys struct {
+	a, b int64 // affine coefficients (GF methods)
+	key  int64 // cipher key / hash seed (argmin methods)
+}
+
+// drawKeys draws a round's keys the way the paper's driver does: uniform
+// 64-bit integers with A ≠ 0.
+func drawKeys(rng *xrand.Rand) rcKeys {
+	return rcKeys{
+		a:   int64(rng.NonZeroUint64()),
+		b:   int64(rng.Uint64()),
+		key: int64(rng.Uint64()),
+	}
+}
+
+func runRC(r *run, s *sql.Session, input string, opts Options) (*Result, error) {
+	rng := xrand.New(opts.Seed)
+	method := opts.RC.Method
+	variant := opts.RC.Variant
+
+	// Setup (Appendix A): symmetrise the edge table.
+	if _, err := r.exec(s, `
+		create table rc_graph as
+		select v1, v2 from `+input+`
+		union all
+		select v2, v1 from `+input+`
+		distributed by (v1)`); err != nil {
+		return nil, err
+	}
+
+	var stack []rcKeys
+	round := 0
+	for {
+		round++
+		if round > maxRounds {
+			return nil, fmt.Errorf("ccalg: randomised contraction exceeded %d rounds", maxRounds)
+		}
+		var keys rcKeys
+		switch {
+		case opts.RC.Deterministic:
+			keys = rcKeys{a: 1, b: 0, key: 0}
+		case opts.RC.NoRerandomise && len(stack) > 0:
+			keys = stack[0]
+		default:
+			keys = drawKeys(rng)
+		}
+		stack = append(stack, keys)
+
+		var err error
+		if method == FiniteFields || method == GFPrime {
+			err = rcRepsAffine(r, s, method, round, keys)
+		} else {
+			err = rcRepsArgmin(r, s, method, round, keys)
+		}
+		if err != nil {
+			return nil, err
+		}
+
+		// Contraction, split into the two queries of Appendix A so the
+		// write-volume accounting matches the measured implementation.
+		if _, err := r.exec(s, fmt.Sprintf(`
+			create table rc_graph2 as
+			select r1.rep as v1, v2
+			from rc_graph, rc_reps%d as r1
+			where rc_graph.v1 = r1.v
+			distributed by (v2)`, round)); err != nil {
+			return nil, err
+		}
+		if err := r.drop("rc_graph"); err != nil {
+			return nil, err
+		}
+		size, err := r.exec(s, fmt.Sprintf(`
+			create table rc_graph3 as
+			select distinct v1, r2.rep as v2
+			from rc_graph2, rc_reps%d as r2
+			where rc_graph2.v2 = r2.v and v1 != r2.rep
+			distributed by (v1)`, round))
+		if err != nil {
+			return nil, err
+		}
+		if err := r.drop("rc_graph2"); err != nil {
+			return nil, err
+		}
+		if err := r.rename("rc_graph3", "rc_graph"); err != nil {
+			return nil, err
+		}
+
+		// The Safe (Fig. 3) variant folds the round's representative table
+		// into the running composition L immediately and drops it.
+		if variant == Safe {
+			if err := rcFoldSafe(r, s, method, round, keys); err != nil {
+				return nil, err
+			}
+		}
+
+		if size == 0 {
+			break
+		}
+	}
+	if err := r.drop("rc_graph"); err != nil {
+		return nil, err
+	}
+
+	// Composition.
+	switch variant {
+	case Safe:
+		if err := r.rename("rc_l", "rc_result"); err != nil {
+			return nil, err
+		}
+	case Fast:
+		if err := rcComposeFast(r, s, method, stack); err != nil {
+			return nil, err
+		}
+	}
+
+	labels, err := r.labelsOf("rc_result")
+	if err != nil {
+		return nil, err
+	}
+	if err := r.drop("rc_result"); err != nil {
+		return nil, err
+	}
+	return &Result{Labels: labels, Rounds: len(stack)}, nil
+}
+
+// rcRepsAffine computes the round's representatives with the
+// min-relabelling optimisation (Sec. V-D): representatives are the
+// h-transformed IDs, so a plain min aggregate suffices.
+func rcRepsAffine(r *run, s *sql.Session, method Method, round int, k rcKeys) error {
+	fn := "axplusb"
+	if method == GFPrime {
+		fn = "axbp"
+	}
+	_, err := r.exec(s, fmt.Sprintf(`
+		create table rc_reps%d as
+		select v1 v, least(%[2]s(%[3]d, v1, %[4]d), min(%[2]s(%[3]d, v2, %[4]d))) rep
+		from rc_graph
+		group by v1
+		distributed by (v)`, round, fn, k.a, k.b))
+	return err
+}
+
+// rcRepsArgmin computes the round's representatives as
+// rᵢ(v) = argmin_{w∈N[v]} h(w), the form the paper gives for the random
+// reals and encryption methods (Sec. V-C). Representatives remain genuine
+// vertex IDs. Ties on h are broken by the smaller vertex ID, which is
+// still a valid representative choice (any r(v) ∈ N[v] preserves
+// connectivity).
+func rcRepsArgmin(r *run, s *sql.Session, method Method, round int, k rcKeys) error {
+	hexpr := func(col string) string {
+		if method == Encryption {
+			return fmt.Sprintf("enc(%d, %s)", k.key, col)
+		}
+		return fmt.Sprintf("hrand(%d, %s)", k.key, col)
+	}
+	// Closed-neighbourhood h values: one row (v, w, h(w)) per neighbour,
+	// plus the self row (v, v, h(v)).
+	if _, err := r.exec(s, fmt.Sprintf(`
+		create table rc_nh as
+		select v1 as v, v2 as w, %s as h from rc_graph
+		union all
+		select v1 as v, v1 as w, %s as h from rc_graph group by v1
+		distributed by (v)`, hexpr("v2"), hexpr("v1"))); err != nil {
+		return err
+	}
+	if _, err := r.exec(s, `
+		create table rc_minh as
+		select v, min(h) as mh from rc_nh group by v
+		distributed by (v)`); err != nil {
+		return err
+	}
+	if _, err := r.exec(s, fmt.Sprintf(`
+		create table rc_reps%d as
+		select rc_nh.v as v, min(rc_nh.w) as rep
+		from rc_nh, rc_minh
+		where rc_nh.v = rc_minh.v and rc_nh.h = rc_minh.mh
+		group by rc_nh.v
+		distributed by (v)`, round)); err != nil {
+		return err
+	}
+	return r.drop("rc_nh", "rc_minh")
+}
+
+// rcFoldSafe folds the round's representative table into the running
+// composition table rc_l (Fig. 3's else branch) and drops it, keeping the
+// space bound deterministic.
+func rcFoldSafe(r *run, s *sql.Session, method Method, round int, k rcKeys) error {
+	reps := fmt.Sprintf("rc_reps%d", round)
+	if round == 1 {
+		return r.rename(reps, "rc_l")
+	}
+	// Vertices whose label dropped out of this round's computation must be
+	// relabelled through hᵢ for the GF methods (their labels live in the
+	// previous round's ID space); the argmin methods keep real IDs.
+	var relabel string
+	switch method {
+	case FiniteFields:
+		relabel = fmt.Sprintf("axplusb(%d, l.rep, %d)", k.a, k.b)
+	case GFPrime:
+		relabel = fmt.Sprintf("axbp(%d, l.rep, %d)", k.a, k.b)
+	default:
+		relabel = "l.rep"
+	}
+	if _, err := r.exec(s, fmt.Sprintf(`
+		create table rc_tmp as
+		select l.v as v, coalesce(rr.rep, %s) as rep
+		from rc_l as l left outer join %s as rr on (l.rep = rr.v)
+		distributed by (v)`, relabel, reps)); err != nil {
+		return err
+	}
+	if err := r.drop("rc_l", reps); err != nil {
+		return err
+	}
+	return r.rename("rc_tmp", "rc_l")
+}
+
+// rcComposeFast composes the stacked representative tables back to front
+// (Fig. 4's second loop / Appendix A), accumulating the affine coefficient
+// composition for the GF methods exactly as the paper's Python does.
+func rcComposeFast(r *run, s *sql.Session, method Method, stack []rcKeys) error {
+	gfMethod := method == FiniteFields || method == GFPrime
+	axb := func(a, x, b int64) int64 {
+		if method == GFPrime {
+			_, rows, err := s.Queryf("select axbp(%d, %d, %d) as r", a, x, b)
+			if err != nil || len(rows) != 1 {
+				panic("ccalg: axbp self-query failed")
+			}
+			return rows[0][0].Int
+		}
+		_, rows, err := s.Queryf("select axplusb(%d, %d, %d) as r", a, x, b)
+		if err != nil || len(rows) != 1 {
+			panic("ccalg: axplusb self-query failed")
+		}
+		return rows[0][0].Int
+	}
+	accA, accB := int64(1), int64(0)
+	for i := len(stack) - 1; i >= 1; i-- {
+		if gfMethod {
+			k := stack[i]
+			accA, accB = axb(accA, k.a, 0), axb(accA, k.b, accB)
+		}
+		var relabel string
+		if gfMethod {
+			fn := "axplusb"
+			if method == GFPrime {
+				fn = "axbp"
+			}
+			relabel = fmt.Sprintf("%s(%d, r1.rep, %d)", fn, accA, accB)
+		} else {
+			relabel = "r1.rep"
+		}
+		if _, err := r.exec(s, fmt.Sprintf(`
+			create table rc_tmp as
+			select r1.v as v, coalesce(r2.rep, %s) as rep
+			from rc_reps%d as r1 left outer join rc_reps%d as r2 on (r1.rep = r2.v)
+			distributed by (v)`, relabel, i, i+1)); err != nil {
+			return err
+		}
+		if err := r.drop(fmt.Sprintf("rc_reps%d", i), fmt.Sprintf("rc_reps%d", i+1)); err != nil {
+			return err
+		}
+		if err := r.rename("rc_tmp", fmt.Sprintf("rc_reps%d", i)); err != nil {
+			return err
+		}
+	}
+	return r.rename("rc_reps1", "rc_result")
+}
+
+// exec runs a SQL statement through the session with the run's space guard.
+func (r *run) exec(s *sql.Session, stmt string) (int64, error) {
+	n, err := s.Exec(stmt)
+	if err != nil {
+		return 0, err
+	}
+	r.noteTables(stmt)
+	return n, r.checkSpace()
+}
+
+// noteTables records tables created by a statement for cleanup purposes.
+func (r *run) noteTables(stmt string) {
+	stmts, err := sql.Parse(stmt)
+	if err != nil {
+		return
+	}
+	for _, st := range stmts {
+		switch st := st.(type) {
+		case *sql.CreateTableAs:
+			r.temps[st.Name] = struct{}{}
+		case *sql.DropTable:
+			for _, n := range st.Names {
+				delete(r.temps, n)
+			}
+		case *sql.AlterRename:
+			delete(r.temps, st.Old)
+			r.temps[st.New] = struct{}{}
+		}
+	}
+}

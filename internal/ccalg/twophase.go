@@ -1,0 +1,183 @@
+package ccalg
+
+import (
+	"fmt"
+
+	"dbcc/internal/engine"
+)
+
+// TwoPhase is the algorithm of Kiveris et al. ("Connected components in
+// MapReduce and beyond", SoCC 2014): rounds alternate a large-star and a
+// small-star operation on the edge set until a fixpoint, at which the edge
+// set is a star forest whose centres are the component minima.
+//
+//   - large-star: every vertex v connects each strictly larger neighbour
+//     to the minimum of v's closed neighbourhood;
+//   - small-star: every vertex v connects each smaller neighbour and
+//     itself to that minimum.
+//
+// Both operations preserve connectivity and never increase the edge count.
+// Two-Phase is the space-optimal contender of the paper's Table I/IV: the
+// stored state is one row per undirected edge (both star outputs are
+// naturally of the form (u, m) with u > m, so edges are kept in canonical
+// larger-first order and the symmetric view is expanded only inside the
+// per-round pipeline, never materialised). The price is Θ(log²|V|)
+// rounds — and the pathological round count on the adversarially numbered
+// PathUnion dataset (Table III).
+func TwoPhase(c *engine.Cluster, input string, opts Options) (*Result, error) {
+	if err := validateInput(c, input); err != nil {
+		return nil, err
+	}
+	r := newRun(c, opts)
+	defer r.cleanup()
+
+	// Working edge set in canonical (larger, smaller) order, deduplicated,
+	// loops dropped (isolated vertices are reattached at labelling time).
+	canon := engine.Project(symmetric(input),
+		engine.ProjCol{Expr: engine.Col(0), Name: "v"},
+		engine.ProjCol{Expr: engine.Col(1), Name: "w"})
+	canonFiltered := engine.Filter(canon, engine.Bin(engine.OpGt, engine.Col(0), engine.Col(1)))
+	if _, err := r.create("tp_e", engine.Distinct(canonFiltered), 0); err != nil {
+		return nil, err
+	}
+	// All original vertices, for the final labelling.
+	if _, err := r.create("tp_v", engine.Project(
+		engine.GroupBy(symmetric(input), []int{0}),
+		engine.ProjCol{Expr: engine.Col(0), Name: "v"}), 0); err != nil {
+		return nil, err
+	}
+
+	rounds := 0
+	for {
+		rounds++
+		if rounds > maxRounds {
+			return nil, fmt.Errorf("ccalg: Two-Phase exceeded %d rounds", maxRounds)
+		}
+		if err := tpStar(r, true); err != nil { // large-star
+			return nil, err
+		}
+		changed, err := tpStarChanged(r)
+		if err != nil {
+			return nil, err
+		}
+		if err := tpStar(r, false); err != nil { // small-star
+			return nil, err
+		}
+		changed2, err := tpStarChanged(r)
+		if err != nil {
+			return nil, err
+		}
+		if !changed && !changed2 {
+			break
+		}
+	}
+
+	// The fixpoint is a star forest in canonical order: every edge is
+	// (member, centre) with centre the component minimum. Vertices with no
+	// remaining edge label themselves.
+	starLabel := engine.GroupBy(engine.Scan("tp_e"), []int{0},
+		engine.Agg{Op: engine.AggMin, Arg: engine.Col(1), Name: "m"})
+	// Columns after left join: v, v(star), m.
+	labelled := engine.Project(
+		engine.LeftJoin(engine.Scan("tp_v"), starLabel, 0, 0),
+		engine.ProjCol{Expr: engine.Col(0), Name: "v"},
+		engine.ProjCol{Expr: engine.Least(engine.Col(0), engine.Col(2)), Name: "r"},
+	)
+	if _, err := r.create("tp_result", labelled, 0); err != nil {
+		return nil, err
+	}
+	labels, err := r.labelsOf("tp_result")
+	if err != nil {
+		return nil, err
+	}
+	if err := r.drop("tp_result", "tp_e", "tp_v"); err != nil {
+		return nil, err
+	}
+	return &Result{Labels: labels, Rounds: rounds}, nil
+}
+
+// tpStar applies one star operation to tp_e, leaving the previous edge set
+// in tp_prev for the change check.
+//
+// The canonical edge table is expanded to both orientations inside the
+// plan; grouping by the first column then yields m(v) = min(N[v]). The
+// large-star output is {(u, m(v)) : u ∈ N(v), u > v}; the small-star
+// output is {(u, m(v)) : u ∈ N(v), u < v} ∪ {(v, m(v))}. In both cases
+// u > m(v) whenever the pair is not a loop, so the output is already
+// canonical and deduplication suffices.
+func tpStar(r *run, large bool) error {
+	sym := engine.UnionAll(
+		engine.Project(engine.Scan("tp_e"),
+			engine.ProjCol{Expr: engine.Col(0), Name: "v"},
+			engine.ProjCol{Expr: engine.Col(1), Name: "u"}),
+		engine.Project(engine.Scan("tp_e"),
+			engine.ProjCol{Expr: engine.Col(1), Name: "v"},
+			engine.ProjCol{Expr: engine.Col(0), Name: "u"}),
+	)
+	// m(v) = min of the closed neighbourhood.
+	mPlan := engine.Project(
+		engine.GroupBy(sym, []int{0},
+			engine.Agg{Op: engine.AggMin, Arg: engine.Col(1), Name: "mn"}),
+		engine.ProjCol{Expr: engine.Col(0), Name: "v"},
+		engine.ProjCol{Expr: engine.Least(engine.Col(0), engine.Col(1)), Name: "m"},
+	)
+	if _, err := r.create("tp_m", mPlan, 0); err != nil {
+		return err
+	}
+	// Join columns: v, u, v, m.
+	joined := engine.Join(sym, engine.Scan("tp_m"), 0, 0)
+	var cmp engine.BinOp
+	if large {
+		cmp = engine.OpGt
+	} else {
+		cmp = engine.OpLt
+	}
+	relinked := engine.Project(
+		engine.Filter(joined, engine.Bin(cmp, engine.Col(1), engine.Col(0))),
+		engine.ProjCol{Expr: engine.Col(1), Name: "v"},
+		engine.ProjCol{Expr: engine.Col(3), Name: "w"},
+	)
+	edges := relinked
+	if !large {
+		// Small-star also links v itself to the minimum.
+		selfLink := engine.Project(engine.Scan("tp_m"),
+			engine.ProjCol{Expr: engine.Col(0), Name: "v"},
+			engine.ProjCol{Expr: engine.Col(1), Name: "w"})
+		edges = engine.UnionAll(relinked, selfLink)
+	}
+	out := engine.Distinct(engine.Filter(edges,
+		engine.Bin(engine.OpNe, engine.Col(0), engine.Col(1))))
+	if _, err := r.create("tp_e2", out, 0); err != nil {
+		return err
+	}
+	if err := r.drop("tp_m"); err != nil {
+		return err
+	}
+	if err := r.rename("tp_e", "tp_prev"); err != nil {
+		return err
+	}
+	return r.rename("tp_e2", "tp_e")
+}
+
+// tpStarChanged reports whether the last star operation changed the edge
+// set, and drops the saved previous edge set.
+func tpStarChanged(r *run) (bool, error) {
+	n1, err := countRows(r.c, engine.Scan("tp_prev"))
+	if err != nil {
+		return false, err
+	}
+	n2, err := countRows(r.c, engine.Scan("tp_e"))
+	if err != nil {
+		return false, err
+	}
+	changed := true
+	if n1 == n2 {
+		nu, err := countRows(r.c, engine.Distinct(engine.UnionAll(
+			engine.Scan("tp_prev"), engine.Scan("tp_e"))))
+		if err != nil {
+			return false, err
+		}
+		changed = nu != n1
+	}
+	return changed, r.drop("tp_prev")
+}

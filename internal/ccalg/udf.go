@@ -1,0 +1,106 @@
+package ccalg
+
+import (
+	"sync"
+
+	"dbcc/internal/blowfish"
+	"dbcc/internal/engine"
+	"dbcc/internal/gf"
+	"dbcc/internal/xrand"
+)
+
+// RegisterUDFs installs the user-defined functions the algorithms' SQL
+// relies on, mirroring the paper loading its C functions into HAWQ:
+//
+//	axplusb(a, x, b) — a·x+b over GF(2^64) (Fig. 7), the finite fields method;
+//	axbp(a, x, b)    — a·x+b mod 2^64−59, the SQL-only GF(p) alternative;
+//	enc(key, x)      — Blowfish encryption of x under key, the encryption method;
+//	hrand(seed, x)   — the per-round "random real" of vertex x, as a 63-bit
+//	                   integer (the random reals method's h-table values).
+//
+// All four treat the int64 column values as raw 64-bit patterns.
+func RegisterUDFs(c *engine.Cluster) {
+	// Multiplication tables are cached per coefficient a: one contraction
+	// round evaluates axplusb with the same a for every row.
+	var (
+		mulMu    sync.RWMutex
+		mulCache = make(map[uint64]*gf.Multiplier)
+	)
+	mulFor := func(a uint64) *gf.Multiplier {
+		mulMu.RLock()
+		m, ok := mulCache[a]
+		mulMu.RUnlock()
+		if ok {
+			return m
+		}
+		mulMu.Lock()
+		defer mulMu.Unlock()
+		if m, ok = mulCache[a]; ok {
+			return m
+		}
+		if len(mulCache) > 64 {
+			mulCache = make(map[uint64]*gf.Multiplier) // bound the cache
+		}
+		m = gf.NewMultiplier(a)
+		mulCache[a] = m
+		return m
+	}
+	c.RegisterUDF("axplusb", func(args []engine.Datum) engine.Datum {
+		if args[0].Null || args[1].Null || args[2].Null {
+			return engine.NullDatum
+		}
+		m := mulFor(uint64(args[0].Int))
+		return engine.I(int64(m.AxB(uint64(args[1].Int), uint64(args[2].Int))))
+	})
+
+	c.RegisterUDF("axbp", func(args []engine.Datum) engine.Datum {
+		if args[0].Null || args[1].Null || args[2].Null {
+			return engine.NullDatum
+		}
+		return engine.I(int64(gf.AxBP(uint64(args[0].Int), uint64(args[1].Int), uint64(args[2].Int))))
+	})
+
+	// Ciphers are cached per round key; the key schedule is far more
+	// expensive than a block encryption.
+	var (
+		encMu    sync.RWMutex
+		encCache = make(map[uint64]*blowfish.Cipher)
+	)
+	cipherFor := func(key uint64) *blowfish.Cipher {
+		encMu.RLock()
+		ci, ok := encCache[key]
+		encMu.RUnlock()
+		if ok {
+			return ci
+		}
+		encMu.Lock()
+		defer encMu.Unlock()
+		if ci, ok = encCache[key]; ok {
+			return ci
+		}
+		if len(encCache) > 64 {
+			encCache = make(map[uint64]*blowfish.Cipher)
+		}
+		ci = blowfish.NewFromUint64(key)
+		encCache[key] = ci
+		return ci
+	}
+	c.RegisterUDF("enc", func(args []engine.Datum) engine.Datum {
+		if args[0].Null || args[1].Null {
+			return engine.NullDatum
+		}
+		ci := cipherFor(uint64(args[0].Int))
+		// Keep results non-negative so integer min works like uint64 min;
+		// dropping the top bit halves the range but keeps a 2^-63 collision
+		// probability per pair, irrelevant for ordering purposes.
+		return engine.I(int64(ci.Encrypt64(uint64(args[1].Int)) >> 1))
+	})
+
+	c.RegisterUDF("hrand", func(args []engine.Datum) engine.Datum {
+		if args[0].Null || args[1].Null {
+			return engine.NullDatum
+		}
+		h := xrand.Mix64(uint64(args[0].Int) ^ xrand.Mix64(uint64(args[1].Int)))
+		return engine.I(int64(h >> 1)) // non-negative 63-bit "random real"
+	})
+}

@@ -1,0 +1,232 @@
+package datagen
+
+import (
+	"testing"
+
+	"dbcc/internal/unionfind"
+)
+
+func TestPath(t *testing.T) {
+	g := Path(10)
+	if g.NumEdges() != 9 || g.NumVertices() != 10 {
+		t.Fatalf("path: %d edges, %d vertices", g.NumEdges(), g.NumVertices())
+	}
+	if unionfind.CountComponents(g) != 1 {
+		t.Fatal("path not connected")
+	}
+	// Sequential numbering is the point of this generator.
+	if g.Edges[0].V != 1 || g.Edges[0].W != 2 {
+		t.Fatalf("path numbering %v", g.Edges[0])
+	}
+}
+
+func TestPathUnion(t *testing.T) {
+	g := PathUnion(10, 10000)
+	if got := unionfind.CountComponents(g); got != 10 {
+		t.Fatalf("PathUnion(10) has %d components", got)
+	}
+	// Path lengths must differ (geometric progression).
+	sizes := unionfind.Components(g).ComponentSizes()
+	distinct := make(map[int]bool)
+	for _, s := range sizes {
+		distinct[s] = true
+	}
+	if len(distinct) < 8 {
+		t.Fatalf("path lengths not sufficiently distinct: %v", sizes)
+	}
+}
+
+func TestCycleCompleteStar(t *testing.T) {
+	if g := Cycle(10); g.NumEdges() != 10 || unionfind.CountComponents(g) != 1 {
+		t.Fatal("cycle malformed")
+	}
+	if g := Complete(6); g.NumEdges() != 15 || g.MaxDegree() != 5 {
+		t.Fatal("complete graph malformed")
+	}
+	if g := Star(7); g.NumEdges() != 6 || g.MaxDegree() != 6 {
+		t.Fatal("star malformed")
+	}
+}
+
+func TestRMAT(t *testing.T) {
+	g := RMAT(12, 20000, 0.57, 0.19, 0.19, 0.05, 1)
+	if g.NumEdges() != 20000 {
+		t.Fatalf("rmat edges %d", g.NumEdges())
+	}
+	// Skew: R-MAT with these parameters concentrates edges on few vertices,
+	// so max degree far exceeds the Erdős–Rényi expectation.
+	if g.MaxDegree() < 50 {
+		t.Fatalf("rmat max degree %d, expected heavy skew", g.MaxDegree())
+	}
+	// Determinism.
+	h := RMAT(12, 20000, 0.57, 0.19, 0.19, 0.05, 1)
+	if h.Edges[0] != g.Edges[0] || h.Edges[19999] != g.Edges[19999] {
+		t.Fatal("rmat not deterministic for fixed seed")
+	}
+}
+
+func TestImage2D(t *testing.T) {
+	g := Image2D(100, 100, 400, 1.1, 0.2, 7)
+	if g.NumEdges() == 0 {
+		t.Fatal("no edges")
+	}
+	// 4-connectivity bounds the degree by 4.
+	if d := g.MaxDegree(); d > 4 {
+		t.Fatalf("2-D image degree %d > 4", d)
+	}
+	l := unionfind.Components(g)
+	if l.NumComponents() < 50 {
+		t.Fatalf("only %d components", l.NumComponents())
+	}
+	// The background is a giant outlier component.
+	maxSize := 0
+	for _, s := range l.ComponentSizes() {
+		if s > maxSize {
+			maxSize = s
+		}
+	}
+	if maxSize < len(l)/4 {
+		t.Fatalf("largest component %d of %d vertices; expected a giant background", maxSize, len(l))
+	}
+	// |E|/|V| should be near 2·(1−dropout) ≈ 1.6 (paper: 1.57).
+	ratio := float64(g.NumEdges()) / float64(g.NumVertices())
+	if ratio < 1.2 || ratio > 1.9 {
+		t.Fatalf("|E|/|V| = %.2f, want ≈1.6", ratio)
+	}
+}
+
+func TestImage2DPowerLawSizes(t *testing.T) {
+	// Bucketed component counts must decrease roughly monotonically over
+	// several octaves — the log-log-linear shape of Fig. 5.
+	g := Image2D(200, 150, 1200, 1.1, 0.2, 11)
+	sizes := unionfind.Components(g).ComponentSizes()
+	buckets := make(map[int]int)
+	for _, s := range sizes {
+		b := 0
+		for v := s; v > 1; v >>= 1 {
+			b++
+		}
+		buckets[b]++
+	}
+	if len(buckets) < 5 {
+		t.Fatalf("component sizes span only %d octaves", len(buckets))
+	}
+	if buckets[1] < buckets[4] {
+		t.Fatalf("size distribution not decreasing: %v", buckets)
+	}
+}
+
+func TestVideo3D(t *testing.T) {
+	g := Video3D(20, 20, 10, 30, 1.1, 0.04, 7)
+	if d := g.MaxDegree(); d > 6 {
+		t.Fatalf("3-D video degree %d > 6", d)
+	}
+	if unionfind.CountComponents(g) < 5 {
+		t.Fatal("too few components")
+	}
+	// |E|/|V| should be near 3·(1−dropout) ≈ 2.9 (paper: 2.87).
+	ratio := float64(g.NumEdges()) / float64(g.NumVertices())
+	if ratio < 2.2 || ratio > 3.0 {
+		t.Fatalf("|E|/|V| = %.2f, want ≈2.9", ratio)
+	}
+}
+
+func TestVideo3DScalesWithFrames(t *testing.T) {
+	small := Video3D(16, 16, 5, 10, 1.1, 0.04, 3)
+	large := Video3D(16, 16, 10, 20, 1.1, 0.04, 3)
+	if large.NumEdges() < small.NumEdges()*3/2 {
+		t.Fatalf("doubling frames did not grow the graph: %d vs %d",
+			small.NumEdges(), large.NumEdges())
+	}
+}
+
+func TestBitcoinBipartite(t *testing.T) {
+	g := Bitcoin(5000, 11)
+	const txBase = int64(1) << 40
+	for _, e := range g.Edges {
+		// Every edge must link a transaction to an address.
+		txV, txW := e.V >= txBase, e.W >= txBase
+		if txV == txW {
+			t.Fatalf("non-bipartite edge %v", e)
+		}
+	}
+	// Heavy-tailed reuse: some address must be used many times.
+	deg := make(map[int64]int)
+	for _, e := range g.Edges {
+		if e.W < txBase {
+			deg[e.W]++
+		}
+		if e.V < txBase {
+			deg[e.V]++
+		}
+	}
+	maxd := 0
+	for _, d := range deg {
+		if d > maxd {
+			maxd = d
+		}
+	}
+	if maxd < 20 {
+		t.Fatalf("address reuse max %d, expected heavy tail", maxd)
+	}
+	// Many components: address clustering yields many entities.
+	if c := unionfind.CountComponents(g); c < 100 {
+		t.Fatalf("bitcoin graph has %d components", c)
+	}
+}
+
+func TestBitcoinFullFewComponents(t *testing.T) {
+	g := BitcoinFull(5000, 11)
+	const txBase = int64(1) << 40
+	for _, e := range g.Edges {
+		txV, txW := e.V >= txBase, e.W >= txBase
+		if txV == txW {
+			t.Fatalf("non-bipartite edge %v", e)
+		}
+	}
+	// The spending chains link almost everything: components must be a
+	// tiny fraction of vertices (paper: 37 k of 1.5 G).
+	comps := unionfind.CountComponents(g)
+	if comps > g.NumVertices()/100 {
+		t.Fatalf("bitcoin-full has %d components over %d vertices; expected few",
+			comps, g.NumVertices())
+	}
+	// More connected than the address graph: |E|/tx around 4.
+	if g.NumEdges() < 3*5000 {
+		t.Fatalf("only %d edges for 5000 transactions", g.NumEdges())
+	}
+}
+
+func TestFriendsterSingleComponent(t *testing.T) {
+	g := Friendster(2000, 5, 17)
+	if c := unionfind.CountComponents(g); c != 1 {
+		t.Fatalf("friendster has %d components, want 1", c)
+	}
+	// Preferential attachment must produce hubs.
+	if g.MaxDegree() < 50 {
+		t.Fatalf("max degree %d, expected hubs", g.MaxDegree())
+	}
+}
+
+func TestStreetGrid(t *testing.T) {
+	g := StreetGrid(100, 100, 0.55, 23)
+	if d := g.MaxDegree(); d > 4 {
+		t.Fatalf("street grid degree %d", d)
+	}
+	ratio := float64(g.NumEdges()) / float64(g.NumVertices())
+	if ratio < 0.8 || ratio > 1.4 {
+		t.Fatalf("street |E|/|V| = %.2f, want ≈1.05", ratio)
+	}
+}
+
+func TestErdosRenyi(t *testing.T) {
+	g := ErdosRenyi(100, 500, 3)
+	if g.NumEdges() != 500 {
+		t.Fatalf("edges %d", g.NumEdges())
+	}
+	for _, e := range g.Edges {
+		if e.V < 1 || e.V > 100 || e.W < 1 || e.W > 100 {
+			t.Fatalf("edge out of range: %v", e)
+		}
+	}
+}

@@ -1,0 +1,285 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Plan is a relational operator tree. Plans are built either directly (the
+// typed API used by the algorithm implementations) or by the SQL planner in
+// package sql, and executed by Cluster.CreateTableAs or Cluster.Query.
+type Plan interface {
+	// Schema resolves the output schema of the plan against the catalog.
+	Schema(c *Cluster) (Schema, error)
+	// String renders a one-line description of the node tree.
+	String() string
+}
+
+// ScanPlan reads a stored table.
+type ScanPlan struct{ Table string }
+
+// Schema implements Plan.
+func (p ScanPlan) Schema(c *Cluster) (Schema, error) {
+	t, ok := c.Table(p.Table)
+	if !ok {
+		return nil, fmt.Errorf("engine: table %q does not exist", p.Table)
+	}
+	return t.Schema, nil
+}
+
+func (p ScanPlan) String() string { return "Scan(" + p.Table + ")" }
+
+// Scan returns a plan reading the named table.
+func Scan(table string) Plan { return ScanPlan{Table: table} }
+
+// FilterPlan keeps the rows for which Pred is true.
+type FilterPlan struct {
+	Input Plan
+	Pred  Expr
+}
+
+// Schema implements Plan.
+func (p FilterPlan) Schema(c *Cluster) (Schema, error) { return p.Input.Schema(c) }
+
+func (p FilterPlan) String() string {
+	return fmt.Sprintf("Filter(%s, %s)", p.Input, p.Pred)
+}
+
+// Filter returns a filtering plan.
+func Filter(in Plan, pred Expr) Plan { return FilterPlan{Input: in, Pred: pred} }
+
+// ProjCol is one output column of a projection.
+type ProjCol struct {
+	Expr Expr
+	Name string
+}
+
+// ProjectPlan computes an expression per output column.
+type ProjectPlan struct {
+	Input Plan
+	Cols  []ProjCol
+}
+
+// Schema implements Plan.
+func (p ProjectPlan) Schema(c *Cluster) (Schema, error) {
+	if _, err := p.Input.Schema(c); err != nil {
+		return nil, err
+	}
+	s := make(Schema, len(p.Cols))
+	for i, col := range p.Cols {
+		s[i] = col.Name
+	}
+	return s, nil
+}
+
+func (p ProjectPlan) String() string {
+	var cols []string
+	for _, c := range p.Cols {
+		cols = append(cols, fmt.Sprintf("%s AS %s", c.Expr, c.Name))
+	}
+	return fmt.Sprintf("Project(%s, [%s])", p.Input, strings.Join(cols, ", "))
+}
+
+// Project returns a projection plan.
+func Project(in Plan, cols ...ProjCol) Plan { return ProjectPlan{Input: in, Cols: cols} }
+
+// JoinKind distinguishes inner from left outer joins.
+type JoinKind int
+
+// Join kinds.
+const (
+	InnerJoin JoinKind = iota
+	LeftOuterJoin
+)
+
+// JoinPlan is a hash equi-join on one column from each side. The output
+// schema is the left schema followed by the right schema; for a left outer
+// join, unmatched left rows carry NULLs in the right columns. Both inputs
+// are redistributed by their join keys unless already co-located, exactly
+// as an MPP planner schedules a distributed hash join.
+type JoinPlan struct {
+	Left, Right       Plan
+	LeftKey, RightKey int // column positions in the respective inputs
+	Kind              JoinKind
+}
+
+// Schema implements Plan.
+func (p JoinPlan) Schema(c *Cluster) (Schema, error) {
+	ls, err := p.Left.Schema(c)
+	if err != nil {
+		return nil, err
+	}
+	rs, err := p.Right.Schema(c)
+	if err != nil {
+		return nil, err
+	}
+	out := make(Schema, 0, len(ls)+len(rs))
+	out = append(out, ls...)
+	out = append(out, rs...)
+	return out, nil
+}
+
+func (p JoinPlan) String() string {
+	kind := "Join"
+	if p.Kind == LeftOuterJoin {
+		kind = "LeftJoin"
+	}
+	return fmt.Sprintf("%s(%s.$%d = %s.$%d)", kind, p.Left, p.LeftKey, p.Right, p.RightKey)
+}
+
+// Join returns an inner hash equi-join plan.
+func Join(left, right Plan, leftKey, rightKey int) Plan {
+	return JoinPlan{Left: left, Right: right, LeftKey: leftKey, RightKey: rightKey, Kind: InnerJoin}
+}
+
+// LeftJoin returns a left outer hash equi-join plan.
+func LeftJoin(left, right Plan, leftKey, rightKey int) Plan {
+	return JoinPlan{Left: left, Right: right, LeftKey: leftKey, RightKey: rightKey, Kind: LeftOuterJoin}
+}
+
+// AggOp is an aggregate operator.
+type AggOp int
+
+// Aggregates supported by GroupBy. Min is the aggregate the paper's queries
+// use; Max, Count and Sum round the engine out for tests and tooling.
+const (
+	AggMin AggOp = iota
+	AggMax
+	AggCount
+	AggSum
+)
+
+// Agg is one aggregate output column of a GroupBy.
+type Agg struct {
+	Op   AggOp
+	Arg  Expr // ignored for AggCount
+	Name string
+}
+
+// GroupByPlan groups by key columns and computes aggregates. Output schema
+// is the key columns (keeping their input names) followed by the aggregate
+// columns. Under ProfileMPP, decomposable aggregates are pre-aggregated on
+// each segment before the shuffle (map-side combine); under
+// ProfileSparkSQL they are not, modelling the less mature optimiser.
+type GroupByPlan struct {
+	Input Plan
+	Keys  []int
+	Aggs  []Agg
+}
+
+// Schema implements Plan.
+func (p GroupByPlan) Schema(c *Cluster) (Schema, error) {
+	in, err := p.Input.Schema(c)
+	if err != nil {
+		return nil, err
+	}
+	out := make(Schema, 0, len(p.Keys)+len(p.Aggs))
+	for _, k := range p.Keys {
+		if k < 0 || k >= len(in) {
+			return nil, fmt.Errorf("engine: group key %d out of range for %v", k, in)
+		}
+		out = append(out, in[k])
+	}
+	for _, a := range p.Aggs {
+		out = append(out, a.Name)
+	}
+	return out, nil
+}
+
+func (p GroupByPlan) String() string {
+	return fmt.Sprintf("GroupBy(%s, keys=%v, aggs=%d)", p.Input, p.Keys, len(p.Aggs))
+}
+
+// GroupBy returns a grouping plan.
+func GroupBy(in Plan, keys []int, aggs ...Agg) Plan {
+	return GroupByPlan{Input: in, Keys: keys, Aggs: aggs}
+}
+
+// DistinctPlan removes duplicate rows (SELECT DISTINCT): rows are
+// redistributed by whole-row hash so each segment deduplicates its share.
+type DistinctPlan struct{ Input Plan }
+
+// Schema implements Plan.
+func (p DistinctPlan) Schema(c *Cluster) (Schema, error) { return p.Input.Schema(c) }
+
+func (p DistinctPlan) String() string { return fmt.Sprintf("Distinct(%s)", p.Input) }
+
+// Distinct returns a duplicate-elimination plan.
+func Distinct(in Plan) Plan { return DistinctPlan{Input: in} }
+
+// UnionAllPlan concatenates inputs with identical arity.
+type UnionAllPlan struct{ Inputs []Plan }
+
+// Schema implements Plan.
+func (p UnionAllPlan) Schema(c *Cluster) (Schema, error) {
+	if len(p.Inputs) == 0 {
+		return nil, fmt.Errorf("engine: union all of zero inputs")
+	}
+	first, err := p.Inputs[0].Schema(c)
+	if err != nil {
+		return nil, err
+	}
+	for _, in := range p.Inputs[1:] {
+		s, err := in.Schema(c)
+		if err != nil {
+			return nil, err
+		}
+		if len(s) != len(first) {
+			return nil, fmt.Errorf("engine: union all arity mismatch: %v vs %v", first, s)
+		}
+	}
+	return first, nil
+}
+
+func (p UnionAllPlan) String() string {
+	var parts []string
+	for _, in := range p.Inputs {
+		parts = append(parts, in.String())
+	}
+	return "UnionAll(" + strings.Join(parts, ", ") + ")"
+}
+
+// UnionAll returns a concatenation plan.
+func UnionAll(inputs ...Plan) Plan { return UnionAllPlan{Inputs: inputs} }
+
+// SortKey orders by one column.
+type SortKey struct {
+	Col  int
+	Desc bool
+}
+
+// SortPlan gathers the input onto the coordinator and orders it (the final
+// ORDER BY of an MPP query plan; NULLs sort first). Limit > 0 keeps only
+// the first Limit rows after sorting; Limit < 0 keeps all.
+type SortPlan struct {
+	Input Plan
+	Keys  []SortKey
+	Limit int64
+}
+
+// Schema implements Plan.
+func (p SortPlan) Schema(c *Cluster) (Schema, error) { return p.Input.Schema(c) }
+
+func (p SortPlan) String() string {
+	return fmt.Sprintf("Sort(%s, keys=%v, limit=%d)", p.Input, p.Keys, p.Limit)
+}
+
+// Sort returns a gather-and-order plan; pass limit < 0 for no limit.
+func Sort(in Plan, keys []SortKey, limit int64) Plan {
+	return SortPlan{Input: in, Keys: keys, Limit: limit}
+}
+
+// ValuesPlan produces literal rows on segment 0, used by tests and the SQL
+// layer's INSERT support.
+type ValuesPlan struct {
+	Cols Schema
+	Rows []Row
+}
+
+// Schema implements Plan.
+func (p ValuesPlan) Schema(*Cluster) (Schema, error) { return p.Cols, nil }
+
+func (p ValuesPlan) String() string { return fmt.Sprintf("Values(%d rows)", len(p.Rows)) }
+
+// Values returns a literal-rows plan.
+func Values(cols Schema, rows []Row) Plan { return ValuesPlan{Cols: cols, Rows: rows} }

@@ -1,0 +1,231 @@
+// Package graph defines the edge-list graph representation the paper's
+// problem statement uses (Sec. III): a graph is a table of two vertex-ID
+// columns, one row per undirected edge, with isolated vertices representable
+// as loop edges (v, v). The package provides text serialisation, loading
+// into an engine table, vertex-ID randomisation (as the paper does for its
+// image-derived datasets) and basic structural statistics.
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"dbcc/internal/engine"
+	"dbcc/internal/xrand"
+)
+
+// Edge is one undirected edge; (V, W) is the same edge as (W, V). A loop
+// edge V == W represents an isolated vertex.
+type Edge struct {
+	V, W int64
+}
+
+// Graph is an edge-list graph.
+type Graph struct {
+	Edges []Edge
+}
+
+// New returns an empty graph with capacity for n edges.
+func New(n int) *Graph { return &Graph{Edges: make([]Edge, 0, n)} }
+
+// AddEdge appends an undirected edge.
+func (g *Graph) AddEdge(v, w int64) { g.Edges = append(g.Edges, Edge{V: v, W: w}) }
+
+// NumEdges returns the number of stored edge rows.
+func (g *Graph) NumEdges() int { return len(g.Edges) }
+
+// Vertices returns the sorted distinct vertex IDs appearing in the edge
+// list (the deduced vertex set of Sec. III).
+func (g *Graph) Vertices() []int64 {
+	seen := make(map[int64]struct{}, len(g.Edges))
+	for _, e := range g.Edges {
+		seen[e.V] = struct{}{}
+		seen[e.W] = struct{}{}
+	}
+	out := make([]int64, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// NumVertices returns the number of distinct vertex IDs.
+func (g *Graph) NumVertices() int {
+	seen := make(map[int64]struct{}, len(g.Edges))
+	for _, e := range g.Edges {
+		seen[e.V] = struct{}{}
+		seen[e.W] = struct{}{}
+	}
+	return len(seen)
+}
+
+// MaxDegree returns the largest vertex degree (loop edges count once).
+func (g *Graph) MaxDegree() int {
+	deg := make(map[int64]int)
+	maxd := 0
+	for _, e := range g.Edges {
+		deg[e.V]++
+		if e.V != e.W {
+			deg[e.W]++
+		}
+		if deg[e.V] > maxd {
+			maxd = deg[e.V]
+		}
+		if deg[e.W] > maxd {
+			maxd = deg[e.W]
+		}
+	}
+	return maxd
+}
+
+// RandomizeIDs relabels all vertices through a pseudo-random bijection on
+// 64-bit IDs derived from seed, decoupling vertex numbering from the
+// generation process — the treatment the paper applies to its image and
+// R-MAT graphs. The relabelling keeps IDs non-negative so they remain valid
+// in every randomisation method.
+func (g *Graph) RandomizeIDs(seed uint64) {
+	for i, e := range g.Edges {
+		g.Edges[i] = Edge{V: scrambleID(e.V, seed), W: scrambleID(e.W, seed)}
+	}
+}
+
+// scrambleID maps an ID through a keyed bijection on [0, 2^63).
+// xrand.Mix64 is a bijection on uint64; XOR with the seed keys it, and a
+// cycle-walk keeps the result in the non-negative int64 range.
+func scrambleID(v int64, seed uint64) int64 {
+	x := uint64(v)
+	for {
+		x = xrand.Mix64(x ^ seed)
+		if x < 1<<63 {
+			return int64(x)
+		}
+	}
+}
+
+// Write serialises the graph as tab-separated "v<TAB>w" lines.
+func (g *Graph) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range g.Edges {
+		if _, err := fmt.Fprintf(bw, "%d\t%d\n", e.V, e.W); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a tab- or space-separated edge list, ignoring blank lines and
+// lines starting with '#' (the SNAP dataset comment convention).
+func Read(r io.Reader) (*Graph, error) {
+	g := New(0)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if len(line) == 0 || line[0] == '#' {
+			continue
+		}
+		var a, b int64
+		var err error
+		f1, f2, ok := splitTwo(line)
+		if !ok {
+			return nil, fmt.Errorf("graph: line %d: expected two fields", lineNo)
+		}
+		if a, err = strconv.ParseInt(f1, 10, 64); err != nil {
+			return nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
+		}
+		if b, err = strconv.ParseInt(f2, 10, 64); err != nil {
+			return nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
+		}
+		g.AddEdge(a, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// splitTwo splits a line into exactly two whitespace-separated fields.
+func splitTwo(line string) (string, string, bool) {
+	i := 0
+	for i < len(line) && (line[i] == ' ' || line[i] == '\t') {
+		i++
+	}
+	j := i
+	for j < len(line) && line[j] != ' ' && line[j] != '\t' {
+		j++
+	}
+	if j == i {
+		return "", "", false
+	}
+	k := j
+	for k < len(line) && (line[k] == ' ' || line[k] == '\t') {
+		k++
+	}
+	l := k
+	for l < len(line) && line[l] != ' ' && line[l] != '\t' {
+		l++
+	}
+	if l == k {
+		return "", "", false
+	}
+	for m := l; m < len(line); m++ {
+		if line[m] != ' ' && line[m] != '\t' {
+			return "", "", false
+		}
+	}
+	return line[i:j], line[k:l], true
+}
+
+// Load materialises the graph as an engine table with columns (v1, v2)
+// distributed by v1, the input format of all algorithms in this repository.
+func Load(c *engine.Cluster, name string, g *Graph) error {
+	if _, err := c.CreateTable(name, engine.Schema{"v1", "v2"}, 0); err != nil {
+		return err
+	}
+	rows := make([]engine.Row, len(g.Edges))
+	for i, e := range g.Edges {
+		rows[i] = engine.Row{engine.I(e.V), engine.I(e.W)}
+	}
+	return c.InsertRows(name, rows)
+}
+
+// Labelling is the output of a connected-components algorithm: a component
+// label per vertex. Two vertices are in the same component iff they share a
+// label; label values themselves carry no meaning (Sec. III).
+type Labelling map[int64]int64
+
+// FromRows converts a (v, r) result table into a Labelling.
+func FromRows(rows []engine.Row) (Labelling, error) {
+	l := make(Labelling, len(rows))
+	for _, row := range rows {
+		if len(row) != 2 {
+			return nil, fmt.Errorf("graph: labelling row has %d columns, want 2", len(row))
+		}
+		if row[0].Null || row[1].Null {
+			return nil, fmt.Errorf("graph: labelling contains NULL: %v", row)
+		}
+		if prev, dup := l[row[0].Int]; dup && prev != row[1].Int {
+			return nil, fmt.Errorf("graph: vertex %d labelled twice (%d and %d)", row[0].Int, prev, row[1].Int)
+		}
+		l[row[0].Int] = row[1].Int
+	}
+	return l, nil
+}
+
+// ComponentSizes returns the size of each component, keyed by label.
+func (l Labelling) ComponentSizes() map[int64]int {
+	sizes := make(map[int64]int)
+	for _, r := range l {
+		sizes[r]++
+	}
+	return sizes
+}
+
+// NumComponents returns the number of distinct components.
+func (l Labelling) NumComponents() int { return len(l.ComponentSizes()) }

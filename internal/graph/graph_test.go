@@ -1,0 +1,153 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dbcc/internal/engine"
+)
+
+func TestVerticesAndCounts(t *testing.T) {
+	g := New(0)
+	g.AddEdge(3, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(5, 5) // loop: isolated vertex
+	vs := g.Vertices()
+	want := []int64{1, 2, 3, 5}
+	if len(vs) != len(want) {
+		t.Fatalf("vertices %v", vs)
+	}
+	for i := range want {
+		if vs[i] != want[i] {
+			t.Fatalf("vertices %v, want %v", vs, want)
+		}
+	}
+	if g.NumVertices() != 4 || g.NumEdges() != 3 {
+		t.Fatalf("counts: %d vertices, %d edges", g.NumVertices(), g.NumEdges())
+	}
+	if g.MaxDegree() != 2 {
+		t.Fatalf("max degree %d, want 2", g.MaxDegree())
+	}
+}
+
+func TestWriteRead(t *testing.T) {
+	g := New(0)
+	g.AddEdge(1, 2)
+	g.AddEdge(100, 3)
+	var buf bytes.Buffer
+	if err := g.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Edges) != 2 || got.Edges[0] != (Edge{1, 2}) || got.Edges[1] != (Edge{100, 3}) {
+		t.Fatalf("roundtrip %v", got.Edges)
+	}
+}
+
+func TestReadCommentsAndErrors(t *testing.T) {
+	g, err := Read(strings.NewReader("# comment\n1 2\n\n3\t4\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Edges) != 2 {
+		t.Fatalf("edges %v", g.Edges)
+	}
+	for _, bad := range []string{"1\n", "a b\n", "1 2 3\n"} {
+		if _, err := Read(strings.NewReader(bad)); err == nil {
+			t.Errorf("Read(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestRandomizeIDsPreservesStructure(t *testing.T) {
+	g := New(0)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	g.AddEdge(7, 7)
+	g.RandomizeIDs(99)
+	if g.NumVertices() != 4 {
+		t.Fatalf("vertex count changed: %d", g.NumVertices())
+	}
+	// Shared endpoint must stay shared.
+	if g.Edges[0].W != g.Edges[1].V {
+		t.Fatal("relabelling broke edge incidence")
+	}
+	// Loop must stay a loop.
+	if g.Edges[2].V != g.Edges[2].W {
+		t.Fatal("relabelling broke loop edge")
+	}
+	for _, e := range g.Edges {
+		if e.V < 0 || e.W < 0 {
+			t.Fatal("relabelling produced negative ID")
+		}
+	}
+}
+
+func TestRandomizeIDsDeterministic(t *testing.T) {
+	a, b := New(0), New(0)
+	a.AddEdge(1, 2)
+	b.AddEdge(1, 2)
+	a.RandomizeIDs(5)
+	b.RandomizeIDs(5)
+	if a.Edges[0] != b.Edges[0] {
+		t.Fatal("same seed gave different relabellings")
+	}
+	c := New(0)
+	c.AddEdge(1, 2)
+	c.RandomizeIDs(6)
+	if a.Edges[0] == c.Edges[0] {
+		t.Fatal("different seeds gave identical relabellings")
+	}
+}
+
+func TestLoad(t *testing.T) {
+	c := engine.NewCluster(engine.Options{Segments: 3})
+	g := New(0)
+	g.AddEdge(1, 2)
+	g.AddEdge(3, 4)
+	if err := Load(c, "g", g); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := c.ReadAll("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("loaded %d rows", len(rows))
+	}
+	if err := Load(c, "g", g); err == nil {
+		t.Fatal("double load succeeded")
+	}
+}
+
+func TestLabellingFromRows(t *testing.T) {
+	rows := []engine.Row{
+		{engine.I(1), engine.I(10)},
+		{engine.I(2), engine.I(10)},
+		{engine.I(3), engine.I(30)},
+	}
+	l, err := FromRows(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.NumComponents() != 2 {
+		t.Fatalf("components %d", l.NumComponents())
+	}
+	sizes := l.ComponentSizes()
+	if sizes[10] != 2 || sizes[30] != 1 {
+		t.Fatalf("sizes %v", sizes)
+	}
+	// Conflicting duplicate must be rejected.
+	bad := append(rows, engine.Row{engine.I(1), engine.I(99)})
+	if _, err := FromRows(bad); err == nil {
+		t.Fatal("conflicting labels accepted")
+	}
+	// NULLs must be rejected.
+	if _, err := FromRows([]engine.Row{{engine.NullDatum, engine.I(1)}}); err == nil {
+		t.Fatal("NULL vertex accepted")
+	}
+}

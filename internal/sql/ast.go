@@ -1,0 +1,134 @@
+package sql
+
+// Statement is a parsed SQL statement.
+type Statement interface{ stmt() }
+
+// CreateTableAs is CREATE TABLE name AS select [DISTRIBUTED BY (col)].
+type CreateTableAs struct {
+	Name   string
+	Select *SelectStmt
+	DistBy string // output column name, or "" for no declared distribution
+}
+
+// CreateTablePlain is CREATE TABLE name (col, col, ...) [DISTRIBUTED BY (col)].
+type CreateTablePlain struct {
+	Name   string
+	Cols   []string
+	DistBy string
+}
+
+// ExplainStmt is EXPLAIN select: it plans the query and reports the
+// operator tree instead of executing it.
+type ExplainStmt struct{ Select *SelectStmt }
+
+// DropTable is DROP TABLE name [, name ...].
+type DropTable struct{ Names []string }
+
+// AlterRename is ALTER TABLE old RENAME TO new.
+type AlterRename struct{ Old, New string }
+
+// InsertValues is INSERT INTO name VALUES (...), (...).
+type InsertValues struct {
+	Name string
+	Rows [][]Expr
+}
+
+// SelectQuery is a bare SELECT executed for its result rows.
+type SelectQuery struct{ Select *SelectStmt }
+
+func (*CreateTableAs) stmt()    {}
+func (*CreateTablePlain) stmt() {}
+func (*ExplainStmt) stmt()      {}
+func (*DropTable) stmt()        {}
+func (*AlterRename) stmt()      {}
+func (*InsertValues) stmt()     {}
+func (*SelectQuery) stmt()      {}
+
+// SelectStmt is one SELECT block; UnionAll chains additional blocks
+// (SELECT ... UNION ALL SELECT ...). OrderBy and Limit apply to the whole
+// statement (after any UNION ALL), as in standard SQL.
+type SelectStmt struct {
+	Distinct bool
+	Items    []SelectItem
+	From     []FromItem
+	Where    Expr
+	GroupBy  []*Ident
+	UnionAll *SelectStmt
+	OrderBy  []OrderItem
+	Limit    int64 // -1 = no limit
+}
+
+// OrderItem is one ORDER BY key: an output column name with direction.
+type OrderItem struct {
+	Col  string
+	Desc bool
+}
+
+// SelectItem is one output column: an expression with an optional alias
+// (explicit AS or the implicit "expr name" form the paper uses).
+type SelectItem struct {
+	Expr  Expr
+	Alias string
+}
+
+// FromItem is one element of the FROM comma-list: a base table possibly
+// extended by explicit JOIN clauses.
+type FromItem struct {
+	Table TableRef
+	Joins []JoinClause
+}
+
+// TableRef names a stored table with an optional alias.
+type TableRef struct {
+	Table string
+	Alias string
+}
+
+// Name returns the alias if present, else the table name.
+func (t TableRef) Name() string {
+	if t.Alias != "" {
+		return t.Alias
+	}
+	return t.Table
+}
+
+// JoinClause is an explicit join hanging off a FromItem.
+type JoinClause struct {
+	LeftOuter bool
+	Table     TableRef
+	On        Expr
+}
+
+// Expr is a scalar expression AST node.
+type Expr interface{ expr() }
+
+// Ident is a possibly qualified column reference (alias.col or col).
+type Ident struct {
+	Qual string // table alias, or ""
+	Name string
+}
+
+// NumLit is an integer literal (possibly negative).
+type NumLit struct{ Val int64 }
+
+// NullLit is the NULL literal.
+type NullLit struct{}
+
+// Call is a function call; Star marks count(*).
+type Call struct {
+	Name string
+	Star bool
+	Args []Expr
+}
+
+// BinaryExpr applies an infix operator: = != < <= > >= + - AND OR.
+type BinaryExpr struct {
+	Op   string
+	L, R Expr
+}
+
+func (*Ident) expr()      {}
+func (*NumLit) expr()     {}
+func (*NullLit) expr()    {}
+func (*Call) expr()       {}
+func (*BinaryExpr) expr() {}

@@ -1,0 +1,139 @@
+package sql
+
+import "testing"
+
+func TestLexBasics(t *testing.T) {
+	toks, err := lex("select v1, -5 from t where a != b; -- trailing comment")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var texts []string
+	for _, tok := range toks {
+		if tok.kind == tokEOF {
+			break
+		}
+		texts = append(texts, tok.text)
+	}
+	want := []string{"select", "v1", ",", "-", "5", "from", "t", "where", "a", "!=", "b", ";"}
+	if len(texts) != len(want) {
+		t.Fatalf("tokens %v, want %v", texts, want)
+	}
+	for i := range want {
+		if texts[i] != want[i] {
+			t.Fatalf("token %d = %q, want %q", i, texts[i], want[i])
+		}
+	}
+}
+
+func TestLexTwoCharOperators(t *testing.T) {
+	for _, op := range []string{"!=", "<>", "<=", ">="} {
+		toks, err := lex("a " + op + " b")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if toks[1].text != op {
+			t.Fatalf("lexed %q as %q", op, toks[1].text)
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks, err := lex("-- whole line\nselect -- tail\n1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].text != "select" || toks[1].text != "1" {
+		t.Fatalf("comments not skipped: %v", toks)
+	}
+}
+
+func TestLexBadCharacter(t *testing.T) {
+	for _, src := range []string{"select @", "a $ b", "x ~ y"} {
+		if _, err := lex(src); err == nil {
+			t.Errorf("lex(%q) succeeded", src)
+		}
+	}
+}
+
+func TestKeywordCaseInsensitive(t *testing.T) {
+	toks, _ := lex("SeLeCt")
+	if !toks[0].isKeyword("select") {
+		t.Fatal("keyword match is case sensitive")
+	}
+	if toks[0].isKeyword("from") {
+		t.Fatal("keyword matched wrong word")
+	}
+}
+
+func TestParseImplicitAliases(t *testing.T) {
+	// The paper's Appendix A uses implicit aliases everywhere:
+	// "select v1 v, least(...) rep from ccgraph".
+	st, err := ParseOne("select v1 v, least(v1, 2) rep from ccgraph g group by v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := st.(*SelectQuery).Select
+	if sel.Items[0].Alias != "v" || sel.Items[1].Alias != "rep" {
+		t.Fatalf("aliases %q %q", sel.Items[0].Alias, sel.Items[1].Alias)
+	}
+	if sel.From[0].Table.Alias != "g" {
+		t.Fatalf("table alias %q", sel.From[0].Table.Alias)
+	}
+}
+
+func TestParseJoinChain(t *testing.T) {
+	st, err := ParseOne(`select a.x from t1 as a
+		left outer join t2 as b on (a.x = b.y)
+		join t3 as c on (b.y = c.z)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fi := st.(*SelectQuery).Select.From[0]
+	if len(fi.Joins) != 2 {
+		t.Fatalf("%d joins", len(fi.Joins))
+	}
+	if !fi.Joins[0].LeftOuter || fi.Joins[1].LeftOuter {
+		t.Fatal("join kinds wrong")
+	}
+}
+
+func TestParseUnionAllChain(t *testing.T) {
+	st, err := ParseOne("select 1 union all select 2 union all select 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := st.(*SelectQuery).Select
+	depth := 0
+	for u := sel.UnionAll; u != nil; u = u.UnionAll {
+		depth++
+	}
+	if depth != 2 {
+		t.Fatalf("union chain depth %d", depth)
+	}
+}
+
+func TestParseMinInt64(t *testing.T) {
+	st, err := ParseOne("select -9223372036854775808 as x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lit := st.(*SelectQuery).Select.Items[0].Expr.(*NumLit)
+	if lit.Val != -9223372036854775808 {
+		t.Fatalf("min int64 parsed as %d", lit.Val)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	// a = 1 or b = 2 and c = 3  must parse as  a=1 OR (b=2 AND c=3).
+	st, err := ParseOne("select 1 from t where a = 1 or b = 2 and c = 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	where := st.(*SelectQuery).Select.Where.(*BinaryExpr)
+	if where.Op != "or" {
+		t.Fatalf("top operator %q, want or", where.Op)
+	}
+	if right := where.R.(*BinaryExpr); right.Op != "and" {
+		t.Fatalf("right operator %q, want and", right.Op)
+	}
+}

@@ -1,0 +1,689 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// parser consumes a token stream.
+type parser struct {
+	toks []token
+	i    int
+}
+
+// Parse parses a script of zero or more semicolon-separated statements.
+func Parse(src string) ([]Statement, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	var stmts []Statement
+	for {
+		for p.peek().text == ";" {
+			p.next()
+		}
+		if p.peek().kind == tokEOF {
+			return stmts, nil
+		}
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+		if p.peek().text == ";" {
+			p.next()
+		} else if p.peek().kind != tokEOF {
+			return nil, p.errf("expected ';' or end of input, found %q", p.peek().text)
+		}
+	}
+}
+
+// ParseOne parses exactly one statement.
+func ParseOne(src string) (Statement, error) {
+	stmts, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(stmts) != 1 {
+		return nil, fmt.Errorf("sql: expected exactly one statement, got %d", len(stmts))
+	}
+	return stmts[0], nil
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+func (p *parser) atKw(kw string) bool {
+	return p.peek().isKeyword(kw)
+}
+
+// acceptKw consumes the keyword if present.
+func (p *parser) acceptKw(kw string) bool {
+	if p.atKw(kw) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+// expectKw consumes the keyword or fails.
+func (p *parser) expectKw(kw string) error {
+	if !p.acceptKw(kw) {
+		return p.errf("expected %s, found %q", strings.ToUpper(kw), p.peek().text)
+	}
+	return nil
+}
+
+// expectSym consumes the symbol or fails.
+func (p *parser) expectSym(sym string) error {
+	if p.peek().kind == tokSymbol && p.peek().text == sym {
+		p.next()
+		return nil
+	}
+	return p.errf("expected %q, found %q", sym, p.peek().text)
+}
+
+// acceptSym consumes the symbol if present.
+func (p *parser) acceptSym(sym string) bool {
+	if p.peek().kind == tokSymbol && p.peek().text == sym {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("sql: offset %d: %s", p.peek().pos, fmt.Sprintf(format, args...))
+}
+
+// ident consumes an identifier (keywords double as identifiers in this
+// dialect, like PostgreSQL's non-reserved words).
+func (p *parser) ident() (string, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return "", p.errf("expected identifier, found %q", t.text)
+	}
+	p.next()
+	return strings.ToLower(t.text), nil
+}
+
+func (p *parser) statement() (Statement, error) {
+	switch {
+	case p.atKw("create"):
+		return p.createTableAs()
+	case p.atKw("drop"):
+		return p.dropTable()
+	case p.atKw("alter"):
+		return p.alterRename()
+	case p.atKw("insert"):
+		return p.insertValues()
+	case p.atKw("explain"):
+		p.next()
+		sel, err := p.selectStmt()
+		if err != nil {
+			return nil, err
+		}
+		return &ExplainStmt{Select: sel}, nil
+	case p.atKw("select"):
+		sel, err := p.selectStmt()
+		if err != nil {
+			return nil, err
+		}
+		return &SelectQuery{Select: sel}, nil
+	}
+	return nil, p.errf("expected statement, found %q", p.peek().text)
+}
+
+func (p *parser) createTableAs() (Statement, error) {
+	p.next() // create
+	if err := p.expectKw("table"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	// Plain DDL form: CREATE TABLE name (col, col, ...).
+	if p.acceptSym("(") {
+		plain := &CreateTablePlain{Name: name}
+		for {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			plain.Cols = append(plain.Cols, col)
+			if !p.acceptSym(",") {
+				break
+			}
+		}
+		if err := p.expectSym(")"); err != nil {
+			return nil, err
+		}
+		if p.acceptKw("distributed") {
+			if err := p.expectKw("by"); err != nil {
+				return nil, err
+			}
+			if err := p.expectSym("("); err != nil {
+				return nil, err
+			}
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSym(")"); err != nil {
+				return nil, err
+			}
+			plain.DistBy = col
+		}
+		return plain, nil
+	}
+	if err := p.expectKw("as"); err != nil {
+		return nil, err
+	}
+	sel, err := p.selectStmt()
+	if err != nil {
+		return nil, err
+	}
+	stmt := &CreateTableAs{Name: name, Select: sel}
+	if p.acceptKw("distributed") {
+		if err := p.expectKw("by"); err != nil {
+			return nil, err
+		}
+		if err := p.expectSym("("); err != nil {
+			return nil, err
+		}
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSym(")"); err != nil {
+			return nil, err
+		}
+		stmt.DistBy = col
+	}
+	return stmt, nil
+}
+
+func (p *parser) dropTable() (Statement, error) {
+	p.next() // drop
+	if err := p.expectKw("table"); err != nil {
+		return nil, err
+	}
+	var names []string
+	for {
+		n, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		names = append(names, n)
+		if !p.acceptSym(",") {
+			break
+		}
+	}
+	return &DropTable{Names: names}, nil
+}
+
+func (p *parser) alterRename() (Statement, error) {
+	p.next() // alter
+	if err := p.expectKw("table"); err != nil {
+		return nil, err
+	}
+	oldName, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("rename"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("to"); err != nil {
+		return nil, err
+	}
+	newName, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	return &AlterRename{Old: oldName, New: newName}, nil
+}
+
+func (p *parser) insertValues() (Statement, error) {
+	p.next() // insert
+	if err := p.expectKw("into"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("values"); err != nil {
+		return nil, err
+	}
+	var rows [][]Expr
+	for {
+		if err := p.expectSym("("); err != nil {
+			return nil, err
+		}
+		var row []Expr
+		for {
+			e, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if !p.acceptSym(",") {
+				break
+			}
+		}
+		if err := p.expectSym(")"); err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+		if !p.acceptSym(",") {
+			break
+		}
+	}
+	return &InsertValues{Name: name, Rows: rows}, nil
+}
+
+func (p *parser) selectStmt() (*SelectStmt, error) {
+	if err := p.expectKw("select"); err != nil {
+		return nil, err
+	}
+	sel := &SelectStmt{}
+	if p.acceptKw("distinct") {
+		sel.Distinct = true
+	}
+	// Select list.
+	for {
+		item, err := p.selectItem()
+		if err != nil {
+			return nil, err
+		}
+		sel.Items = append(sel.Items, item)
+		if !p.acceptSym(",") {
+			break
+		}
+	}
+	if p.acceptKw("from") {
+		for {
+			fi, err := p.fromItem()
+			if err != nil {
+				return nil, err
+			}
+			sel.From = append(sel.From, fi)
+			if !p.acceptSym(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKw("where") {
+		e, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		sel.Where = e
+	}
+	if p.acceptKw("group") {
+		if err := p.expectKw("by"); err != nil {
+			return nil, err
+		}
+		for {
+			id, err := p.qualifiedIdent()
+			if err != nil {
+				return nil, err
+			}
+			sel.GroupBy = append(sel.GroupBy, id)
+			if !p.acceptSym(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKw("union") {
+		if err := p.expectKw("all"); err != nil {
+			return nil, err
+		}
+		rest, err := p.selectStmt()
+		if err != nil {
+			return nil, err
+		}
+		sel.UnionAll = rest
+	}
+	sel.Limit = -1
+	if p.acceptKw("order") {
+		if err := p.expectKw("by"); err != nil {
+			return nil, err
+		}
+		for {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Col: col}
+			if p.acceptKw("desc") {
+				item.Desc = true
+			} else {
+				p.acceptKw("asc")
+			}
+			sel.OrderBy = append(sel.OrderBy, item)
+			if !p.acceptSym(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKw("limit") {
+		t := p.peek()
+		if t.kind != tokNumber {
+			return nil, p.errf("expected number after LIMIT, found %q", t.text)
+		}
+		p.next()
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil || n < 0 {
+			return nil, p.errf("bad LIMIT %q", t.text)
+		}
+		sel.Limit = n
+	}
+	return sel, nil
+}
+
+// selectItem parses "expr", "expr AS alias" or "expr alias".
+func (p *parser) selectItem() (SelectItem, error) {
+	e, err := p.expression()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.acceptKw("as") {
+		alias, err := p.ident()
+		if err != nil {
+			return SelectItem{}, err
+		}
+		item.Alias = alias
+		return item, nil
+	}
+	// Implicit alias: a bare identifier that is not a clause keyword.
+	t := p.peek()
+	if t.kind == tokIdent && !isClauseKeyword(t.text) {
+		item.Alias = strings.ToLower(t.text)
+		p.next()
+	}
+	return item, nil
+}
+
+// isReservedWord lists keywords that cannot begin an expression, so that
+// malformed statements fail at parse time rather than resolving a keyword
+// as a column name.
+func isReservedWord(s string) bool {
+	switch strings.ToLower(s) {
+	case "select", "from", "where", "group", "by", "union", "all",
+		"distinct", "left", "outer", "inner", "join", "on", "order",
+		"having", "as", "distributed", "create", "table", "drop", "alter",
+		"rename", "to", "insert", "into", "values", "explain", "limit",
+		"asc", "desc":
+		return true
+	}
+	return false
+}
+
+// isClauseKeyword lists the keywords that terminate a select list and
+// therefore cannot be implicit aliases.
+func isClauseKeyword(s string) bool {
+	switch strings.ToLower(s) {
+	case "from", "where", "group", "union", "distributed", "left", "right",
+		"inner", "join", "on", "order", "having", "as", "limit":
+		return true
+	}
+	return false
+}
+
+// fromItem parses a table reference followed by any number of explicit
+// joins: "t [AS a] [LEFT [OUTER] JOIN t2 [AS b] ON ( expr )]*".
+func (p *parser) fromItem() (FromItem, error) {
+	ref, err := p.tableRef()
+	if err != nil {
+		return FromItem{}, err
+	}
+	fi := FromItem{Table: ref}
+	for {
+		var leftOuter bool
+		switch {
+		case p.atKw("left"):
+			p.next()
+			p.acceptKw("outer")
+			if err := p.expectKw("join"); err != nil {
+				return FromItem{}, err
+			}
+			leftOuter = true
+		case p.atKw("inner"):
+			p.next()
+			if err := p.expectKw("join"); err != nil {
+				return FromItem{}, err
+			}
+		case p.atKw("join"):
+			p.next()
+		default:
+			return fi, nil
+		}
+		ref, err := p.tableRef()
+		if err != nil {
+			return FromItem{}, err
+		}
+		if err := p.expectKw("on"); err != nil {
+			return FromItem{}, err
+		}
+		on, err := p.expression()
+		if err != nil {
+			return FromItem{}, err
+		}
+		fi.Joins = append(fi.Joins, JoinClause{LeftOuter: leftOuter, Table: ref, On: on})
+	}
+}
+
+func (p *parser) tableRef() (TableRef, error) {
+	name, err := p.ident()
+	if err != nil {
+		return TableRef{}, err
+	}
+	ref := TableRef{Table: name}
+	if p.acceptKw("as") {
+		alias, err := p.ident()
+		if err != nil {
+			return TableRef{}, err
+		}
+		ref.Alias = alias
+		return ref, nil
+	}
+	t := p.peek()
+	if t.kind == tokIdent && !isFromKeyword(t.text) {
+		ref.Alias = strings.ToLower(t.text)
+		p.next()
+	}
+	return ref, nil
+}
+
+// isFromKeyword lists keywords that end a table reference and cannot be
+// implicit table aliases.
+func isFromKeyword(s string) bool {
+	switch strings.ToLower(s) {
+	case "left", "right", "inner", "join", "on", "where", "group", "union",
+		"distributed", "order", "having", "as", "limit":
+		return true
+	}
+	return false
+}
+
+func (p *parser) qualifiedIdent() (*Ident, error) {
+	first, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if p.acceptSym(".") {
+		second, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return &Ident{Qual: first, Name: second}, nil
+	}
+	return &Ident{Name: first}, nil
+}
+
+// Expression grammar, loosest to tightest: OR, AND, comparison, additive,
+// primary.
+func (p *parser) expression() (Expr, error) { return p.orExpr() }
+
+func (p *parser) orExpr() (Expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKw("or") {
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: "or", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) andExpr() (Expr, error) {
+	l, err := p.cmpExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKw("and") {
+		r, err := p.cmpExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: "and", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) cmpExpr() (Expr, error) {
+	l, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	if t.kind == tokSymbol {
+		switch t.text {
+		case "=", "!=", "<>", "<", "<=", ">", ">=":
+			p.next()
+			r, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			op := t.text
+			if op == "<>" {
+				op = "!="
+			}
+			return &BinaryExpr{Op: op, L: l, R: r}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) addExpr() (Expr, error) {
+	l, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind == tokSymbol && (t.text == "+" || t.text == "-") {
+			p.next()
+			r, err := p.primary()
+			if err != nil {
+				return nil, err
+			}
+			l = &BinaryExpr{Op: t.text, L: l, R: r}
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokNumber:
+		p.next()
+		v, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad number %q: %v", t.text, err)
+		}
+		return &NumLit{Val: v}, nil
+	case t.kind == tokSymbol && t.text == "-":
+		p.next()
+		n := p.peek()
+		if n.kind != tokNumber {
+			return nil, p.errf("expected number after unary '-', found %q", n.text)
+		}
+		p.next()
+		// Parse as negative to admit math.MinInt64.
+		v, err := strconv.ParseInt("-"+n.text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad number -%q: %v", n.text, err)
+		}
+		return &NumLit{Val: v}, nil
+	case t.kind == tokSymbol && t.text == "(":
+		p.next()
+		e, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSym(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.isKeyword("null"):
+		p.next()
+		return &NullLit{}, nil
+	case t.kind == tokIdent:
+		if isReservedWord(t.text) {
+			return nil, p.errf("expected expression, found keyword %q", t.text)
+		}
+		p.next()
+		name := strings.ToLower(t.text)
+		// Function call?
+		if p.peek().kind == tokSymbol && p.peek().text == "(" {
+			p.next()
+			call := &Call{Name: name}
+			if p.acceptSym("*") {
+				call.Star = true
+				if err := p.expectSym(")"); err != nil {
+					return nil, err
+				}
+				return call, nil
+			}
+			if p.acceptSym(")") {
+				return call, nil
+			}
+			for {
+				a, err := p.expression()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, a)
+				if !p.acceptSym(",") {
+					break
+				}
+			}
+			if err := p.expectSym(")"); err != nil {
+				return nil, err
+			}
+			return call, nil
+		}
+		// Qualified column?
+		if p.acceptSym(".") {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			return &Ident{Qual: name, Name: col}, nil
+		}
+		return &Ident{Name: name}, nil
+	}
+	return nil, p.errf("expected expression, found %q", t.text)
+}

@@ -1,0 +1,207 @@
+package sql
+
+import (
+	"fmt"
+
+	"dbcc/internal/engine"
+)
+
+// Session executes SQL statements against a cluster, mirroring the paper's
+// Python driver: every executed statement reports the number of rows it
+// produced, which the algorithms use as their termination signal.
+type Session struct {
+	c *engine.Cluster
+}
+
+// NewSession creates a session on the cluster.
+func NewSession(c *engine.Cluster) *Session { return &Session{c: c} }
+
+// Cluster returns the underlying cluster.
+func (s *Session) Cluster() *engine.Cluster { return s.c }
+
+// Exec parses and executes a script of one or more statements and returns
+// the row count produced by the last one (the paper's r.log_exec result).
+func (s *Session) Exec(src string) (int64, error) {
+	stmts, err := Parse(src)
+	if err != nil {
+		return 0, err
+	}
+	if len(stmts) == 0 {
+		return 0, fmt.Errorf("sql: empty statement")
+	}
+	var n int64
+	for _, st := range stmts {
+		n, err = s.ExecStmt(st)
+		if err != nil {
+			return 0, err
+		}
+	}
+	return n, nil
+}
+
+// Execf is Exec with fmt.Sprintf-style formatting, matching how the
+// paper's driver interpolates table names and round keys into its queries.
+func (s *Session) Execf(format string, args ...any) (int64, error) {
+	return s.Exec(fmt.Sprintf(format, args...))
+}
+
+// ExecStmt executes one parsed statement.
+func (s *Session) ExecStmt(st Statement) (int64, error) {
+	switch st := st.(type) {
+	case *CreateTableAs:
+		plan, names, err := PlanSelect(s.c, st.Select)
+		if err != nil {
+			return 0, err
+		}
+		distKey := engine.NoDistKey
+		if st.DistBy != "" {
+			distKey = names.ColIndex(st.DistBy)
+			if distKey < 0 {
+				return 0, fmt.Errorf("sql: DISTRIBUTED BY column %q is not in the select list %v", st.DistBy, names)
+			}
+		}
+		return s.c.CreateTableAs(st.Name, renameOutput(plan, names), distKey)
+
+	case *CreateTablePlain:
+		distKey := engine.NoDistKey
+		if st.DistBy != "" {
+			distKey = engine.Schema(st.Cols).ColIndex(st.DistBy)
+			if distKey < 0 {
+				return 0, fmt.Errorf("sql: DISTRIBUTED BY column %q is not among the columns %v", st.DistBy, st.Cols)
+			}
+		}
+		_, err := s.c.CreateTable(st.Name, engine.Schema(st.Cols), distKey)
+		return 0, err
+
+	case *ExplainStmt:
+		// EXPLAIN is answered through Explain; executing it directly just
+		// validates that the query plans.
+		_, _, err := PlanSelect(s.c, st.Select)
+		return 0, err
+
+	case *DropTable:
+		for _, n := range st.Names {
+			if err := s.c.DropTable(n); err != nil {
+				return 0, err
+			}
+		}
+		return 0, nil
+
+	case *AlterRename:
+		return 0, s.c.RenameTable(st.Old, st.New)
+
+	case *InsertValues:
+		t, ok := s.c.Table(st.Name)
+		if !ok {
+			return 0, fmt.Errorf("sql: table %q does not exist", st.Name)
+		}
+		rows := make([]engine.Row, len(st.Rows))
+		for i, exprRow := range st.Rows {
+			if len(exprRow) != len(t.Schema) {
+				return 0, fmt.Errorf("sql: INSERT row has %d values, table %q has %d columns",
+					len(exprRow), st.Name, len(t.Schema))
+			}
+			row := make(engine.Row, len(exprRow))
+			for j, e := range exprRow {
+				ce, err := compileScalar(s.c, e, nil)
+				if err != nil {
+					return 0, err
+				}
+				row[j] = ce.Eval(nil)
+			}
+			rows[i] = row
+		}
+		if err := s.c.InsertRows(st.Name, rows); err != nil {
+			return 0, err
+		}
+		return int64(len(rows)), nil
+
+	case *SelectQuery:
+		plan, names, err := PlanSelect(s.c, st.Select)
+		if err != nil {
+			return 0, err
+		}
+		_, rows, err := s.c.Query(renameOutput(plan, names))
+		if err != nil {
+			return 0, err
+		}
+		return int64(len(rows)), nil
+	}
+	return 0, fmt.Errorf("sql: unsupported statement %T", st)
+}
+
+// Query parses and executes a single SELECT, returning its schema and rows.
+func (s *Session) Query(src string) (engine.Schema, []engine.Row, error) {
+	st, err := ParseOne(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	var sel *SelectStmt
+	switch st := st.(type) {
+	case *SelectQuery:
+		sel = st.Select
+	default:
+		return nil, nil, fmt.Errorf("sql: Query requires a SELECT statement, got %T", st)
+	}
+	plan, names, err := PlanSelect(s.c, sel)
+	if err != nil {
+		return nil, nil, err
+	}
+	_, rows, err := s.c.Query(renameOutput(plan, names))
+	if err != nil {
+		return nil, nil, err
+	}
+	return names, rows, nil
+}
+
+// Explain plans a SELECT (or EXPLAIN SELECT) statement and returns the
+// engine operator tree as text, without executing it.
+func (s *Session) Explain(src string) (string, error) {
+	st, err := ParseOne(src)
+	if err != nil {
+		return "", err
+	}
+	var sel *SelectStmt
+	switch st := st.(type) {
+	case *ExplainStmt:
+		sel = st.Select
+	case *SelectQuery:
+		sel = st.Select
+	case *CreateTableAs:
+		sel = st.Select
+	default:
+		return "", fmt.Errorf("sql: EXPLAIN requires a SELECT, got %T", st)
+	}
+	plan, names, err := PlanSelect(s.c, sel)
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("%s -> %v", plan.String(), []string(names)), nil
+}
+
+// Queryf is Query with fmt.Sprintf-style formatting.
+func (s *Session) Queryf(format string, args ...any) (engine.Schema, []engine.Row, error) {
+	return s.Query(fmt.Sprintf(format, args...))
+}
+
+// renameOutput wraps the plan so the materialised table carries the SELECT
+// list's output names (projections already do; joins and scans may not).
+func renameOutput(plan engine.Plan, names engine.Schema) engine.Plan {
+	if pp, ok := plan.(engine.ProjectPlan); ok {
+		match := len(pp.Cols) == len(names)
+		for i := range pp.Cols {
+			if !match {
+				break
+			}
+			match = pp.Cols[i].Name == names[i]
+		}
+		if match {
+			return plan
+		}
+	}
+	cols := make([]engine.ProjCol, len(names))
+	for i, n := range names {
+		cols[i] = engine.ProjCol{Expr: engine.Col(i), Name: n}
+	}
+	return engine.Project(plan, cols...)
+}

@@ -1,0 +1,110 @@
+package unionfind
+
+import (
+	"testing"
+
+	"dbcc/internal/datagen"
+	"dbcc/internal/graph"
+	"dbcc/internal/xrand"
+)
+
+func TestBasicUnions(t *testing.T) {
+	d := New(0)
+	d.Union(1, 2)
+	d.Union(3, 4)
+	if d.Find(1) != d.Find(2) {
+		t.Fatal("1 and 2 not merged")
+	}
+	if d.Find(1) == d.Find(3) {
+		t.Fatal("1 and 3 merged spuriously")
+	}
+	d.Union(2, 3)
+	if d.Find(1) != d.Find(4) {
+		t.Fatal("transitive merge failed")
+	}
+	if d.Vertices() != 4 {
+		t.Fatalf("vertices %d", d.Vertices())
+	}
+}
+
+func TestSelfUnion(t *testing.T) {
+	d := New(0)
+	d.Union(7, 7)
+	if d.Find(7) != 7 || d.Vertices() != 1 {
+		t.Fatal("self union misbehaved")
+	}
+}
+
+func TestComponentsPath(t *testing.T) {
+	l := Components(datagen.Path(100))
+	if got := l.NumComponents(); got != 1 {
+		t.Fatalf("path has %d components", got)
+	}
+	if len(l) != 100 {
+		t.Fatalf("labelled %d vertices", len(l))
+	}
+}
+
+func TestComponentsPathUnion(t *testing.T) {
+	g := datagen.PathUnion(10, 2000)
+	if got := CountComponents(g); got != 10 {
+		t.Fatalf("PathUnion(10) has %d components", got)
+	}
+}
+
+func TestComponentsDisjointCliques(t *testing.T) {
+	g := graph.New(0)
+	for base := int64(0); base < 50; base += 10 {
+		for i := int64(0); i < 4; i++ {
+			for j := i + 1; j < 5; j++ {
+				g.AddEdge(base+i, base+j)
+			}
+		}
+	}
+	if got := CountComponents(g); got != 5 {
+		t.Fatalf("%d components, want 5", got)
+	}
+}
+
+// TestAgainstBruteForce checks the DSU against an O(V·E) label-propagation
+// reference on random graphs.
+func TestAgainstBruteForce(t *testing.T) {
+	rng := xrand.New(1)
+	for trial := 0; trial < 30; trial++ {
+		n := int(rng.Uint64n(30)) + 2
+		m := int(rng.Uint64n(60))
+		g := datagen.ErdosRenyi(n, m+1, rng.Uint64())
+		got := Components(g)
+
+		// Brute force: propagate min label until fixpoint.
+		label := make(map[int64]int64)
+		for _, v := range g.Vertices() {
+			label[v] = v
+		}
+		for changed := true; changed; {
+			changed = false
+			for _, e := range g.Edges {
+				lv, lw := label[e.V], label[e.W]
+				if lv < lw {
+					label[e.W] = lv
+					changed = true
+				} else if lw < lv {
+					label[e.V] = lw
+					changed = true
+				}
+			}
+		}
+		want := graph.Labelling(label)
+		if got.NumComponents() != want.NumComponents() {
+			t.Fatalf("trial %d: %d components, want %d", trial, got.NumComponents(), want.NumComponents())
+		}
+		for v, lv := range want {
+			for w, lw := range want {
+				same := lv == lw
+				if (got[v] == got[w]) != same {
+					t.Fatalf("trial %d: vertices %d,%d grouping mismatch", trial, v, w)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,55 @@
+// Package verify checks connected-component labellings for correctness.
+// The paper defines a correct output as one where two vertices share a
+// label if and only if they belong to the same connected component
+// (Sec. III); label values themselves are arbitrary. Equivalence is
+// therefore partition equality: a bijection must exist between the label
+// sets of the candidate and the oracle that respects the grouping.
+package verify
+
+import (
+	"fmt"
+
+	"dbcc/internal/graph"
+	"dbcc/internal/unionfind"
+)
+
+// Labelling checks a candidate labelling of g against the Union/Find
+// oracle. It returns nil if the candidate is a correct connected-components
+// labelling, and a descriptive error otherwise.
+func Labelling(g *graph.Graph, candidate graph.Labelling) error {
+	oracle := unionfind.Components(g)
+	return Equivalent(candidate, oracle)
+}
+
+// Equivalent reports whether two labellings describe the same partition of
+// the same vertex set.
+func Equivalent(a, b graph.Labelling) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("verify: labellings cover %d and %d vertices", len(a), len(b))
+	}
+	aToB := make(map[int64]int64)
+	bToA := make(map[int64]int64)
+	for v, la := range a {
+		lb, ok := b[v]
+		if !ok {
+			return fmt.Errorf("verify: vertex %d missing from second labelling", v)
+		}
+		if prev, seen := aToB[la]; seen {
+			if prev != lb {
+				return fmt.Errorf("verify: label %d maps to both %d and %d (vertex %d): components merged or split",
+					la, prev, lb, v)
+			}
+		} else {
+			aToB[la] = lb
+		}
+		if prev, seen := bToA[lb]; seen {
+			if prev != la {
+				return fmt.Errorf("verify: label %d maps back to both %d and %d (vertex %d): components merged or split",
+					lb, prev, la, v)
+			}
+		} else {
+			bToA[lb] = la
+		}
+	}
+	return nil
+}

@@ -1,0 +1,76 @@
+package verify
+
+import (
+	"testing"
+
+	"dbcc/internal/datagen"
+	"dbcc/internal/graph"
+)
+
+func TestEquivalentAcceptsRelabelling(t *testing.T) {
+	a := graph.Labelling{1: 10, 2: 10, 3: 30}
+	b := graph.Labelling{1: 7, 2: 7, 3: 8}
+	if err := Equivalent(a, b); err != nil {
+		t.Fatalf("relabelled partition rejected: %v", err)
+	}
+}
+
+func TestEquivalentRejectsSplit(t *testing.T) {
+	a := graph.Labelling{1: 10, 2: 10}
+	b := graph.Labelling{1: 7, 2: 8}
+	if err := Equivalent(a, b); err == nil {
+		t.Fatal("split partition accepted")
+	}
+}
+
+func TestEquivalentRejectsMerge(t *testing.T) {
+	a := graph.Labelling{1: 10, 2: 20}
+	b := graph.Labelling{1: 7, 2: 7}
+	if err := Equivalent(a, b); err == nil {
+		t.Fatal("merged partition accepted")
+	}
+}
+
+func TestEquivalentRejectsDifferentVertexSets(t *testing.T) {
+	a := graph.Labelling{1: 10}
+	b := graph.Labelling{2: 10}
+	if err := Equivalent(a, b); err == nil {
+		t.Fatal("different vertex sets accepted")
+	}
+	c := graph.Labelling{1: 10, 2: 20}
+	if err := Equivalent(a, c); err == nil {
+		t.Fatal("different sizes accepted")
+	}
+}
+
+func TestLabellingAgainstOracle(t *testing.T) {
+	g := datagen.PathUnion(3, 30)
+	// A correct labelling: label every vertex by its true component.
+	good := make(graph.Labelling)
+	comp := make(map[int64]int64)
+	// Walk edges to build components naively (paths are ordered).
+	for _, e := range g.Edges {
+		if c, ok := comp[e.V]; ok {
+			comp[e.W] = c
+		} else if c, ok := comp[e.W]; ok {
+			comp[e.V] = c
+		} else {
+			comp[e.V] = e.V
+			comp[e.W] = e.V
+		}
+	}
+	for v, c := range comp {
+		good[v] = c + 1000 // arbitrary relabelling
+	}
+	if err := Labelling(g, good); err != nil {
+		t.Fatalf("correct labelling rejected: %v", err)
+	}
+	// Corrupt one vertex.
+	for v := range good {
+		good[v] = -12345
+		break
+	}
+	if err := Labelling(g, good); err == nil {
+		t.Fatal("corrupted labelling accepted")
+	}
+}

@@ -1,0 +1,133 @@
+// Package xrand provides the deterministic, splittable pseudo-random number
+// generation used throughout the reproduction. Every experiment in the
+// repository is reproducible from a single seed: dataset generation, vertex
+// ID randomisation, and the per-round key draws of the Randomised
+// Contraction algorithm all derive their streams from here.
+//
+// The generator is xoshiro256**, seeded via SplitMix64 as its authors
+// recommend. Split produces an independent child stream, so concurrent
+// segments can draw without locking and without correlating.
+package xrand
+
+// splitMix64 advances a SplitMix64 state and returns the next output.
+// SplitMix64 is an equidistributed 64-bit generator whose single-word state
+// makes it ideal for seeding and for hashing counters into streams.
+func splitMix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ z>>30) * 0xbf58476d1ce4e5b9
+	z = (z ^ z>>27) * 0x94d049bb133111eb
+	return z ^ z>>31
+}
+
+// Mix64 hashes x through the SplitMix64 finaliser. It is a fast,
+// high-quality 64-bit mixing function used for hash partitioning.
+func Mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ x>>30) * 0xbf58476d1ce4e5b9
+	x = (x ^ x>>27) * 0x94d049bb133111eb
+	return x ^ x>>31
+}
+
+// Rand is a xoshiro256** generator. The zero value is not valid; use New.
+type Rand struct {
+	s [4]uint64
+}
+
+// New returns a generator seeded from seed via SplitMix64.
+func New(seed uint64) *Rand {
+	r := &Rand{}
+	st := seed
+	for i := range r.s {
+		r.s[i] = splitMix64(&st)
+	}
+	// xoshiro must not start from the all-zero state; SplitMix64 cannot
+	// produce four consecutive zeros, but guard anyway.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 1
+	}
+	return r
+}
+
+func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+// Uint64 returns the next pseudo-random 64-bit value.
+func (r *Rand) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Split returns a new generator whose stream is statistically independent of
+// the parent's. It consumes one output from the parent.
+func (r *Rand) Split() *Rand { return New(r.Uint64()) }
+
+// Uint64n returns a uniform value in [0, n). It panics if n = 0.
+// Debiased via rejection sampling (Lemire's method without 128-bit ops:
+// plain rejection on the top range).
+func (r *Rand) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("xrand: Uint64n with n = 0")
+	}
+	if n&(n-1) == 0 { // power of two
+		return r.Uint64() & (n - 1)
+	}
+	// Rejection sampling: accept values below the largest multiple of n.
+	limit := -n % n // (2^64 - n) % n == 2^64 mod n
+	for {
+		v := r.Uint64()
+		if v >= limit {
+			return v % n
+		}
+	}
+}
+
+// Int63n returns a uniform value in [0, n) as int64. It panics if n <= 0.
+func (r *Rand) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("xrand: Int63n with n <= 0")
+	}
+	return int64(r.Uint64n(uint64(n)))
+}
+
+// Float64 returns a uniform value in [0, 1) with 53 bits of precision.
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) * (1.0 / (1 << 53))
+}
+
+// NonZeroUint64 returns a uniform non-zero 64-bit value, as required for the
+// multiplicative coefficient A of the finite fields method.
+func (r *Rand) NonZeroUint64() uint64 {
+	for {
+		if v := r.Uint64(); v != 0 {
+			return v
+		}
+	}
+}
+
+// Perm returns a uniformly random permutation of [0, n) by Fisher–Yates.
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := int(r.Uint64n(uint64(i + 1)))
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle performs a Fisher–Yates shuffle of n elements using swap.
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := int(r.Uint64n(uint64(i + 1)))
+		swap(i, j)
+	}
+}
