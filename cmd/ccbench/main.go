@@ -8,6 +8,7 @@
 //	ccbench -figure 5|6             one figure
 //	ccbench -experiment gamma|rounds|scaling|spark|variants|methods|rerandom|segments
 //	ccbench -all                    everything (the EXPERIMENTS.md run)
+//	ccbench -concurrency 8          N concurrent RC sessions on one cluster
 //
 // Flags -scale, -reps, -segments, -seed and -capacity tune the campaign;
 // the defaults match the committed EXPERIMENTS.md numbers.
@@ -34,6 +35,7 @@ func main() {
 		capacity   = flag.Float64("capacity", 6.2, "cluster storage capacity as a multiple of the largest input (0 = unlimited)")
 		noVerify   = flag.Bool("noverify", false, "skip oracle verification of every labelling")
 		quiet      = flag.Bool("quiet", false, "suppress progress output")
+		conc       = flag.Int("concurrency", 0, "run N concurrent RC sessions on one shared cluster and report throughput")
 	)
 	flag.Parse()
 
@@ -131,6 +133,10 @@ func main() {
 		}
 	} else if *experiment != "" {
 		runExp(*experiment)
+	}
+	if *conc > 0 {
+		section()
+		bench.ConcurrencyExperiment(out, cfg, *conc)
 	}
 	if !ran {
 		flag.Usage()

@@ -27,6 +27,7 @@ package dbcc
 import (
 	"fmt"
 	"io"
+	"sync/atomic"
 	"time"
 
 	"dbcc/internal/ccalg"
@@ -58,6 +59,11 @@ type Config struct {
 	// Segments is the number of virtual MPP segments (parallel workers);
 	// 0 selects the default of 8.
 	Segments int
+	// Workers bounds how many segment tasks execute simultaneously across
+	// all concurrent sessions; 0 selects GOMAXPROCS. Raising Segments
+	// beyond Workers refines data placement without oversubscribing the
+	// host.
+	Workers int
 	// SparkSQLProfile models executing on Spark SQL instead of a mature
 	// MPP database (Sec. VII-C): no map-side combine and a fixed
 	// scheduling cost per query.
@@ -131,11 +137,16 @@ type Result struct {
 type Stats = engine.Stats
 
 // DB is an embedded MPP database ready to run connected-components
-// analyses. It is not safe for concurrent use; open one DB per goroutine
-// (parallelism happens inside the engine, across segments).
+// analyses. A DB is safe for concurrent use: multiple goroutines may run
+// ConnectedComponents (or issue SQL through separate sessions) against one
+// DB simultaneously — every run keeps its intermediate tables in a private
+// namespace and the engine executes all sessions on one bounded worker
+// pool. Per-run Stats are only meaningful when runs do not overlap; the
+// cluster-wide counters are shared (see Cluster().ConcurrencyStats for the
+// multi-session gauges).
 type DB struct {
 	c *engine.Cluster
-	n int // table name counter
+	n atomic.Uint64 // scratch input-table name counter
 }
 
 // Open creates an embedded cluster.
@@ -144,7 +155,7 @@ func Open(cfg Config) *DB {
 	if cfg.SparkSQLProfile {
 		profile = engine.ProfileSparkSQL
 	}
-	c := engine.NewCluster(engine.Options{Segments: cfg.Segments, Profile: profile})
+	c := engine.NewCluster(engine.Options{Segments: cfg.Segments, Workers: cfg.Workers, Profile: profile})
 	ccalg.RegisterUDFs(c)
 	return &DB{c: c}
 }
@@ -166,8 +177,7 @@ func (db *DB) LoadGraph(name string, g *Graph) error {
 // algorithm and returns the labelling with run metrics. The scratch table
 // is removed afterwards; engine statistics cover only this run.
 func (db *DB) ConnectedComponents(g *Graph, p Params) (*Result, error) {
-	db.n++
-	table := fmt.Sprintf("cc_input_%d", db.n)
+	table := fmt.Sprintf("cc_input_%d", db.n.Add(1))
 	if err := db.LoadGraph(table, g); err != nil {
 		return nil, err
 	}
@@ -178,6 +188,12 @@ func (db *DB) ConnectedComponents(g *Graph, p Params) (*Result, error) {
 // ConnectedComponentsOf runs the selected algorithm against an existing
 // two-column edge table (for data already resident in the database — the
 // paper's motivating scenario).
+//
+// The engine's statistics counters are reset at the start of the run so a
+// solo run's Result.Stats covers exactly that run, matching the paper's
+// per-algorithm accounting. When several runs execute concurrently they
+// share those counters, so per-run Stats are best-effort; labellings are
+// always exact.
 func (db *DB) ConnectedComponentsOf(table string, p Params) (*Result, error) {
 	name := p.Algorithm
 	if name == "" {

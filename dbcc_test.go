@@ -3,6 +3,7 @@ package dbcc
 import (
 	"errors"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -128,5 +129,136 @@ func TestSparkProfileStillCorrect(t *testing.T) {
 	}
 	if err := Verify(g, res.Labels); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestConcurrentSessionsRC is the headline concurrency scenario: many
+// goroutines run full Randomised Contraction on different graphs through
+// one shared DB at the same time. Every labelling must match the
+// single-threaded Union/Find baseline computed up front.
+func TestConcurrentSessionsRC(t *testing.T) {
+	const sessions = 8
+	db := Open(Config{Segments: 4})
+
+	type job struct {
+		g    *Graph
+		want Labelling
+	}
+	jobs := make([]job, sessions)
+	for i := range jobs {
+		var g *Graph
+		switch i % 4 {
+		case 0:
+			g = GenerateRMAT(7, 150+10*i, uint64(i+1))
+		case 1:
+			g = GeneratePathUnion(3, 40+5*i)
+		case 2:
+			g = GenerateBitcoin(60+10*i, uint64(i+1))
+		default:
+			g = GenerateImage2D(10+i, 10, uint64(i+1))
+		}
+		jobs[i] = job{g: g, want: SequentialComponents(g)}
+	}
+
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := range jobs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			res, err := db.ConnectedComponents(jobs[i].g, Params{Seed: uint64(100 + i)})
+			if err != nil {
+				t.Errorf("session %d: %v", i, err)
+				return
+			}
+			if err := Verify(jobs[i].g, res.Labels); err != nil {
+				t.Errorf("session %d: %v", i, err)
+				return
+			}
+			if got, want := res.Labels.NumComponents(), jobs[i].want.NumComponents(); got != want {
+				t.Errorf("session %d: %d components, baseline says %d", i, got, want)
+			}
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+
+	cs := db.Cluster().ConcurrencyStats()
+	if cs.Active != 0 {
+		t.Errorf("ConcurrencyStats.Active = %d after all sessions finished, want 0", cs.Active)
+	}
+	if names := db.Cluster().TableNames(); len(names) != 0 {
+		t.Errorf("tables left behind by concurrent runs: %v", names)
+	}
+}
+
+// TestConcurrentMixedAlgorithms runs a different algorithm in every
+// session, all sharing one cluster, so the run-private temp namespaces of
+// all five implementations are exercised against each other.
+func TestConcurrentMixedAlgorithms(t *testing.T) {
+	db := Open(Config{Segments: 3})
+	algs := []string{RandomisedContraction, HashToMin, TwoPhase, Cracker, BFS, RandomisedContraction}
+
+	var wg sync.WaitGroup
+	for i, alg := range algs {
+		wg.Add(1)
+		go func(i int, alg string) {
+			defer wg.Done()
+			g := GenerateRMAT(7, 120+20*i, uint64(i+7))
+			res, err := db.ConnectedComponents(g, Params{Algorithm: alg, Seed: uint64(i + 1)})
+			if err != nil {
+				t.Errorf("%s: %v", alg, err)
+				return
+			}
+			if err := Verify(g, res.Labels); err != nil {
+				t.Errorf("%s: %v", alg, err)
+			}
+		}(i, alg)
+	}
+	wg.Wait()
+}
+
+// TestTwoSessionsSameGraphMatchBaseline pins the acceptance criterion
+// verbatim: two sessions running RC concurrently on one cluster, same
+// graph and seed, both return the exact single-threaded baseline labelling
+// (computed by a solo run on a private DB).
+func TestTwoSessionsSameGraphMatchBaseline(t *testing.T) {
+	g := GenerateRMAT(8, 250, 3)
+	solo := Open(Config{Segments: 4})
+	base, err := solo.ConnectedComponents(g, Params{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	db := Open(Config{Segments: 4})
+	results := make([]Labelling, 2)
+	var wg sync.WaitGroup
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := db.ConnectedComponents(g, Params{Seed: 9})
+			if err != nil {
+				t.Errorf("session %d: %v", i, err)
+				return
+			}
+			results[i] = res.Labels
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	for i, got := range results {
+		if len(got) != len(base.Labels) {
+			t.Fatalf("session %d labelled %d vertices, baseline %d", i, len(got), len(base.Labels))
+		}
+		for v, lab := range got {
+			if base.Labels[v] != lab {
+				t.Fatalf("session %d: vertex %d labelled %d, single-threaded baseline says %d",
+					i, v, lab, base.Labels[v])
+			}
+		}
 	}
 }

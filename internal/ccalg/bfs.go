@@ -27,7 +27,7 @@ func BFS(c *engine.Cluster, input string, opts Options) (*Result, error) {
 	}
 	// Initial labels: minimum of the closed neighbourhood.
 	initial := engine.Project(
-		engine.GroupBy(engine.Scan("bfs_e"), []int{0},
+		engine.GroupBy(r.scan("bfs_e"), []int{0},
 			engine.Agg{Op: engine.AggMin, Arg: engine.Col(1), Name: "mw"}),
 		engine.ProjCol{Expr: engine.Col(0), Name: "v"},
 		engine.ProjCol{Expr: engine.Least(engine.Col(0), engine.Col(1)), Name: "r"},
@@ -44,11 +44,11 @@ func BFS(c *engine.Cluster, input string, opts Options) (*Result, error) {
 		}
 		// Neighbour labels: for each edge (v, w), the label of w.
 		// Columns after join: v, w, lv(v), lv(r).
-		nbr := engine.Join(engine.Scan("bfs_e"), engine.Scan("bfs_l"), 1, 0)
+		nbr := engine.Join(r.scan("bfs_e"), r.scan("bfs_l"), 1, 0)
 		nbrMin := engine.GroupBy(nbr, []int{0},
 			engine.Agg{Op: engine.AggMin, Arg: engine.Col(3), Name: "mr"})
 		// Improved label: min(own label, best neighbour label).
-		joined := engine.LeftJoin(engine.Scan("bfs_l"), nbrMin, 0, 0)
+		joined := engine.LeftJoin(r.scan("bfs_l"), nbrMin, 0, 0)
 		improved := engine.Project(joined,
 			engine.ProjCol{Expr: engine.Col(0), Name: "v"},
 			engine.ProjCol{Expr: engine.Least(engine.Col(1), engine.Col(3)), Name: "r"},
@@ -58,7 +58,7 @@ func BFS(c *engine.Cluster, input string, opts Options) (*Result, error) {
 		}
 		// Converged when no vertex changed its representative.
 		changed, err := countRows(c, engine.Filter(
-			engine.Join(engine.Scan("bfs_l"), engine.Scan("bfs_l2"), 0, 0),
+			engine.Join(r.scan("bfs_l"), r.scan("bfs_l2"), 0, 0),
 			engine.Bin(engine.OpNe, engine.Col(1), engine.Col(3)),
 		))
 		if err != nil {

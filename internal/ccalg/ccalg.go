@@ -23,6 +23,7 @@ package ccalg
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"dbcc/internal/engine"
 	"dbcc/internal/graph"
@@ -99,54 +100,82 @@ func ByName(name string) (Info, bool) {
 	return Info{}, false
 }
 
+// runSeq numbers algorithm runs so each gets a private temp-table
+// namespace; concurrent runs on one cluster never collide on the names of
+// their intermediate tables.
+var runSeq atomic.Uint64
+
 // run wraps the per-algorithm bookkeeping shared by all implementations:
-// the space budget check and temp-table cleanup on failure.
+// the run-private temp-table namespace, the space budget check and
+// temp-table cleanup on failure. The temps set holds catalog (physical)
+// names.
 type run struct {
 	c        *engine.Cluster
 	maxBytes int64
+	ns       string
 	temps    map[string]struct{}
 }
 
 func newRun(c *engine.Cluster, opts Options) *run {
-	return &run{c: c, maxBytes: opts.MaxLiveBytes, temps: make(map[string]struct{})}
+	return &run{
+		c:        c,
+		maxBytes: opts.MaxLiveBytes,
+		ns:       fmt.Sprintf("run%d_", runSeq.Add(1)),
+		temps:    make(map[string]struct{}),
+	}
 }
 
-// checkSpace enforces the live-space budget.
+// t maps a logical temp-table name to its run-private catalog name. Input
+// tables are referenced by their own (global) names and never pass through
+// here.
+func (r *run) t(name string) string { return r.ns + name }
+
+// scan returns a plan reading a run-private temp table.
+func (r *run) scan(name string) engine.Plan { return engine.Scan(r.t(name)) }
+
+// checkSpace enforces the live-space budget. Under concurrent sessions the
+// footprint is the cluster-wide total, matching the paper's shared-storage
+// "did not finish" condition.
 func (r *run) checkSpace() error {
-	if r.maxBytes > 0 && r.c.Stats().LiveBytes > r.maxBytes {
+	if r.maxBytes > 0 && r.c.LiveBytes() > r.maxBytes {
 		return ErrSpaceLimit
 	}
 	return nil
 }
 
-// create materialises a plan as a temp table and applies the space check.
+// create materialises a plan as a run-private temp table and applies the
+// space check.
 func (r *run) create(name string, p engine.Plan, distKey int) (int64, error) {
-	n, err := r.c.CreateTableAs(name, p, distKey)
+	phys := r.t(name)
+	n, err := r.c.CreateTableAs(phys, p, distKey)
 	if err != nil {
 		return 0, err
 	}
-	r.temps[name] = struct{}{}
+	r.temps[phys] = struct{}{}
 	return n, r.checkSpace()
 }
 
-// drop removes a temp table.
+// drop removes run-private temp tables.
 func (r *run) drop(names ...string) error {
 	for _, n := range names {
-		if err := r.c.DropTable(n); err != nil {
+		phys := r.t(n)
+		if err := r.c.DropTable(phys); err != nil {
 			return err
 		}
-		delete(r.temps, n)
+		delete(r.temps, phys)
 	}
 	return nil
 }
 
-// rename renames a temp table, keeping the cleanup set consistent.
+// rename renames a run-private temp table, keeping the cleanup set
+// consistent.
 func (r *run) rename(oldName, newName string) error {
-	if err := r.c.RenameTable(oldName, newName); err != nil {
+	physOld, physNew := r.t(oldName), r.t(newName)
+	if err := r.c.RenameTable(physOld, physNew); err != nil {
 		return err
 	}
-	delete(r.temps, oldName)
-	r.temps[newName] = struct{}{}
+	delete(r.temps, physOld)
+	r.temps[physNew] = struct{}{}
 	return nil
 }
 
@@ -158,9 +187,9 @@ func (r *run) cleanup() {
 	r.temps = map[string]struct{}{}
 }
 
-// labelsOf reads a (v, rep) table into a labelling.
+// labelsOf reads a run-private (v, rep) table into a labelling.
 func (r *run) labelsOf(table string) (graph.Labelling, error) {
-	rows, err := r.c.ReadAll(table)
+	rows, err := r.c.ReadAll(r.t(table))
 	if err != nil {
 		return nil, err
 	}

@@ -363,3 +363,57 @@ func TestByName(t *testing.T) {
 		t.Error("ByName accepted an unknown algorithm")
 	}
 }
+
+// TestDeterministicAcrossRunsAndSegments pins the reproducibility contract
+// for every algorithm of the paper's evaluation: with a fixed seed the
+// labelling (not merely the partition it induces) is identical across
+// repeated runs AND across segment counts. Segment count is physical data
+// placement; it must never leak into results.
+func TestDeterministicAcrossRunsAndSegments(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"rmat":      datagen.RMAT(7, 160, 0.57, 0.19, 0.19, 0.05, 11),
+		"pathunion": datagen.PathUnion(3, 50),
+	}
+	for _, algName := range []string{"rc", "hm", "tp", "cr"} {
+		info, ok := ByName(algName)
+		if !ok {
+			t.Fatalf("unknown algorithm %q", algName)
+		}
+		for gName, g := range graphs {
+			var ref graph.Labelling
+			var refRounds int
+			for _, segs := range []int{1, 4, 16} {
+				for rep := 0; rep < 2; rep++ {
+					c := engine.NewCluster(engine.Options{Segments: segs})
+					RegisterUDFs(c)
+					if err := graph.Load(c, "input", g); err != nil {
+						t.Fatal(err)
+					}
+					res, err := info.Run(c, "input", Options{Seed: 42})
+					if err != nil {
+						t.Fatalf("%s/%s segs=%d rep=%d: %v", algName, gName, segs, rep, err)
+					}
+					if ref == nil {
+						checkCorrect(t, g, res)
+						ref, refRounds = res.Labels, res.Rounds
+						continue
+					}
+					if res.Rounds != refRounds {
+						t.Errorf("%s/%s segs=%d rep=%d: %d rounds, reference run took %d",
+							algName, gName, segs, rep, res.Rounds, refRounds)
+					}
+					if len(res.Labels) != len(ref) {
+						t.Fatalf("%s/%s segs=%d rep=%d: %d labelled vertices, reference has %d",
+							algName, gName, segs, rep, len(res.Labels), len(ref))
+					}
+					for v, lab := range res.Labels {
+						if want, ok := ref[v]; !ok || lab != want {
+							t.Fatalf("%s/%s segs=%d rep=%d: vertex %d labelled %d, reference says %d",
+								algName, gName, segs, rep, v, lab, want)
+						}
+					}
+				}
+			}
+		}
+	}
+}

@@ -43,14 +43,14 @@ func Cracker(c *engine.Cluster, input string, opts Options) (*Result, error) {
 		return nil, err
 	}
 	// Propagation tree rows (parent, child); roots appear as (v, v).
-	if _, err := r.c.CreateTable("cr_tree", engine.Schema{"parent", "child"}, 1); err != nil {
+	if _, err := r.c.CreateTable(r.t("cr_tree"), engine.Schema{"parent", "child"}, 1); err != nil {
 		return nil, err
 	}
-	r.temps["cr_tree"] = struct{}{}
+	r.temps[r.t("cr_tree")] = struct{}{}
 
 	rounds := 0
 	for {
-		n, err := countRows(c, engine.Scan("cr_e"))
+		n, err := countRows(c, r.scan("cr_e"))
 		if err != nil {
 			return nil, err
 		}
@@ -69,7 +69,7 @@ func Cracker(c *engine.Cluster, input string, opts Options) (*Result, error) {
 	// Propagation: seed labels at the roots, then push one tree level per
 	// round until every reachable vertex is labelled.
 	roots := engine.Project(
-		engine.Filter(engine.Scan("cr_tree"),
+		engine.Filter(r.scan("cr_tree"),
 			engine.Bin(engine.OpEq, engine.Col(0), engine.Col(1))),
 		engine.ProjCol{Expr: engine.Col(1), Name: "v"},
 		engine.ProjCol{Expr: engine.Col(0), Name: "r"},
@@ -79,7 +79,7 @@ func Cracker(c *engine.Cluster, input string, opts Options) (*Result, error) {
 	}
 	prev := int64(-1)
 	for {
-		n, err := countRows(c, engine.Scan("cr_lab"))
+		n, err := countRows(c, r.scan("cr_lab"))
 		if err != nil {
 			return nil, err
 		}
@@ -92,12 +92,12 @@ func Cracker(c *engine.Cluster, input string, opts Options) (*Result, error) {
 		// existing labels and deduplicate (each child has one parent, so
 		// no conflicts arise).
 		children := engine.Project(
-			engine.Join(engine.Scan("cr_tree"), engine.Scan("cr_lab"), 0, 0),
+			engine.Join(r.scan("cr_tree"), r.scan("cr_lab"), 0, 0),
 			engine.ProjCol{Expr: engine.Col(1), Name: "v"},
 			engine.ProjCol{Expr: engine.Col(3), Name: "r"},
 		)
 		if _, err := r.create("cr_lab2",
-			engine.Distinct(engine.UnionAll(engine.Scan("cr_lab"), children)), 0); err != nil {
+			engine.Distinct(engine.UnionAll(r.scan("cr_lab"), children)), 0); err != nil {
 			return nil, err
 		}
 		if err := r.drop("cr_lab"); err != nil {
@@ -111,7 +111,7 @@ func Cracker(c *engine.Cluster, input string, opts Options) (*Result, error) {
 	// Isolated input vertices (loop edges) never enter the working graph;
 	// they label themselves.
 	final := engine.Project(
-		engine.LeftJoin(engine.Scan("cr_allv"), engine.Scan("cr_lab"), 0, 0),
+		engine.LeftJoin(r.scan("cr_allv"), r.scan("cr_lab"), 0, 0),
 		engine.ProjCol{Expr: engine.Col(0), Name: "v"},
 		engine.ProjCol{Expr: engine.Coalesce(engine.Col(2), engine.Col(0)), Name: "r"},
 	)
@@ -134,7 +134,7 @@ func crackerRound(r *run) error {
 	c := r.c
 	// Min of the closed neighbourhood per vertex.
 	mPlan := engine.Project(
-		engine.GroupBy(engine.Scan("cr_e"), []int{0},
+		engine.GroupBy(r.scan("cr_e"), []int{0},
 			engine.Agg{Op: engine.AggMin, Arg: engine.Col(1), Name: "mn"}),
 		engine.ProjCol{Expr: engine.Col(0), Name: "v"},
 		engine.ProjCol{Expr: engine.Least(engine.Col(0), engine.Col(1)), Name: "m"},
@@ -146,11 +146,11 @@ func crackerRound(r *run) error {
 	// row (u, v) sends u's minimum to v; each vertex also proposes its
 	// minimum to itself.
 	toNeighbours := engine.Project(
-		engine.Join(engine.Scan("cr_e"), engine.Scan("cr_m"), 0, 0),
+		engine.Join(r.scan("cr_e"), r.scan("cr_m"), 0, 0),
 		engine.ProjCol{Expr: engine.Col(1), Name: "v"},
 		engine.ProjCol{Expr: engine.Col(3), Name: "c"},
 	)
-	toSelf := engine.Project(engine.Scan("cr_m"),
+	toSelf := engine.Project(r.scan("cr_m"),
 		engine.ProjCol{Expr: engine.Col(0), Name: "v"},
 		engine.ProjCol{Expr: engine.Col(1), Name: "c"})
 	if _, err := r.create("cr_g",
@@ -164,13 +164,13 @@ func crackerRound(r *run) error {
 	}
 	// vmin(v) = min C(v).
 	if _, err := r.create("cr_vmin",
-		engine.GroupBy(engine.Scan("cr_g"), []int{0},
+		engine.GroupBy(r.scan("cr_g"), []int{0},
 			engine.Agg{Op: engine.AggMin, Arg: engine.Col(1), Name: "vmin"}), 0); err != nil {
 		return err
 	}
 	// Survivors: vertices that are somebody's minimum (v ∈ C(v)).
 	survivors := engine.Project(
-		engine.Filter(engine.Scan("cr_g"),
+		engine.Filter(r.scan("cr_g"),
 			engine.Bin(engine.OpEq, engine.Col(0), engine.Col(1))),
 		engine.ProjCol{Expr: engine.Col(0), Name: "v"},
 	)
@@ -181,7 +181,7 @@ func crackerRound(r *run) error {
 	// Columns after left join: v, vmin, v(live).
 	prunedTree := engine.Project(
 		engine.Filter(
-			engine.LeftJoin(engine.Scan("cr_vmin"), engine.Scan("cr_live"), 0, 0),
+			engine.LeftJoin(r.scan("cr_vmin"), r.scan("cr_live"), 0, 0),
 			engine.IsNull(engine.Col(2))),
 		engine.ProjCol{Expr: engine.Col(1), Name: "parent"},
 		engine.ProjCol{Expr: engine.Col(0), Name: "child"},
@@ -192,7 +192,7 @@ func crackerRound(r *run) error {
 	// Next graph: every candidate re-linked to its receiver's minimum,
 	// re-symmetrised, loops dropped. Join columns: v, c, v, vmin.
 	relinked := engine.Project(
-		engine.Join(engine.Scan("cr_g"), engine.Scan("cr_vmin"), 0, 0),
+		engine.Join(r.scan("cr_g"), r.scan("cr_vmin"), 0, 0),
 		engine.ProjCol{Expr: engine.Col(3), Name: "v"},
 		engine.ProjCol{Expr: engine.Col(1), Name: "w"},
 	)
@@ -208,15 +208,15 @@ func crackerRound(r *run) error {
 	// pruned — they seed their component. Columns after the two left
 	// joins: v, v(pruned child), v(next-graph vertex).
 	nextV := engine.Project(
-		engine.GroupBy(engine.Scan("cr_e2"), []int{0}),
+		engine.GroupBy(r.scan("cr_e2"), []int{0}),
 		engine.ProjCol{Expr: engine.Col(0), Name: "v"})
 	if _, err := r.create("cr_nextv", engine.Distinct(nextV), 0); err != nil {
 		return err
 	}
-	prunedChildren := engine.Project(engine.Scan("cr_prune"),
+	prunedChildren := engine.Project(r.scan("cr_prune"),
 		engine.ProjCol{Expr: engine.Col(1), Name: "v"})
-	lj1 := engine.LeftJoin(engine.Scan("cr_live"), engine.Distinct(prunedChildren), 0, 0)
-	lj2 := engine.LeftJoin(lj1, engine.Scan("cr_nextv"), 0, 0)
+	lj1 := engine.LeftJoin(r.scan("cr_live"), engine.Distinct(prunedChildren), 0, 0)
+	lj2 := engine.LeftJoin(lj1, r.scan("cr_nextv"), 0, 0)
 	rootRows := engine.Project(
 		engine.Filter(lj2, engine.Bin(engine.OpAnd,
 			engine.IsNull(engine.Col(1)), engine.IsNull(engine.Col(2)))),
@@ -227,15 +227,15 @@ func crackerRound(r *run) error {
 		return err
 	}
 	// Append this round's tree rows.
-	treeRows, err := c.ReadAll("cr_prune")
+	treeRows, err := c.ReadAll(r.t("cr_prune"))
 	if err != nil {
 		return err
 	}
-	rootRowsData, err := c.ReadAll("cr_roots")
+	rootRowsData, err := c.ReadAll(r.t("cr_roots"))
 	if err != nil {
 		return err
 	}
-	if err := c.InsertRows("cr_tree", append(treeRows, rootRowsData...)); err != nil {
+	if err := c.InsertRows(r.t("cr_tree"), append(treeRows, rootRowsData...)); err != nil {
 		return err
 	}
 	if err := r.drop("cr_g", "cr_vmin", "cr_live", "cr_prune", "cr_roots", "cr_nextv"); err != nil {

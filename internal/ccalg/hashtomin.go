@@ -40,7 +40,7 @@ func HashToMin(c *engine.Cluster, input string, opts Options) (*Result, error) {
 	if _, err := r.create("hm_map", engine.UnionAll(symmetric(input), self), 0); err != nil {
 		return nil, err
 	}
-	if _, err := r.create("hm_c", engine.Distinct(engine.Scan("hm_map")), 0); err != nil {
+	if _, err := r.create("hm_c", engine.Distinct(r.scan("hm_map")), 0); err != nil {
 		return nil, err
 	}
 	if err := r.drop("hm_map"); err != nil {
@@ -55,12 +55,12 @@ func HashToMin(c *engine.Cluster, input string, opts Options) (*Result, error) {
 		}
 		// m(v) = min C(v).
 		if _, err := r.create("hm_m",
-			engine.GroupBy(engine.Scan("hm_c"), []int{0},
+			engine.GroupBy(r.scan("hm_c"), []int{0},
 				engine.Agg{Op: engine.AggMin, Arg: engine.Col(1), Name: "m"}), 0); err != nil {
 			return nil, err
 		}
 		// Join columns: v, u, v, m.
-		joined := engine.Join(engine.Scan("hm_c"), engine.Scan("hm_m"), 0, 0)
+		joined := engine.Join(r.scan("hm_c"), r.scan("hm_m"), 0, 0)
 		// Map phase: send the cluster to the min, (m, u), and the min to
 		// every member, (u, m). The raw message table is materialised
 		// before the reduce, as in the paper's MapReduce-to-SQL port.
@@ -74,7 +74,7 @@ func HashToMin(c *engine.Cluster, input string, opts Options) (*Result, error) {
 			return nil, err
 		}
 		// Reduce phase: deduplicate into the next cluster state.
-		n2, err := r.create("hm_c2", engine.Distinct(engine.Scan("hm_map")), 0)
+		n2, err := r.create("hm_c2", engine.Distinct(r.scan("hm_map")), 0)
 		if err != nil {
 			return nil, err
 		}
@@ -84,14 +84,14 @@ func HashToMin(c *engine.Cluster, input string, opts Options) (*Result, error) {
 		// Converged when the cluster table is unchanged (a fixpoint of the
 		// update). Multiset equality: equal cardinalities and the distinct
 		// union no larger than either side.
-		n1, err := countRows(c, engine.Scan("hm_c"))
+		n1, err := countRows(c, r.scan("hm_c"))
 		if err != nil {
 			return nil, err
 		}
 		same := false
 		if n1 == n2 {
 			nu, err := countRows(c, engine.Distinct(engine.UnionAll(
-				engine.Scan("hm_c"), engine.Scan("hm_c2"))))
+				r.scan("hm_c"), r.scan("hm_c2"))))
 			if err != nil {
 				return nil, err
 			}
@@ -111,7 +111,7 @@ func HashToMin(c *engine.Cluster, input string, opts Options) (*Result, error) {
 	// At the fixpoint every vertex's cluster contains its component
 	// minimum, so the label is min C(v).
 	if _, err := r.create("hm_result",
-		engine.GroupBy(engine.Scan("hm_c"), []int{0},
+		engine.GroupBy(r.scan("hm_c"), []int{0},
 			engine.Agg{Op: engine.AggMin, Arg: engine.Col(1), Name: "r"}), 0); err != nil {
 		return nil, err
 	}

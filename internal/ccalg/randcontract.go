@@ -93,7 +93,10 @@ func RandomisedContraction(c *engine.Cluster, input string, opts Options) (*Resu
 	RegisterUDFs(c)
 	r := newRun(c, opts)
 	defer r.cleanup()
-	res, err := runRC(r, sql.NewSession(c), input, opts)
+	// The session shares the run's temp-table namespace, so the literal
+	// Appendix A table names in the SQL below resolve to run-private
+	// catalog names and concurrent RC sessions never collide.
+	res, err := runRC(r, sql.SessionWithNamespace(c, r.ns), input, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -380,6 +383,8 @@ func (r *run) exec(s *sql.Session, stmt string) (int64, error) {
 }
 
 // noteTables records tables created by a statement for cleanup purposes.
+// The statement names are logical; the cleanup set stores the run-private
+// catalog names the namespaced session actually created.
 func (r *run) noteTables(stmt string) {
 	stmts, err := sql.Parse(stmt)
 	if err != nil {
@@ -388,14 +393,14 @@ func (r *run) noteTables(stmt string) {
 	for _, st := range stmts {
 		switch st := st.(type) {
 		case *sql.CreateTableAs:
-			r.temps[st.Name] = struct{}{}
+			r.temps[r.t(st.Name)] = struct{}{}
 		case *sql.DropTable:
 			for _, n := range st.Names {
-				delete(r.temps, n)
+				delete(r.temps, r.t(n))
 			}
 		case *sql.AlterRename:
-			delete(r.temps, st.Old)
-			r.temps[st.New] = struct{}{}
+			delete(r.temps, r.t(st.Old))
+			r.temps[r.t(st.New)] = struct{}{}
 		}
 	}
 }

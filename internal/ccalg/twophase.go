@@ -75,11 +75,11 @@ func TwoPhase(c *engine.Cluster, input string, opts Options) (*Result, error) {
 	// The fixpoint is a star forest in canonical order: every edge is
 	// (member, centre) with centre the component minimum. Vertices with no
 	// remaining edge label themselves.
-	starLabel := engine.GroupBy(engine.Scan("tp_e"), []int{0},
+	starLabel := engine.GroupBy(r.scan("tp_e"), []int{0},
 		engine.Agg{Op: engine.AggMin, Arg: engine.Col(1), Name: "m"})
 	// Columns after left join: v, v(star), m.
 	labelled := engine.Project(
-		engine.LeftJoin(engine.Scan("tp_v"), starLabel, 0, 0),
+		engine.LeftJoin(r.scan("tp_v"), starLabel, 0, 0),
 		engine.ProjCol{Expr: engine.Col(0), Name: "v"},
 		engine.ProjCol{Expr: engine.Least(engine.Col(0), engine.Col(2)), Name: "r"},
 	)
@@ -107,10 +107,10 @@ func TwoPhase(c *engine.Cluster, input string, opts Options) (*Result, error) {
 // canonical and deduplication suffices.
 func tpStar(r *run, large bool) error {
 	sym := engine.UnionAll(
-		engine.Project(engine.Scan("tp_e"),
+		engine.Project(r.scan("tp_e"),
 			engine.ProjCol{Expr: engine.Col(0), Name: "v"},
 			engine.ProjCol{Expr: engine.Col(1), Name: "u"}),
-		engine.Project(engine.Scan("tp_e"),
+		engine.Project(r.scan("tp_e"),
 			engine.ProjCol{Expr: engine.Col(1), Name: "v"},
 			engine.ProjCol{Expr: engine.Col(0), Name: "u"}),
 	)
@@ -125,7 +125,7 @@ func tpStar(r *run, large bool) error {
 		return err
 	}
 	// Join columns: v, u, v, m.
-	joined := engine.Join(sym, engine.Scan("tp_m"), 0, 0)
+	joined := engine.Join(sym, r.scan("tp_m"), 0, 0)
 	var cmp engine.BinOp
 	if large {
 		cmp = engine.OpGt
@@ -140,7 +140,7 @@ func tpStar(r *run, large bool) error {
 	edges := relinked
 	if !large {
 		// Small-star also links v itself to the minimum.
-		selfLink := engine.Project(engine.Scan("tp_m"),
+		selfLink := engine.Project(r.scan("tp_m"),
 			engine.ProjCol{Expr: engine.Col(0), Name: "v"},
 			engine.ProjCol{Expr: engine.Col(1), Name: "w"})
 		edges = engine.UnionAll(relinked, selfLink)
@@ -162,18 +162,18 @@ func tpStar(r *run, large bool) error {
 // tpStarChanged reports whether the last star operation changed the edge
 // set, and drops the saved previous edge set.
 func tpStarChanged(r *run) (bool, error) {
-	n1, err := countRows(r.c, engine.Scan("tp_prev"))
+	n1, err := countRows(r.c, r.scan("tp_prev"))
 	if err != nil {
 		return false, err
 	}
-	n2, err := countRows(r.c, engine.Scan("tp_e"))
+	n2, err := countRows(r.c, r.scan("tp_e"))
 	if err != nil {
 		return false, err
 	}
 	changed := true
 	if n1 == n2 {
 		nu, err := countRows(r.c, engine.Distinct(engine.UnionAll(
-			engine.Scan("tp_prev"), engine.Scan("tp_e"))))
+			r.scan("tp_prev"), r.scan("tp_e"))))
 		if err != nil {
 			return false, err
 		}

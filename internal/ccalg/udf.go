@@ -18,8 +18,15 @@ import (
 //	hrand(seed, x)   — the per-round "random real" of vertex x, as a 63-bit
 //	                   integer (the random reals method's h-table values).
 //
-// All four treat the int64 column values as raw 64-bit patterns.
+// All four treat the int64 column values as raw 64-bit patterns. The
+// functions are safe for concurrent evaluation (their memo caches are
+// internally locked), and registration is idempotent: once a cluster has
+// the UDFs, later calls keep the warm caches instead of replacing them,
+// so concurrent algorithm runs share one set.
 func RegisterUDFs(c *engine.Cluster) {
+	if _, ok := c.UDF("hrand"); ok {
+		return
+	}
 	// Multiplication tables are cached per coefficient a: one contraction
 	// round evaluates axplusb with the same a for every row.
 	var (

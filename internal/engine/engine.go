@@ -8,19 +8,50 @@
 // reproduces that execution model in-process: a Cluster holds N virtual
 // segments; each Table is hash-distributed by one of its columns; plans
 // composed of Scan, Filter, Project, HashJoin, GroupBy, Distinct and
-// UnionAll execute with one goroutine per segment and explicit hash
+// UnionAll execute on a bounded worker pool and explicit hash
 // redistribution steps, exactly as an MPP planner would schedule them.
 //
 // The engine also keeps the books the paper's evaluation reads: how many
 // queries ran, how many rows and bytes each query wrote, the live table
 // footprint over time and its peak (Table IV), and the cumulative bytes
 // written (Table V).
+//
+// # Concurrency and locking discipline
+//
+// A Cluster is safe for concurrent use by multiple sessions: independent
+// queries (CreateTableAs, Query, InsertRows, DropTable, ...) may execute
+// simultaneously from different goroutines. The discipline is:
+//
+//   - c.mu (RWMutex) guards the catalog: the tables map, the UDF registry
+//     and Table.Name. Lookups take the read lock; create/drop/rename take
+//     the write lock. No query execution happens while holding c.mu.
+//   - t.mu (RWMutex, per Table) guards Table.Parts. Scans snapshot the
+//     per-segment slice headers under the read lock; InsertRows replaces
+//     the mutated partitions with freshly allocated slices under the write
+//     lock, so a snapshot taken before an insert never shares a backing
+//     array element with a concurrent append. Rows are immutable once
+//     stored — operators must build new rows, never modify scanned ones.
+//   - c.statsMu (Mutex) guards the Stats counters, the query log and the
+//     concurrency gauges. It is a leaf lock: nothing else is acquired
+//     while holding it.
+//   - Lock order is c.mu before t.mu before c.statsMu; never the reverse.
+//   - Segment tasks submitted to the worker pool via parallel must be leaf
+//     computations: they must not issue queries, touch the catalog or call
+//     parallel again, or the pool's cluster-wide bound could deadlock.
+//
+// Statements are individually atomic but multi-statement sequences are
+// not isolated: two sessions creating the same table name race benignly
+// (one receives an "already exists" error). Sessions that need private
+// intermediate tables must namespace them (see package sql's isolated
+// sessions and package ccalg's per-run prefixes).
 package engine
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"dbcc/internal/xrand"
 )
@@ -62,16 +93,22 @@ func (s Schema) ColIndex(name string) int {
 const NoDistKey = -1
 
 // Table is a hash-distributed table: rows whose distribution-key column
-// hashes to segment i live in Parts[i].
+// hashes to segment i live in Parts[i]. Parts is guarded by mu; use
+// Cluster.ReadAll (or hold no concurrent writers, as tests do) rather than
+// iterating Parts directly while the cluster is shared.
 type Table struct {
 	Name    string
 	Schema  Schema
 	DistKey int // column index rows are distributed by, or NoDistKey
 	Parts   [][]Row
+
+	mu sync.RWMutex // guards Parts
 }
 
 // Rows returns the total row count across all segments.
 func (t *Table) Rows() int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	var n int64
 	for _, p := range t.Parts {
 		n += int64(len(p))
@@ -82,6 +119,15 @@ func (t *Table) Rows() int64 {
 // Bytes returns the modelled storage footprint of the table.
 func (t *Table) Bytes() int64 {
 	return t.Rows() * int64(len(t.Schema)) * DatumSize
+}
+
+// snapshotParts returns a copy of the per-segment slice headers. The rows
+// themselves are shared and immutable; concurrent inserts replace whole
+// partitions, so the snapshot stays a consistent point-in-time view.
+func (t *Table) snapshotParts() [][]Row {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return append([][]Row(nil), t.Parts...)
 }
 
 // QueryStat records the bookkeeping of one executed query (one
@@ -104,6 +150,20 @@ type Stats struct {
 	Log          []QueryStat // per-query log, in execution order
 }
 
+// ConcurrencyStats reports the multi-session activity of a cluster, the
+// observability hook for the concurrent-session support.
+type ConcurrencyStats struct {
+	// Active is the number of statements (CreateTableAs, Query) executing
+	// right now.
+	Active int64
+	// Peak is the highest number of simultaneously executing statements
+	// observed since the cluster was created.
+	Peak int64
+	// Total is the number of statements begun since the cluster was
+	// created (never reset).
+	Total int64
+}
+
 // Profile selects the execution environment being modelled.
 type Profile int
 
@@ -123,6 +183,11 @@ type Options struct {
 	// Segments is the number of virtual MPP segments; 0 means 8, the
 	// reproduction default (the paper's cluster had 60 cores over 5 nodes).
 	Segments int
+	// Workers bounds the number of OS-thread-backed goroutines executing
+	// segment tasks at any moment, across all concurrent sessions; 0 means
+	// GOMAXPROCS. Segments beyond this bound queue on the shared pool, so
+	// configuring many virtual segments never oversubscribes the host.
+	Workers int
 	// Profile selects the execution environment model.
 	Profile Profile
 	// SparkPerQueryWork is the amount of synthetic extra work (in hash
@@ -148,21 +213,33 @@ type Options struct {
 
 // Cluster is the in-process MPP database: a catalog of distributed tables,
 // a set of virtual segments, a UDF registry and execution statistics.
-// Methods on Cluster are not safe for concurrent use; parallelism happens
-// inside operators, across segments.
+// A Cluster is safe for concurrent use by multiple sessions; see the
+// package comment for the locking discipline.
 type Cluster struct {
 	segments    int
+	workers     int
 	profile     Profile
 	sparkW      int
 	transaction bool
 	broadcast   int64
-	tables      map[string]*Table
-	udfs        map[string]UDF
-	stats       Stats
+
+	mu     sync.RWMutex // guards tables, udfs, Table.Name
+	tables map[string]*Table
+	udfs   map[string]UDF
+
+	statsMu sync.Mutex // guards stats and the concurrency gauges
+	stats   Stats
+	active  int64
+	peak    int64
+	total   int64
+
+	sem chan struct{} // cluster-wide worker-pool slots
 }
 
 // UDF is a scalar user-defined function, the mechanism the paper uses to
 // load finite-field arithmetic (axplusb) and Blowfish into the database.
+// UDFs may be evaluated from many worker goroutines at once and must be
+// safe for concurrent use.
 type UDF func(args []Datum) Datum
 
 // NewCluster creates an MPP cluster.
@@ -170,46 +247,99 @@ func NewCluster(opts Options) *Cluster {
 	if opts.Segments <= 0 {
 		opts.Segments = 8
 	}
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
 	if opts.SparkPerQueryWork <= 0 {
 		opts.SparkPerQueryWork = 800_000
 	}
 	return &Cluster{
 		segments:    opts.Segments,
+		workers:     opts.Workers,
 		profile:     opts.Profile,
 		sparkW:      opts.SparkPerQueryWork,
 		transaction: opts.TransactionMode,
 		broadcast:   opts.BroadcastThreshold,
 		tables:      make(map[string]*Table),
 		udfs:        make(map[string]UDF),
+		sem:         make(chan struct{}, opts.Workers),
 	}
 }
 
 // Segments returns the number of virtual segments.
 func (c *Cluster) Segments() int { return c.segments }
 
+// Workers returns the worker-pool bound in effect.
+func (c *Cluster) Workers() int { return c.workers }
+
 // Profile returns the execution environment model in effect.
 func (c *Cluster) Profile() Profile { return c.profile }
 
 // RegisterUDF installs or replaces a scalar function available to plans
 // (and to the SQL layer) under the given lower-case name.
-func (c *Cluster) RegisterUDF(name string, fn UDF) { c.udfs[name] = fn }
+func (c *Cluster) RegisterUDF(name string, fn UDF) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.udfs[name] = fn
+}
 
 // UDF looks up a registered function.
 func (c *Cluster) UDF(name string) (UDF, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	fn, ok := c.udfs[name]
 	return fn, ok
 }
 
 // Stats returns a copy of the execution statistics.
 func (c *Cluster) Stats() Stats {
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
 	s := c.stats
 	s.Log = append([]QueryStat(nil), c.stats.Log...)
 	return s
 }
 
+// LiveBytes returns the current live table footprint without copying the
+// per-query log (the cheap accessor for per-statement space budgeting).
+func (c *Cluster) LiveBytes() int64 {
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
+	return c.stats.LiveBytes
+}
+
+// ConcurrencyStats returns the multi-session activity gauges.
+func (c *Cluster) ConcurrencyStats() ConcurrencyStats {
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
+	return ConcurrencyStats{Active: c.active, Peak: c.peak, Total: c.total}
+}
+
+// beginStatement marks a statement as executing for the concurrency gauges.
+func (c *Cluster) beginStatement() {
+	c.statsMu.Lock()
+	c.active++
+	c.total++
+	if c.active > c.peak {
+		c.peak = c.active
+	}
+	c.statsMu.Unlock()
+}
+
+// endStatement reverses beginStatement.
+func (c *Cluster) endStatement() {
+	c.statsMu.Lock()
+	c.active--
+	c.statsMu.Unlock()
+}
+
 // ResetStats clears all counters (keeping live-space accounting consistent
-// with the tables that currently exist).
+// with the tables that currently exist). The concurrency gauges are not
+// reset. Per-run statistics are only meaningful when runs do not overlap;
+// concurrent sessions share one set of counters.
 func (c *Cluster) ResetStats() {
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
 	live := c.stats.LiveBytes
 	c.stats = Stats{LiveBytes: live, PeakBytes: live}
 }
@@ -224,37 +354,45 @@ func (c *Cluster) hashDatum(d Datum) int {
 
 // Table returns the named table.
 func (c *Cluster) Table(name string) (*Table, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	t, ok := c.tables[name]
 	return t, ok
 }
 
 // TableNames returns the catalog contents in sorted order.
 func (c *Cluster) TableNames() []string {
+	c.mu.RLock()
 	names := make([]string, 0, len(c.tables))
 	for n := range c.tables {
 		names = append(names, n)
 	}
+	c.mu.RUnlock()
 	sort.Strings(names)
 	return names
 }
 
 // CreateTable registers an empty table distributed by column distKey.
 func (c *Cluster) CreateTable(name string, schema Schema, distKey int) (*Table, error) {
-	if _, exists := c.tables[name]; exists {
-		return nil, fmt.Errorf("engine: table %q already exists", name)
-	}
 	if distKey != NoDistKey && (distKey < 0 || distKey >= len(schema)) {
 		return nil, fmt.Errorf("engine: distribution key %d out of range for %v", distKey, schema)
 	}
 	t := &Table{Name: name, Schema: schema, DistKey: distKey, Parts: make([][]Row, c.segments)}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.tables[name]; exists {
+		return nil, fmt.Errorf("engine: table %q already exists", name)
+	}
 	c.tables[name] = t
 	return t, nil
 }
 
 // InsertRows bulk-loads rows into an existing table, distributing them by
-// the table's distribution key, and accounts for the write.
+// the table's distribution key, and accounts for the write. Mutated
+// partitions are replaced with freshly allocated slices so concurrent
+// scans keep reading their consistent snapshots.
 func (c *Cluster) InsertRows(name string, rows []Row) error {
-	t, ok := c.tables[name]
+	t, ok := c.Table(name)
 	if !ok {
 		return fmt.Errorf("engine: table %q does not exist", name)
 	}
@@ -262,14 +400,32 @@ func (c *Cluster) InsertRows(name string, rows []Row) error {
 		if len(r) != len(t.Schema) {
 			return fmt.Errorf("engine: row arity %d does not match schema %v", len(r), t.Schema)
 		}
+	}
+	t.mu.Lock()
+	incoming := make([][]Row, c.segments)
+	len0 := len(t.Parts[0]) // placement cursor for tables without a distribution key
+	for _, r := range rows {
 		seg := 0
 		if t.DistKey != NoDistKey {
 			seg = c.hashDatum(r[t.DistKey])
 		} else {
-			seg = int(uint64(len(t.Parts[0])) % uint64(c.segments))
+			seg = len0 % c.segments
+			if seg == 0 {
+				len0++
+			}
 		}
-		t.Parts[seg] = append(t.Parts[seg], r)
+		incoming[seg] = append(incoming[seg], r)
 	}
+	for seg, in := range incoming {
+		if len(in) == 0 {
+			continue
+		}
+		merged := make([]Row, 0, len(t.Parts[seg])+len(in))
+		merged = append(merged, t.Parts[seg]...)
+		merged = append(merged, in...)
+		t.Parts[seg] = merged
+	}
+	t.mu.Unlock()
 	bytes := int64(len(rows)) * int64(len(t.Schema)) * DatumSize
 	c.accountWrite("insert "+name, int64(len(rows)), bytes)
 	return nil
@@ -280,19 +436,27 @@ func (c *Cluster) InsertRows(name string, rows []Row) error {
 // temporary tables stays allocated until the enclosing transaction commits
 // (the rollback-safety behaviour the paper describes in Sec. VII-B).
 func (c *Cluster) DropTable(name string) error {
+	c.mu.Lock()
 	t, ok := c.tables[name]
 	if !ok {
+		c.mu.Unlock()
 		return fmt.Errorf("engine: table %q does not exist", name)
 	}
-	if !c.transaction {
-		c.stats.LiveBytes -= t.Bytes()
-	}
 	delete(c.tables, name)
+	c.mu.Unlock()
+	if !c.transaction {
+		bytes := t.Bytes()
+		c.statsMu.Lock()
+		c.stats.LiveBytes -= bytes
+		c.statsMu.Unlock()
+	}
 	return nil
 }
 
 // RenameTable renames a table; the destination must not exist.
 func (c *Cluster) RenameTable(oldName, newName string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	t, ok := c.tables[oldName]
 	if !ok {
 		return fmt.Errorf("engine: table %q does not exist", oldName)
@@ -309,12 +473,12 @@ func (c *Cluster) RenameTable(oldName, newName string) error {
 // ReadAll gathers all rows of a table onto the coordinator, in segment
 // order. It is intended for result extraction and tests, not hot paths.
 func (c *Cluster) ReadAll(name string) ([]Row, error) {
-	t, ok := c.tables[name]
+	t, ok := c.Table(name)
 	if !ok {
 		return nil, fmt.Errorf("engine: table %q does not exist", name)
 	}
 	var out []Row
-	for _, p := range t.Parts {
+	for _, p := range t.snapshotParts() {
 		out = append(out, p...)
 	}
 	return out, nil
@@ -322,6 +486,8 @@ func (c *Cluster) ReadAll(name string) ([]Row, error) {
 
 // accountWrite records a completed write of rows/bytes into the catalog.
 func (c *Cluster) accountWrite(label string, rows, bytes int64) {
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
 	c.stats.Queries++
 	c.stats.RowsWritten += rows
 	c.stats.BytesWritten += bytes
@@ -332,15 +498,50 @@ func (c *Cluster) accountWrite(label string, rows, bytes int64) {
 	c.stats.Log = append(c.stats.Log, QueryStat{Label: label, RowsWritten: rows, BytesOut: bytes})
 }
 
-// parallel runs fn(seg) for every segment concurrently and waits.
+// addShuffleBytes charges redistribution traffic to the statistics.
+func (c *Cluster) addShuffleBytes(n int64) {
+	c.statsMu.Lock()
+	c.stats.ShuffleBytes += n
+	c.statsMu.Unlock()
+}
+
+// parallel runs fn(seg) for every segment and waits. Instead of one
+// goroutine per segment, at most Workers segment tasks run at any moment
+// across the whole cluster: each call spawns min(Workers, Segments)
+// goroutines that pull segment indices from a shared counter, and every
+// task additionally holds a slot of the cluster-wide pool, so many
+// concurrent sessions cannot oversubscribe the host. fn must be a leaf
+// computation (no queries, no catalog access, no nested parallel).
 func (c *Cluster) parallel(fn func(seg int)) {
+	n := c.segments
+	spawn := c.workers
+	if spawn > n {
+		spawn = n
+	}
+	if spawn <= 1 {
+		for s := 0; s < n; s++ {
+			c.sem <- struct{}{}
+			fn(s)
+			<-c.sem
+		}
+		return
+	}
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	wg.Add(c.segments)
-	for s := 0; s < c.segments; s++ {
-		go func(seg int) {
+	wg.Add(spawn)
+	for w := 0; w < spawn; w++ {
+		go func() {
 			defer wg.Done()
-			fn(seg)
-		}(s)
+			for {
+				s := int(next.Add(1)) - 1
+				if s >= n {
+					return
+				}
+				c.sem <- struct{}{}
+				fn(s)
+				<-c.sem
+			}
+		}()
 	}
 	wg.Wait()
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"dbcc/internal/xrand"
 )
@@ -20,7 +21,11 @@ type relation struct {
 // and returns the number of rows written — the value the paper's driver
 // script reads from every query to detect termination.
 func (c *Cluster) CreateTableAs(name string, p Plan, distKey int) (int64, error) {
-	if _, exists := c.tables[name]; exists {
+	c.beginStatement()
+	defer c.endStatement()
+	// Fast-fail before executing; the authoritative check is the atomic
+	// publish below (another session may create the name meanwhile).
+	if _, exists := c.Table(name); exists {
 		return 0, fmt.Errorf("engine: table %q already exists", name)
 	}
 	rel, err := c.exec(p)
@@ -34,7 +39,13 @@ func (c *Cluster) CreateTableAs(name string, p Plan, distKey int) (int64, error)
 		rel = c.redistribute(rel, distKey)
 	}
 	t := &Table{Name: name, Schema: rel.schema, DistKey: distKey, Parts: rel.parts}
+	c.mu.Lock()
+	if _, exists := c.tables[name]; exists {
+		c.mu.Unlock()
+		return 0, fmt.Errorf("engine: table %q already exists", name)
+	}
 	c.tables[name] = t
+	c.mu.Unlock()
 	c.accountWrite("create "+name, t.Rows(), t.Bytes())
 	c.chargeProfileOverhead()
 	return t.Rows(), nil
@@ -45,6 +56,8 @@ func (c *Cluster) CreateTableAs(name string, p Plan, distKey int) (int64, error)
 // table and therefore does not count toward the write statistics, but it
 // does count as a query.
 func (c *Cluster) Query(p Plan) (Schema, []Row, error) {
+	c.beginStatement()
+	defer c.endStatement()
 	rel, err := c.exec(p)
 	if err != nil {
 		return nil, nil, err
@@ -53,14 +66,17 @@ func (c *Cluster) Query(p Plan) (Schema, []Row, error) {
 	for _, part := range rel.parts {
 		out = append(out, part...)
 	}
+	c.statsMu.Lock()
 	c.stats.Queries++
+	c.statsMu.Unlock()
 	c.chargeProfileOverhead()
 	return rel.schema, out, nil
 }
 
 // profileSink keeps the synthetic scheduling work below observable so the
-// compiler cannot eliminate the loop.
-var profileSink uint64
+// compiler cannot eliminate the loop. Updated atomically: queries charge
+// their overhead concurrently.
+var profileSink atomic.Uint64
 
 // chargeProfileOverhead burns the synthetic per-query scheduling work of
 // the modelled execution environment (Sec. VII-C: Spark SQL pays a fixed
@@ -73,18 +89,18 @@ func (c *Cluster) chargeProfileOverhead() {
 	for i := 0; i < c.sparkW; i++ {
 		acc = xrand.Mix64(acc + uint64(i))
 	}
-	profileSink += acc
+	profileSink.Add(acc)
 }
 
 // exec evaluates a plan tree to a distributed relation.
 func (c *Cluster) exec(p Plan) (*relation, error) {
 	switch p := p.(type) {
 	case ScanPlan:
-		t, ok := c.tables[p.Table]
+		t, ok := c.Table(p.Table)
 		if !ok {
 			return nil, fmt.Errorf("engine: table %q does not exist", p.Table)
 		}
-		return &relation{schema: t.Schema, parts: t.Parts, distKey: t.DistKey}, nil
+		return &relation{schema: t.Schema, parts: t.snapshotParts(), distKey: t.DistKey}, nil
 
 	case ValuesPlan:
 		parts := make([][]Row, c.segments)
@@ -246,9 +262,11 @@ func (c *Cluster) shuffle(in *relation, dest func(Row) int, newKey int) *relatio
 		}
 		out[dst] = rows
 	})
+	var total int64
 	for _, m := range moved {
-		c.stats.ShuffleBytes += m
+		total += m
 	}
+	c.addShuffleBytes(total)
 	return &relation{schema: in.schema, parts: out, distKey: newKey}
 }
 
@@ -553,6 +571,6 @@ func (c *Cluster) broadcastAll(in *relation) *relation {
 	for i := range parts {
 		parts[i] = all
 	}
-	c.stats.ShuffleBytes += bytes * int64(c.segments-1)
+	c.addShuffleBytes(bytes * int64(c.segments-1))
 	return &relation{schema: in.schema, parts: parts, distKey: NoDistKey}
 }

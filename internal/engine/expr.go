@@ -236,9 +236,11 @@ func (e UDFExpr) Eval(row Row) Datum {
 func (e UDFExpr) String() string { return fnString(e.Name, e.Args) }
 
 // CallUDF builds a call to the named registered function. It returns an
-// error if the function is not registered.
+// error if the function is not registered. The returned expression captures
+// the function value at build time, so re-registering a UDF never affects
+// queries already planned (or executing) in other sessions.
 func (c *Cluster) CallUDF(name string, args ...Expr) (Expr, error) {
-	fn, ok := c.udfs[name]
+	fn, ok := c.UDF(name)
 	if !ok {
 		return nil, fmt.Errorf("engine: function %q is not registered", name)
 	}

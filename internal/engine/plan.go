@@ -8,6 +8,12 @@ import (
 // Plan is a relational operator tree. Plans are built either directly (the
 // typed API used by the algorithm implementations) or by the SQL planner in
 // package sql, and executed by Cluster.CreateTableAs or Cluster.Query.
+//
+// Plan nodes are immutable values: once built, a plan may be executed from
+// several sessions concurrently. Scans resolve their table against the
+// catalog at execution time and read a point-in-time snapshot of its
+// partitions, so a plan sees each referenced table in exactly one state
+// even while other sessions insert into it.
 type Plan interface {
 	// Schema resolves the output schema of the plan against the catalog.
 	Schema(c *Cluster) (Schema, error)

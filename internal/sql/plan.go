@@ -56,17 +56,30 @@ func isAggName(name string) bool {
 	return false
 }
 
+// Resolver maps a table name as written in SQL to its catalog name. It is
+// how isolated sessions rewrite references to their namespaced temporary
+// tables; a nil Resolver is the identity.
+type Resolver func(name string) string
+
 // PlanSelect compiles a SELECT statement to an engine plan plus its output
 // column names.
 func PlanSelect(c *engine.Cluster, sel *SelectStmt) (engine.Plan, engine.Schema, error) {
-	plan, names, err := planOneSelect(c, sel)
+	return PlanSelectResolved(c, sel, nil)
+}
+
+// PlanSelectResolved is PlanSelect with table references passed through
+// resolve before catalog lookup. Column qualifiers keep the names written
+// in the query ("rc_graph.v1" still resolves even when rc_graph is stored
+// under a session-private name).
+func PlanSelectResolved(c *engine.Cluster, sel *SelectStmt, resolve Resolver) (engine.Plan, engine.Schema, error) {
+	plan, names, err := planOneSelect(c, sel, resolve)
 	if err != nil {
 		return nil, nil, err
 	}
 	last := sel
 	for u := sel.UnionAll; u != nil; u = u.UnionAll {
 		last = u
-		p2, n2, err := planOneSelect(c, u)
+		p2, n2, err := planOneSelect(c, u, resolve)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -92,11 +105,11 @@ func PlanSelect(c *engine.Cluster, sel *SelectStmt) (engine.Plan, engine.Schema,
 }
 
 // planOneSelect compiles a single SELECT block (ignoring its UnionAll tail).
-func planOneSelect(c *engine.Cluster, sel *SelectStmt) (engine.Plan, engine.Schema, error) {
+func planOneSelect(c *engine.Cluster, sel *SelectStmt, resolve Resolver) (engine.Plan, engine.Schema, error) {
 	if len(sel.From) == 0 {
 		return planConstSelect(c, sel)
 	}
-	plan, sc, err := planFrom(c, sel)
+	plan, sc, err := planFrom(c, sel, resolve)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -144,12 +157,12 @@ func planConstSelect(c *engine.Cluster, sel *SelectStmt) (engine.Plan, engine.Sc
 // planFrom builds the join tree for the FROM clause, consuming the WHERE
 // clause's equi-join conjuncts and applying all remaining predicates as a
 // filter. It returns the joined plan and its name scope.
-func planFrom(c *engine.Cluster, sel *SelectStmt) (engine.Plan, scope, error) {
+func planFrom(c *engine.Cluster, sel *SelectStmt, resolve Resolver) (engine.Plan, scope, error) {
 	type pending struct {
 		item FromItem
 	}
 	// Plan the first FROM item (base table plus its explicit joins).
-	plan, sc, err := planFromItem(c, sel.From[0])
+	plan, sc, err := planFromItem(c, sel.From[0], resolve)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -163,7 +176,7 @@ func planFrom(c *engine.Cluster, sel *SelectStmt) (engine.Plan, scope, error) {
 	for len(remaining) > 0 {
 		progressed := false
 		for ri, p := range remaining {
-			rPlan, rScope, err := planFromItem(c, p.item)
+			rPlan, rScope, err := planFromItem(c, p.item, resolve)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -201,13 +214,13 @@ func planFrom(c *engine.Cluster, sel *SelectStmt) (engine.Plan, scope, error) {
 
 // planFromItem plans one FROM element: a base table and its explicit JOIN
 // chain.
-func planFromItem(c *engine.Cluster, fi FromItem) (engine.Plan, scope, error) {
-	plan, sc, err := planTableRef(c, fi.Table)
+func planFromItem(c *engine.Cluster, fi FromItem, resolve Resolver) (engine.Plan, scope, error) {
+	plan, sc, err := planTableRef(c, fi.Table, resolve)
 	if err != nil {
 		return nil, nil, err
 	}
 	for _, j := range fi.Joins {
-		rPlan, rScope, err := planTableRef(c, j.Table)
+		rPlan, rScope, err := planTableRef(c, j.Table, resolve)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -225,9 +238,16 @@ func planFromItem(c *engine.Cluster, fi FromItem) (engine.Plan, scope, error) {
 	return plan, sc, nil
 }
 
-// planTableRef plans a base table scan with its alias scope.
-func planTableRef(c *engine.Cluster, ref TableRef) (engine.Plan, scope, error) {
-	t, ok := c.Table(ref.Table)
+// planTableRef plans a base table scan with its alias scope. The catalog
+// lookup goes through the resolver, while the column qualifier stays the
+// name (or alias) as written, so session-namespaced tables keep their
+// source-level names inside expressions.
+func planTableRef(c *engine.Cluster, ref TableRef, resolve Resolver) (engine.Plan, scope, error) {
+	stored := ref.Table
+	if resolve != nil {
+		stored = resolve(ref.Table)
+	}
+	t, ok := c.Table(stored)
 	if !ok {
 		return nil, nil, fmt.Errorf("sql: table %q does not exist", ref.Table)
 	}
@@ -235,7 +255,7 @@ func planTableRef(c *engine.Cluster, ref TableRef) (engine.Plan, scope, error) {
 	for i, col := range t.Schema {
 		sc[i] = scopeCol{qual: ref.Name(), name: col}
 	}
-	return engine.Scan(ref.Table), sc, nil
+	return engine.Scan(stored), sc, nil
 }
 
 // splitConjuncts flattens a WHERE expression into AND-connected conjuncts.

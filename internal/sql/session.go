@@ -2,22 +2,83 @@ package sql
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"dbcc/internal/engine"
 )
 
+// sessionSeq numbers isolated sessions so every one gets a distinct
+// temporary-table namespace, even across goroutines.
+var sessionSeq atomic.Uint64
+
 // Session executes SQL statements against a cluster, mirroring the paper's
 // Python driver: every executed statement reports the number of rows it
 // produced, which the algorithms use as their termination signal.
+//
+// A Session is a lightweight, single-goroutine object; open one session per
+// goroutine. The Cluster underneath is safe to share, so many sessions may
+// execute statements concurrently. Sessions created with NewSession share
+// the global table namespace; sessions created with NewIsolatedSession
+// prefix every table they create with a session-private namespace, so
+// concurrent runs of the paper's algorithms never collide on intermediate
+// table names.
 type Session struct {
-	c *engine.Cluster
+	c  *engine.Cluster
+	ns string // temp-table namespace prefix; "" shares the global namespace
 }
 
-// NewSession creates a session on the cluster.
+// NewSession creates a session on the cluster using the shared global
+// table namespace.
 func NewSession(c *engine.Cluster) *Session { return &Session{c: c} }
+
+// NewIsolatedSession creates a session whose created tables live in a
+// fresh session-private namespace. References to tables the session did
+// not create (for example a shared input edge table) resolve globally.
+func NewIsolatedSession(c *engine.Cluster) *Session {
+	return SessionWithNamespace(c, fmt.Sprintf("tmp%d_", sessionSeq.Add(1)))
+}
+
+// SessionWithNamespace creates a session with an explicit temporary-table
+// namespace prefix. Callers that create tables through both the SQL layer
+// and the engine API (package ccalg's runs) pass the same prefix to both
+// so the two views agree on physical names.
+func SessionWithNamespace(c *engine.Cluster, ns string) *Session {
+	return &Session{c: c, ns: ns}
+}
 
 // Cluster returns the underlying cluster.
 func (s *Session) Cluster() *engine.Cluster { return s.c }
+
+// Namespace returns the session's temporary-table prefix ("" for sessions
+// sharing the global namespace).
+func (s *Session) Namespace() string { return s.ns }
+
+// Resolve maps a table name as written in SQL to its catalog name: if the
+// session namespace holds a table of that name it wins, otherwise the name
+// refers to the shared global namespace. Within a namespace only this
+// session creates and drops tables, so the existence probe is stable.
+func (s *Session) Resolve(name string) string {
+	if s.ns == "" {
+		return name
+	}
+	phys := s.ns + name
+	if _, ok := s.c.Table(phys); ok {
+		return phys
+	}
+	return name
+}
+
+// tempName returns the catalog name a table created by this session gets.
+func (s *Session) tempName(name string) string { return s.ns + name }
+
+// resolver adapts Resolve for the planner; nil when no namespace is set so
+// the planner takes its identity fast path.
+func (s *Session) resolver() Resolver {
+	if s.ns == "" {
+		return nil
+	}
+	return s.Resolve
+}
 
 // Exec parses and executes a script of one or more statements and returns
 // the row count produced by the last one (the paper's r.log_exec result).
@@ -49,7 +110,7 @@ func (s *Session) Execf(format string, args ...any) (int64, error) {
 func (s *Session) ExecStmt(st Statement) (int64, error) {
 	switch st := st.(type) {
 	case *CreateTableAs:
-		plan, names, err := PlanSelect(s.c, st.Select)
+		plan, names, err := PlanSelectResolved(s.c, st.Select, s.resolver())
 		if err != nil {
 			return 0, err
 		}
@@ -60,7 +121,7 @@ func (s *Session) ExecStmt(st Statement) (int64, error) {
 				return 0, fmt.Errorf("sql: DISTRIBUTED BY column %q is not in the select list %v", st.DistBy, names)
 			}
 		}
-		return s.c.CreateTableAs(st.Name, renameOutput(plan, names), distKey)
+		return s.c.CreateTableAs(s.tempName(st.Name), renameOutput(plan, names), distKey)
 
 	case *CreateTablePlain:
 		distKey := engine.NoDistKey
@@ -70,28 +131,34 @@ func (s *Session) ExecStmt(st Statement) (int64, error) {
 				return 0, fmt.Errorf("sql: DISTRIBUTED BY column %q is not among the columns %v", st.DistBy, st.Cols)
 			}
 		}
-		_, err := s.c.CreateTable(st.Name, engine.Schema(st.Cols), distKey)
+		_, err := s.c.CreateTable(s.tempName(st.Name), engine.Schema(st.Cols), distKey)
 		return 0, err
 
 	case *ExplainStmt:
 		// EXPLAIN is answered through Explain; executing it directly just
 		// validates that the query plans.
-		_, _, err := PlanSelect(s.c, st.Select)
+		_, _, err := PlanSelectResolved(s.c, st.Select, s.resolver())
 		return 0, err
 
 	case *DropTable:
 		for _, n := range st.Names {
-			if err := s.c.DropTable(n); err != nil {
+			if err := s.c.DropTable(s.Resolve(n)); err != nil {
 				return 0, err
 			}
 		}
 		return 0, nil
 
 	case *AlterRename:
-		return 0, s.c.RenameTable(st.Old, st.New)
+		physOld := s.Resolve(st.Old)
+		physNew := st.New
+		if physOld != st.Old {
+			// A session-temp table stays in the session's namespace.
+			physNew = s.tempName(st.New)
+		}
+		return 0, s.c.RenameTable(physOld, physNew)
 
 	case *InsertValues:
-		t, ok := s.c.Table(st.Name)
+		t, ok := s.c.Table(s.Resolve(st.Name))
 		if !ok {
 			return 0, fmt.Errorf("sql: table %q does not exist", st.Name)
 		}
@@ -111,13 +178,13 @@ func (s *Session) ExecStmt(st Statement) (int64, error) {
 			}
 			rows[i] = row
 		}
-		if err := s.c.InsertRows(st.Name, rows); err != nil {
+		if err := s.c.InsertRows(s.Resolve(st.Name), rows); err != nil {
 			return 0, err
 		}
 		return int64(len(rows)), nil
 
 	case *SelectQuery:
-		plan, names, err := PlanSelect(s.c, st.Select)
+		plan, names, err := PlanSelectResolved(s.c, st.Select, s.resolver())
 		if err != nil {
 			return 0, err
 		}
@@ -143,7 +210,7 @@ func (s *Session) Query(src string) (engine.Schema, []engine.Row, error) {
 	default:
 		return nil, nil, fmt.Errorf("sql: Query requires a SELECT statement, got %T", st)
 	}
-	plan, names, err := PlanSelect(s.c, sel)
+	plan, names, err := PlanSelectResolved(s.c, sel, s.resolver())
 	if err != nil {
 		return nil, nil, err
 	}
@@ -172,7 +239,7 @@ func (s *Session) Explain(src string) (string, error) {
 	default:
 		return "", fmt.Errorf("sql: EXPLAIN requires a SELECT, got %T", st)
 	}
-	plan, names, err := PlanSelect(s.c, sel)
+	plan, names, err := PlanSelectResolved(s.c, sel, s.resolver())
 	if err != nil {
 		return "", err
 	}
