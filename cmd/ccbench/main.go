@@ -9,15 +9,30 @@
 //	ccbench -experiment gamma|rounds|scaling|spark|variants|methods|rerandom|segments
 //	ccbench -all                    everything (the EXPERIMENTS.md run)
 //	ccbench -concurrency 8          N concurrent RC sessions on one cluster
+//	ccbench -json                   machine-readable BENCH_<dataset>.json reports
 //
 // Flags -scale, -reps, -segments, -seed and -capacity tune the campaign;
 // the defaults match the committed EXPERIMENTS.md numbers.
+//
+// JSON mode (-json) runs the four table algorithms plus the deterministic
+// RC variant per dataset and writes one BENCH_<dataset>.json report per
+// dataset into -out. -datasets selects a comma-separated subset (default
+// all twelve), and -baseline compares each report's deterministic-RC query
+// count against a committed baseline file, exiting non-zero on deviation —
+// the CI bench-smoke contract.
+//
+// -pprof addr serves net/http/pprof under /debug/pprof/ and a plain-text
+// runtime/metrics dump under /metrics for profiling long campaigns.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"runtime/metrics"
+	"strings"
 
 	"dbcc/internal/bench"
 )
@@ -36,8 +51,17 @@ func main() {
 		noVerify   = flag.Bool("noverify", false, "skip oracle verification of every labelling")
 		quiet      = flag.Bool("quiet", false, "suppress progress output")
 		conc       = flag.Int("concurrency", 0, "run N concurrent RC sessions on one shared cluster and report throughput")
+		jsonOut    = flag.Bool("json", false, "write machine-readable BENCH_<dataset>.json reports")
+		outDir     = flag.String("out", ".", "output directory for -json reports")
+		datasets   = flag.String("datasets", "", "comma-separated dataset subset for -json (default: all)")
+		baseline   = flag.String("baseline", "", "baseline file to check -json reports against; deviations exit non-zero")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof and /metrics on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go servePprof(*pprofAddr)
+	}
 
 	cfg := bench.Config{
 		Scale:          *scale,
@@ -138,8 +162,82 @@ func main() {
 		section()
 		bench.ConcurrencyExperiment(out, cfg, *conc)
 	}
+	if *jsonOut {
+		ran = true
+		runJSON(cfg, *outDir, *datasets, *baseline, progress)
+	}
 	if !ran {
 		flag.Usage()
 		os.Exit(2)
+	}
+}
+
+// runJSON executes the machine-readable report campaign and the optional
+// baseline check, exiting non-zero on any failure or deviation.
+func runJSON(cfg bench.Config, outDir, datasetList, baselinePath string, progress func(string)) {
+	var selected []bench.Dataset
+	if datasetList == "" {
+		selected = bench.Datasets()
+	} else {
+		for _, name := range strings.Split(datasetList, ",") {
+			ds, ok := bench.DatasetByName(strings.TrimSpace(name))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown dataset %q\n", name)
+				os.Exit(2)
+			}
+			selected = append(selected, ds)
+		}
+	}
+	reports, paths, err := bench.WriteJSONReports(outDir, selected, cfg, progress)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "json reports: %v\n", err)
+		os.Exit(1)
+	}
+	for _, p := range paths {
+		fmt.Println(p)
+	}
+	if baselinePath == "" {
+		return
+	}
+	b, err := bench.LoadBaseline(baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "baseline: %v\n", err)
+		os.Exit(1)
+	}
+	failed := false
+	for _, rep := range reports {
+		if err := b.Check(rep); err != nil {
+			fmt.Fprintf(os.Stderr, "baseline check: %v\n", err)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "baseline check passed for %d dataset(s)\n", len(reports))
+}
+
+// servePprof serves the stdlib pprof handlers (registered by the
+// net/http/pprof import on the default mux) plus a plain-text
+// runtime/metrics dump under /metrics.
+func servePprof(addr string) {
+	http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		all := metrics.All()
+		samples := make([]metrics.Sample, len(all))
+		for i, d := range all {
+			samples[i].Name = d.Name
+		}
+		metrics.Read(samples)
+		for _, s := range samples {
+			switch s.Value.Kind() {
+			case metrics.KindUint64:
+				fmt.Fprintf(w, "%s %d\n", s.Name, s.Value.Uint64())
+			case metrics.KindFloat64:
+				fmt.Fprintf(w, "%s %g\n", s.Name, s.Value.Float64())
+			}
+		}
+	})
+	if err := http.ListenAndServe(addr, nil); err != nil {
+		fmt.Fprintf(os.Stderr, "pprof server: %v\n", err)
 	}
 }

@@ -4,7 +4,9 @@
 // so the queries of Appendix A can be typed directly.
 //
 // Meta-commands: \d lists tables, \stats prints engine counters,
-// \load NAME FILE bulk-loads an edge list, \q quits.
+// \load NAME FILE bulk-loads an edge list, \timing toggles per-statement
+// elapsed-time reporting, \trace [N] prints the last N records of the
+// cluster's query-trace ring, \q quits.
 package main
 
 import (
@@ -12,7 +14,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
+	"time"
 
 	"dbcc"
 	"dbcc/internal/engine"
@@ -31,6 +35,7 @@ func main() {
 		db.Cluster().Segments())
 	var buf strings.Builder
 	prompt := "sql> "
+	timing := false
 	for {
 		fmt.Print(prompt)
 		if !in.Scan() {
@@ -39,7 +44,7 @@ func main() {
 		}
 		line := strings.TrimSpace(in.Text())
 		if buf.Len() == 0 && strings.HasPrefix(line, "\\") {
-			if meta(db, line) {
+			if meta(db, line, &timing) {
 				return
 			}
 			continue
@@ -53,7 +58,11 @@ func main() {
 		prompt = "sql> "
 		stmt := buf.String()
 		buf.Reset()
+		start := time.Now()
 		execute(db, sess, stmt)
+		if timing {
+			fmt.Printf("Time: %.3f ms\n", float64(time.Since(start).Nanoseconds())/1e6)
+		}
 	}
 }
 
@@ -112,11 +121,29 @@ func execute(db *dbcc.DB, sess interface {
 }
 
 // meta handles backslash commands; it returns true on quit.
-func meta(db *dbcc.DB, line string) bool {
+func meta(db *dbcc.DB, line string, timing *bool) bool {
 	fields := strings.Fields(line)
 	switch fields[0] {
 	case "\\q", "\\quit":
 		return true
+	case "\\timing":
+		*timing = !*timing
+		if *timing {
+			fmt.Println("Timing is on.")
+		} else {
+			fmt.Println("Timing is off.")
+		}
+	case "\\trace":
+		n := 10
+		if len(fields) > 1 {
+			v, err := strconv.Atoi(fields[1])
+			if err != nil || v <= 0 {
+				fmt.Println("usage: \\trace [N]")
+				return false
+			}
+			n = v
+		}
+		printTrace(db.Cluster(), n)
 	case "\\d":
 		for _, name := range db.Cluster().TableNames() {
 			t, _ := db.Cluster().Table(name)
@@ -150,7 +177,29 @@ func meta(db *dbcc.DB, line string) bool {
 		}
 		fmt.Printf("loaded %d edges into %s(v1, v2)\n", g.NumEdges(), fields[1])
 	default:
-		fmt.Println("meta commands: \\d  \\stats  \\load NAME FILE  \\q")
+		fmt.Println("meta commands: \\d  \\stats  \\load NAME FILE  \\timing  \\trace [N]  \\q")
 	}
 	return false
+}
+
+// printTrace prints the newest n records of the cluster's query-trace
+// ring, oldest first.
+func printTrace(c *engine.Cluster, n int) {
+	recs := c.Trace()
+	if len(recs) == 0 {
+		fmt.Println("trace is empty")
+		return
+	}
+	if len(recs) > n {
+		recs = recs[len(recs)-n:]
+	}
+	for _, r := range recs {
+		target := ""
+		if r.Target != "" {
+			target = " -> " + r.Target
+		}
+		fmt.Printf("#%-4d %-7s %8.3fms rows=%-8d bytes=%-10d shuffle=%-10d %s%s\n",
+			r.Seq, r.Kind, float64(r.Elapsed.Nanoseconds())/1e6,
+			r.Rows, r.Bytes, r.Shuffle, r.Plan, target)
+	}
 }

@@ -1,0 +1,189 @@
+package bench
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"dbcc/internal/datagen"
+	"dbcc/internal/graph"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// tinyDataset is a fast synthetic dataset for report tests.
+func tinyDataset() Dataset {
+	return Dataset{
+		Name: "Tiny test",
+		Gen: func(s float64, seed uint64) *graph.Graph {
+			return datagen.Bitcoin(120, seed)
+		},
+	}
+}
+
+func tinyConfig() Config {
+	return Config{Scale: 1, Segments: 4, Reps: 1, Seed: 2019, Verify: true}
+}
+
+// keyPaths flattens a decoded JSON value into its set of field paths
+// (arrays contribute "[]" segments), ignoring the values — the shape of
+// the document, independent of timings and counts.
+func keyPaths(prefix string, v any, out map[string]bool) {
+	switch v := v.(type) {
+	case map[string]any:
+		for k, child := range v {
+			p := k
+			if prefix != "" {
+				p = prefix + "." + k
+			}
+			out[p] = true
+			keyPaths(p, child, out)
+		}
+	case []any:
+		for _, child := range v {
+			keyPaths(prefix+"[]", child, out)
+		}
+	}
+}
+
+// TestJSONSchemaGolden locks the BENCH_*.json document shape against the
+// committed golden file: adding, removing or renaming a field fails until
+// the golden (and JSONSchemaVersion) are updated deliberately. Run with
+// -update to rewrite the golden.
+func TestJSONSchemaGolden(t *testing.T) {
+	rep := JSONReport(tinyDataset(), tinyConfig(), 0)
+	for _, a := range rep.Algorithms {
+		if a.Error != "" {
+			t.Fatalf("%s failed: %s", a.Name, a.Error)
+		}
+		if len(a.RoundLog) == 0 {
+			t.Fatalf("%s has no round log; the golden needs every array populated", a.Name)
+		}
+	}
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded any
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	set := map[string]bool{}
+	keyPaths("", decoded, set)
+	paths := make([]string, 0, len(set))
+	for p := range set {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	got := strings.Join(paths, "\n") + "\n"
+
+	golden := filepath.Join("testdata", "bench_schema_golden.txt")
+	if *updateGolden {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Fatalf("BENCH json schema drifted from %s (run with -update and bump JSONSchemaVersion if intended)\ngot:\n%s\nwant:\n%s",
+			golden, got, want)
+	}
+}
+
+// TestJSONReportContents sanity-checks the report values the schema test
+// ignores.
+func TestJSONReportContents(t *testing.T) {
+	rep := JSONReport(tinyDataset(), tinyConfig(), 0)
+	if rep.SchemaVersion != JSONSchemaVersion {
+		t.Fatalf("schema version %d, want %d", rep.SchemaVersion, JSONSchemaVersion)
+	}
+	if rep.Vertices <= 0 || rep.Edges <= 0 {
+		t.Fatalf("report sizes v=%d e=%d", rep.Vertices, rep.Edges)
+	}
+	names := map[string]bool{}
+	for _, a := range rep.Algorithms {
+		names[a.Name] = true
+		if a.Queries <= 0 || a.RowsWritten <= 0 {
+			t.Fatalf("%s: queries=%d rows=%d", a.Name, a.Queries, a.RowsWritten)
+		}
+		if a.Rounds == 0 || a.Components <= 0 {
+			t.Fatalf("%s: rounds=%d components=%d", a.Name, a.Rounds, a.Components)
+		}
+		var qsum int64
+		for _, r := range a.RoundLog {
+			qsum += r.Queries
+		}
+		if qsum <= 0 || qsum > a.Queries {
+			t.Fatalf("%s: round queries sum %d vs whole-run %d", a.Name, qsum, a.Queries)
+		}
+	}
+	for _, want := range []string{"rc", "hm", "tp", "cr", "rc-det"} {
+		if !names[want] {
+			t.Fatalf("report is missing algorithm %q (has %v)", want, names)
+		}
+	}
+}
+
+func TestWriteJSONReportsAndFileName(t *testing.T) {
+	if got := JSONFileName("Bitcoin addresses"); got != "BENCH_Bitcoin_addresses.json" {
+		t.Fatalf("JSONFileName = %q", got)
+	}
+	dir := t.TempDir()
+	reps, paths, err := WriteJSONReports(dir, []Dataset{tinyDataset()}, tinyConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 1 || len(paths) != 1 {
+		t.Fatalf("got %d reports, %d paths", len(reps), len(paths))
+	}
+	data, err := os.ReadFile(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rt BenchJSON
+	if err := json.Unmarshal(data, &rt); err != nil {
+		t.Fatalf("written report does not round-trip: %v", err)
+	}
+	if rt.Dataset != "Tiny test" {
+		t.Fatalf("round-tripped dataset %q", rt.Dataset)
+	}
+}
+
+func TestBaselineCheck(t *testing.T) {
+	rep := JSONReport(tinyDataset(), tinyConfig(), 0)
+	var det int64
+	for _, a := range rep.Algorithms {
+		if a.Name == "rc-det" {
+			det = a.Queries
+		}
+	}
+	good := &Baseline{Tolerance: 0.1, RCDetQueries: map[string]int64{"Tiny test": det}}
+	if err := good.Check(rep); err != nil {
+		t.Fatalf("exact baseline failed: %v", err)
+	}
+	drifted := &Baseline{Tolerance: 0.1, RCDetQueries: map[string]int64{"Tiny test": det * 2}}
+	if err := drifted.Check(rep); err == nil {
+		t.Fatal("a 2x query deviation passed the 10% tolerance")
+	}
+	missing := &Baseline{Tolerance: 0.1, RCDetQueries: map[string]int64{}}
+	if err := missing.Check(rep); err == nil {
+		t.Fatal("missing baseline entry passed")
+	}
+}
+
+func TestLoadCommittedBaseline(t *testing.T) {
+	b, err := LoadBaseline(filepath.Join("testdata", "bench_baseline.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Tolerance <= 0 || len(b.RCDetQueries) == 0 {
+		t.Fatalf("committed baseline is degenerate: %+v", b)
+	}
+}

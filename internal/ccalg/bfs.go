@@ -21,8 +21,11 @@ func BFS(c *engine.Cluster, input string, opts Options) (*Result, error) {
 	r := newRun(c, opts)
 	defer r.cleanup()
 
-	// Symmetrised edge table, distributed by source.
-	if _, err := r.create("bfs_e", symmetric(input), 0); err != nil {
+	// Symmetrised edge table, distributed by source. BFS never shrinks the
+	// edge set, so this count is the constant live-edge figure of the round
+	// log — the reason its per-round cost does not decay.
+	liveE, err := r.create("bfs_e", symmetric(input), 0)
+	if err != nil {
 		return nil, err
 	}
 	// Initial labels: minimum of the closed neighbourhood.
@@ -42,6 +45,7 @@ func BFS(c *engine.Cluster, input string, opts Options) (*Result, error) {
 		if rounds > maxRounds {
 			return nil, fmt.Errorf("ccalg: BFS exceeded %d rounds", maxRounds)
 		}
+		r.beginRound()
 		// Neighbour labels: for each edge (v, w), the label of w.
 		// Columns after join: v, w, lv(v), lv(r).
 		nbr := engine.Join(r.scan("bfs_e"), r.scan("bfs_l"), 1, 0)
@@ -53,7 +57,8 @@ func BFS(c *engine.Cluster, input string, opts Options) (*Result, error) {
 			engine.ProjCol{Expr: engine.Col(0), Name: "v"},
 			engine.ProjCol{Expr: engine.Least(engine.Col(1), engine.Col(3)), Name: "r"},
 		)
-		if _, err := r.create("bfs_l2", improved, 0); err != nil {
+		liveV, err := r.create("bfs_l2", improved, 0)
+		if err != nil {
 			return nil, err
 		}
 		// Converged when no vertex changed its representative.
@@ -70,6 +75,7 @@ func BFS(c *engine.Cluster, input string, opts Options) (*Result, error) {
 		if err := r.rename("bfs_l2", "bfs_l"); err != nil {
 			return nil, err
 		}
+		r.endRound(liveV, liveE)
 		if changed == 0 {
 			break
 		}
@@ -82,5 +88,5 @@ func BFS(c *engine.Cluster, input string, opts Options) (*Result, error) {
 	if err := r.drop("bfs_l", "bfs_e"); err != nil {
 		return nil, err
 	}
-	return &Result{Labels: labels, Rounds: rounds}, nil
+	return &Result{Labels: labels, Rounds: rounds, RoundLog: r.roundLog}, nil
 }

@@ -45,9 +45,36 @@ type Options struct {
 	// MaxLiveBytes aborts the run with ErrSpaceLimit when the cluster's
 	// live table footprint exceeds it; 0 means unlimited.
 	MaxLiveBytes int64
+	// OnRound, when non-nil, streams every completed round's statistics as
+	// it finishes — the live form of Result.RoundLog.
+	OnRound func(RoundStats)
 	// RC holds the Randomised Contraction specific knobs; ignored by the
 	// other algorithms.
 	RC RCOptions
+}
+
+// RoundStats is the per-round measurement stream of an algorithm run: the
+// observable the paper's evaluation is built on (rows and bytes written
+// per round, Tables IV–V; the exponential shrinkage of the live graph,
+// Figs. 6–9). Queries, RowsWritten and BytesWritten are deltas of the
+// cluster counters over the round, so when several runs share one cluster
+// concurrently they are best-effort, like per-run Stats.
+type RoundStats struct {
+	// Round numbers rounds from 1 in execution order.
+	Round int
+	// LiveVertices is the number of vertices still participating after the
+	// round (algorithm-specific: contraction survivors for RC, labelled
+	// vertices during propagation phases).
+	LiveVertices int64
+	// LiveEdges is the size of the live graph state after the round (edge
+	// rows for RC/Two-Phase/Cracker/BFS, cluster-state rows for
+	// Hash-to-Min, whose quadratic growth is its failure mode).
+	LiveEdges int64
+	// Queries is the number of SQL statements the round issued.
+	Queries int64
+	// RowsWritten and BytesWritten are the write volume of the round.
+	RowsWritten  int64
+	BytesWritten int64
 }
 
 // Result is the outcome of an algorithm run.
@@ -59,6 +86,9 @@ type Result struct {
 	// contraction steps, the paper's "number of SQL queries" up to the
 	// constant per-round query count).
 	Rounds int
+	// RoundLog is the per-round measurement stream, one entry per executed
+	// round in order.
+	RoundLog []RoundStats
 }
 
 // Func runs one algorithm against the named input table on the cluster.
@@ -114,6 +144,11 @@ type run struct {
 	maxBytes int64
 	ns       string
 	temps    map[string]struct{}
+
+	onRound  func(RoundStats)
+	roundLog []RoundStats
+	// Counter snapshot at the start of the current round, for the deltas.
+	q0, w0, b0 int64
 }
 
 func newRun(c *engine.Cluster, opts Options) *run {
@@ -122,6 +157,31 @@ func newRun(c *engine.Cluster, opts Options) *run {
 		maxBytes: opts.MaxLiveBytes,
 		ns:       fmt.Sprintf("run%d_", runSeq.Add(1)),
 		temps:    make(map[string]struct{}),
+		onRound:  opts.OnRound,
+	}
+}
+
+// beginRound snapshots the cluster counters so endRound can report the
+// round's query count and write volume as deltas.
+func (r *run) beginRound() {
+	r.q0, r.w0, r.b0 = r.c.Counters()
+}
+
+// endRound closes the current round: it records the round's statistics in
+// the run log and streams them to the OnRound callback if set.
+func (r *run) endRound(liveVertices, liveEdges int64) {
+	q, w, b := r.c.Counters()
+	rs := RoundStats{
+		Round:        len(r.roundLog) + 1,
+		LiveVertices: liveVertices,
+		LiveEdges:    liveEdges,
+		Queries:      q - r.q0,
+		RowsWritten:  w - r.w0,
+		BytesWritten: b - r.b0,
+	}
+	r.roundLog = append(r.roundLog, rs)
+	if r.onRound != nil {
+		r.onRound(rs)
 	}
 }
 

@@ -61,9 +61,12 @@ func Cracker(c *engine.Cluster, input string, opts Options) (*Result, error) {
 		if rounds > maxRounds {
 			return nil, fmt.Errorf("ccalg: Cracker exceeded %d rounds", maxRounds)
 		}
-		if err := crackerRound(r); err != nil {
+		r.beginRound()
+		liveV, liveE, err := crackerRound(r)
+		if err != nil {
 			return nil, err
 		}
+		r.endRound(liveV, liveE)
 	}
 
 	// Propagation: seed labels at the roots, then push one tree level per
@@ -88,6 +91,7 @@ func Cracker(c *engine.Cluster, input string, opts Options) (*Result, error) {
 		}
 		prev = n
 		rounds++
+		r.beginRound()
 		// Children of labelled parents inherit the label; union with the
 		// existing labels and deduplicate (each child has one parent, so
 		// no conflicts arise).
@@ -96,8 +100,9 @@ func Cracker(c *engine.Cluster, input string, opts Options) (*Result, error) {
 			engine.ProjCol{Expr: engine.Col(1), Name: "v"},
 			engine.ProjCol{Expr: engine.Col(3), Name: "r"},
 		)
-		if _, err := r.create("cr_lab2",
-			engine.Distinct(engine.UnionAll(r.scan("cr_lab"), children)), 0); err != nil {
+		labelled, err := r.create("cr_lab2",
+			engine.Distinct(engine.UnionAll(r.scan("cr_lab"), children)), 0)
+		if err != nil {
 			return nil, err
 		}
 		if err := r.drop("cr_lab"); err != nil {
@@ -106,6 +111,9 @@ func Cracker(c *engine.Cluster, input string, opts Options) (*Result, error) {
 		if err := r.rename("cr_lab2", "cr_lab"); err != nil {
 			return nil, err
 		}
+		// Propagation rounds run on the edge-free tree: the labelled vertex
+		// count grows level by level while the live edge set stays empty.
+		r.endRound(labelled, 0)
 	}
 
 	// Isolated input vertices (loop edges) never enter the working graph;
@@ -125,12 +133,13 @@ func Cracker(c *engine.Cluster, input string, opts Options) (*Result, error) {
 	if err := r.drop("cr_result", "cr_lab", "cr_tree", "cr_allv", "cr_e"); err != nil {
 		return nil, err
 	}
-	return &Result{Labels: labels, Rounds: rounds}, nil
+	return &Result{Labels: labels, Rounds: rounds, RoundLog: r.roundLog}, nil
 }
 
 // crackerRound performs one min-selection + pruning round, replacing cr_e
-// and appending to cr_tree.
-func crackerRound(r *run) error {
+// and appending to cr_tree. It returns the surviving (unpruned) vertex
+// count and the edge count of the next graph.
+func crackerRound(r *run) (int64, int64, error) {
 	c := r.c
 	// Min of the closed neighbourhood per vertex.
 	mPlan := engine.Project(
@@ -140,7 +149,7 @@ func crackerRound(r *run) error {
 		engine.ProjCol{Expr: engine.Least(engine.Col(0), engine.Col(1)), Name: "m"},
 	)
 	if _, err := r.create("cr_m", mPlan, 0); err != nil {
-		return err
+		return 0, 0, err
 	}
 	// Min selection: candidate proposals (receiver, candidate). Each edge
 	// row (u, v) sends u's minimum to v; each vertex also proposes its
@@ -155,18 +164,18 @@ func crackerRound(r *run) error {
 		engine.ProjCol{Expr: engine.Col(1), Name: "c"})
 	if _, err := r.create("cr_g",
 		engine.Distinct(engine.UnionAll(toNeighbours, toSelf)), 0); err != nil {
-		return err
+		return 0, 0, err
 	}
 	// The previous graph is no longer needed once the candidate table
 	// exists (a Spark port would unpersist the parent RDD here).
 	if err := r.drop("cr_m", "cr_e"); err != nil {
-		return err
+		return 0, 0, err
 	}
 	// vmin(v) = min C(v).
 	if _, err := r.create("cr_vmin",
 		engine.GroupBy(r.scan("cr_g"), []int{0},
 			engine.Agg{Op: engine.AggMin, Arg: engine.Col(1), Name: "vmin"}), 0); err != nil {
-		return err
+		return 0, 0, err
 	}
 	// Survivors: vertices that are somebody's minimum (v ∈ C(v)).
 	survivors := engine.Project(
@@ -174,8 +183,9 @@ func crackerRound(r *run) error {
 			engine.Bin(engine.OpEq, engine.Col(0), engine.Col(1))),
 		engine.ProjCol{Expr: engine.Col(0), Name: "v"},
 	)
-	if _, err := r.create("cr_live", engine.Distinct(survivors), 0); err != nil {
-		return err
+	liveV, err := r.create("cr_live", engine.Distinct(survivors), 0)
+	if err != nil {
+		return 0, 0, err
 	}
 	// Pruned vertices attach to their candidate minimum in the tree.
 	// Columns after left join: v, vmin, v(live).
@@ -187,7 +197,7 @@ func crackerRound(r *run) error {
 		engine.ProjCol{Expr: engine.Col(0), Name: "child"},
 	)
 	if _, err := r.create("cr_prune", prunedTree, 1); err != nil {
-		return err
+		return 0, 0, err
 	}
 	// Next graph: every candidate re-linked to its receiver's minimum,
 	// re-symmetrised, loops dropped. Join columns: v, c, v, vmin.
@@ -201,8 +211,9 @@ func crackerRound(r *run) error {
 		engine.ProjCol{Expr: engine.Col(0), Name: "w"})
 	sym := engine.Distinct(engine.Filter(engine.UnionAll(relinked, rev),
 		engine.Bin(engine.OpNe, engine.Col(0), engine.Col(1))))
-	if _, err := r.create("cr_e2", sym, 0); err != nil {
-		return err
+	liveE, err := r.create("cr_e2", sym, 0)
+	if err != nil {
+		return 0, 0, err
 	}
 	// Roots: surviving vertices that no longer touch any edge and were not
 	// pruned — they seed their component. Columns after the two left
@@ -211,7 +222,7 @@ func crackerRound(r *run) error {
 		engine.GroupBy(r.scan("cr_e2"), []int{0}),
 		engine.ProjCol{Expr: engine.Col(0), Name: "v"})
 	if _, err := r.create("cr_nextv", engine.Distinct(nextV), 0); err != nil {
-		return err
+		return 0, 0, err
 	}
 	prunedChildren := engine.Project(r.scan("cr_prune"),
 		engine.ProjCol{Expr: engine.Col(1), Name: "v"})
@@ -224,25 +235,25 @@ func crackerRound(r *run) error {
 		engine.ProjCol{Expr: engine.Col(0), Name: "child"},
 	)
 	if _, err := r.create("cr_roots", rootRows, 1); err != nil {
-		return err
+		return 0, 0, err
 	}
 	// Append this round's tree rows.
 	treeRows, err := c.ReadAll(r.t("cr_prune"))
 	if err != nil {
-		return err
+		return 0, 0, err
 	}
 	rootRowsData, err := c.ReadAll(r.t("cr_roots"))
 	if err != nil {
-		return err
+		return 0, 0, err
 	}
 	if err := c.InsertRows(r.t("cr_tree"), append(treeRows, rootRowsData...)); err != nil {
-		return err
+		return 0, 0, err
 	}
 	if err := r.drop("cr_g", "cr_vmin", "cr_live", "cr_prune", "cr_roots", "cr_nextv"); err != nil {
-		return err
+		return 0, 0, err
 	}
 	if err := r.rename("cr_e2", "cr_e"); err != nil {
-		return err
+		return 0, 0, err
 	}
-	return r.checkSpace()
+	return liveV, liveE, r.checkSpace()
 }

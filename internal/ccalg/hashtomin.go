@@ -53,10 +53,12 @@ func HashToMin(c *engine.Cluster, input string, opts Options) (*Result, error) {
 		if rounds > maxRounds {
 			return nil, fmt.Errorf("ccalg: Hash-to-Min exceeded %d rounds", maxRounds)
 		}
-		// m(v) = min C(v).
-		if _, err := r.create("hm_m",
+		r.beginRound()
+		// m(v) = min C(v). Its cardinality is the vertex count.
+		liveV, err := r.create("hm_m",
 			engine.GroupBy(r.scan("hm_c"), []int{0},
-				engine.Agg{Op: engine.AggMin, Arg: engine.Col(1), Name: "m"}), 0); err != nil {
+				engine.Agg{Op: engine.AggMin, Arg: engine.Col(1), Name: "m"}), 0)
+		if err != nil {
 			return nil, err
 		}
 		// Join columns: v, u, v, m.
@@ -103,6 +105,9 @@ func HashToMin(c *engine.Cluster, input string, opts Options) (*Result, error) {
 		if err := r.rename("hm_c2", "hm_c"); err != nil {
 			return nil, err
 		}
+		// The live state for Hash-to-Min is the cluster table — its
+		// quadratic growth (not shrinkage) is what the round log exposes.
+		r.endRound(liveV, n2)
 		if same {
 			break
 		}
@@ -122,5 +127,5 @@ func HashToMin(c *engine.Cluster, input string, opts Options) (*Result, error) {
 	if err := r.drop("hm_result", "hm_c"); err != nil {
 		return nil, err
 	}
-	return &Result{Labels: labels, Rounds: rounds}, nil
+	return &Result{Labels: labels, Rounds: rounds, RoundLog: r.roundLog}, nil
 }

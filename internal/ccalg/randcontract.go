@@ -141,6 +141,7 @@ func runRC(r *run, s *sql.Session, input string, opts Options) (*Result, error) 
 		if round > maxRounds {
 			return nil, fmt.Errorf("ccalg: randomised contraction exceeded %d rounds", maxRounds)
 		}
+		r.beginRound()
 		var keys rcKeys
 		switch {
 		case opts.RC.Deterministic:
@@ -152,11 +153,12 @@ func runRC(r *run, s *sql.Session, input string, opts Options) (*Result, error) 
 		}
 		stack = append(stack, keys)
 
+		var liveV int64
 		var err error
 		if method == FiniteFields || method == GFPrime {
-			err = rcRepsAffine(r, s, method, round, keys)
+			liveV, err = rcRepsAffine(r, s, method, round, keys)
 		} else {
-			err = rcRepsArgmin(r, s, method, round, keys)
+			liveV, err = rcRepsArgmin(r, s, method, round, keys)
 		}
 		if err != nil {
 			return nil, err
@@ -198,6 +200,7 @@ func runRC(r *run, s *sql.Session, input string, opts Options) (*Result, error) 
 				return nil, err
 			}
 		}
+		r.endRound(liveV, size)
 
 		if size == 0 {
 			break
@@ -226,24 +229,24 @@ func runRC(r *run, s *sql.Session, input string, opts Options) (*Result, error) 
 	if err := r.drop("rc_result"); err != nil {
 		return nil, err
 	}
-	return &Result{Labels: labels, Rounds: len(stack)}, nil
+	return &Result{Labels: labels, Rounds: len(stack), RoundLog: r.roundLog}, nil
 }
 
 // rcRepsAffine computes the round's representatives with the
 // min-relabelling optimisation (Sec. V-D): representatives are the
-// h-transformed IDs, so a plain min aggregate suffices.
-func rcRepsAffine(r *run, s *sql.Session, method Method, round int, k rcKeys) error {
+// h-transformed IDs, so a plain min aggregate suffices. It returns the
+// representative-table cardinality — the round's live vertex count.
+func rcRepsAffine(r *run, s *sql.Session, method Method, round int, k rcKeys) (int64, error) {
 	fn := "axplusb"
 	if method == GFPrime {
 		fn = "axbp"
 	}
-	_, err := r.exec(s, fmt.Sprintf(`
+	return r.exec(s, fmt.Sprintf(`
 		create table rc_reps%d as
 		select v1 v, least(%[2]s(%[3]d, v1, %[4]d), min(%[2]s(%[3]d, v2, %[4]d))) rep
 		from rc_graph
 		group by v1
 		distributed by (v)`, round, fn, k.a, k.b))
-	return err
 }
 
 // rcRepsArgmin computes the round's representatives as
@@ -251,8 +254,9 @@ func rcRepsAffine(r *run, s *sql.Session, method Method, round int, k rcKeys) er
 // reals and encryption methods (Sec. V-C). Representatives remain genuine
 // vertex IDs. Ties on h are broken by the smaller vertex ID, which is
 // still a valid representative choice (any r(v) ∈ N[v] preserves
-// connectivity).
-func rcRepsArgmin(r *run, s *sql.Session, method Method, round int, k rcKeys) error {
+// connectivity). It returns the representative-table cardinality — the
+// round's live vertex count.
+func rcRepsArgmin(r *run, s *sql.Session, method Method, round int, k rcKeys) (int64, error) {
 	hexpr := func(col string) string {
 		if method == Encryption {
 			return fmt.Sprintf("enc(%d, %s)", k.key, col)
@@ -267,24 +271,25 @@ func rcRepsArgmin(r *run, s *sql.Session, method Method, round int, k rcKeys) er
 		union all
 		select v1 as v, v1 as w, %s as h from rc_graph group by v1
 		distributed by (v)`, hexpr("v2"), hexpr("v1"))); err != nil {
-		return err
+		return 0, err
 	}
 	if _, err := r.exec(s, `
 		create table rc_minh as
 		select v, min(h) as mh from rc_nh group by v
 		distributed by (v)`); err != nil {
-		return err
+		return 0, err
 	}
-	if _, err := r.exec(s, fmt.Sprintf(`
+	n, err := r.exec(s, fmt.Sprintf(`
 		create table rc_reps%d as
 		select rc_nh.v as v, min(rc_nh.w) as rep
 		from rc_nh, rc_minh
 		where rc_nh.v = rc_minh.v and rc_nh.h = rc_minh.mh
 		group by rc_nh.v
-		distributed by (v)`, round)); err != nil {
-		return err
+		distributed by (v)`, round))
+	if err != nil {
+		return 0, err
 	}
-	return r.drop("rc_nh", "rc_minh")
+	return n, r.drop("rc_nh", "rc_minh")
 }
 
 // rcFoldSafe folds the round's representative table into the running

@@ -1,0 +1,92 @@
+package ccalg
+
+import (
+	"testing"
+
+	"dbcc/internal/datagen"
+)
+
+// TestRCRoundLogShrinkage checks the contraction invariant the round log
+// exposes: the live edge set of Randomised Contraction never grows from
+// round to round (Lemma 2's expected shrinkage is probabilistic, but
+// non-growth is certain: contraction only merges vertices and removes
+// loops), and the run ends with the graph contracted away entirely.
+func TestRCRoundLogShrinkage(t *testing.T) {
+	g := datagen.Bitcoin(300, 7)
+	res, _ := runOn(t, RandomisedContraction, g, Options{Seed: 11})
+	checkCorrect(t, g, res)
+	if len(res.RoundLog) == 0 {
+		t.Fatal("RC produced no round log")
+	}
+	if len(res.RoundLog) != res.Rounds {
+		t.Fatalf("round log has %d entries, Rounds = %d", len(res.RoundLog), res.Rounds)
+	}
+	prev := res.RoundLog[0].LiveEdges
+	for i, rs := range res.RoundLog {
+		if rs.Round != i+1 {
+			t.Fatalf("round %d numbered %d", i+1, rs.Round)
+		}
+		if rs.LiveEdges > prev {
+			t.Fatalf("round %d: live edges grew %d -> %d", rs.Round, prev, rs.LiveEdges)
+		}
+		prev = rs.LiveEdges
+		if rs.Queries <= 0 {
+			t.Fatalf("round %d issued %d queries", rs.Round, rs.Queries)
+		}
+		if rs.RowsWritten <= 0 || rs.BytesWritten <= 0 {
+			t.Fatalf("round %d wrote rows=%d bytes=%d", rs.Round, rs.RowsWritten, rs.BytesWritten)
+		}
+	}
+	if last := res.RoundLog[len(res.RoundLog)-1]; last.LiveEdges != 0 {
+		t.Fatalf("final round still has %d live edges", last.LiveEdges)
+	}
+}
+
+// TestRCDeterministicRoundLogReproducible checks that the deterministic
+// variant's round log — the CI baseline anchor — is identical across runs.
+func TestRCDeterministicRoundLogReproducible(t *testing.T) {
+	g := datagen.Bitcoin(200, 3)
+	opts := Options{Seed: 5, RC: RCOptions{Deterministic: true}}
+	res1, _ := runOn(t, RandomisedContraction, g, opts)
+	res2, _ := runOn(t, RandomisedContraction, g, opts)
+	if len(res1.RoundLog) != len(res2.RoundLog) {
+		t.Fatalf("round counts differ: %d vs %d", len(res1.RoundLog), len(res2.RoundLog))
+	}
+	for i := range res1.RoundLog {
+		if res1.RoundLog[i] != res2.RoundLog[i] {
+			t.Fatalf("round %d differs: %+v vs %+v", i+1, res1.RoundLog[i], res2.RoundLog[i])
+		}
+	}
+}
+
+// TestAllAlgorithmsRoundLog checks every registered algorithm emits a
+// consistent per-round stream and streams the same entries through the
+// OnRound callback.
+func TestAllAlgorithmsRoundLog(t *testing.T) {
+	g := datagen.Bitcoin(150, 9)
+	for _, info := range Algorithms() {
+		t.Run(info.Name, func(t *testing.T) {
+			var streamed []RoundStats
+			opts := Options{Seed: 13, OnRound: func(rs RoundStats) { streamed = append(streamed, rs) }}
+			res, _ := runOn(t, info.Run, g, opts)
+			checkCorrect(t, g, res)
+			if len(res.RoundLog) == 0 {
+				t.Fatal("no round log")
+			}
+			if len(streamed) != len(res.RoundLog) {
+				t.Fatalf("OnRound streamed %d entries, log has %d", len(streamed), len(res.RoundLog))
+			}
+			for i, rs := range res.RoundLog {
+				if rs != streamed[i] {
+					t.Fatalf("round %d: streamed %+v, logged %+v", i+1, streamed[i], rs)
+				}
+				if rs.Round != i+1 {
+					t.Fatalf("round %d numbered %d", i+1, rs.Round)
+				}
+				if rs.Queries <= 0 {
+					t.Fatalf("round %d issued %d queries", rs.Round, rs.Queries)
+				}
+			}
+		})
+	}
+}

@@ -53,20 +53,23 @@ func TwoPhase(c *engine.Cluster, input string, opts Options) (*Result, error) {
 		if rounds > maxRounds {
 			return nil, fmt.Errorf("ccalg: Two-Phase exceeded %d rounds", maxRounds)
 		}
-		if err := tpStar(r, true); err != nil { // large-star
+		r.beginRound()
+		if _, _, err := tpStar(r, true); err != nil { // large-star
 			return nil, err
 		}
 		changed, err := tpStarChanged(r)
 		if err != nil {
 			return nil, err
 		}
-		if err := tpStar(r, false); err != nil { // small-star
+		liveV, liveE, err := tpStar(r, false) // small-star
+		if err != nil {
 			return nil, err
 		}
 		changed2, err := tpStarChanged(r)
 		if err != nil {
 			return nil, err
 		}
+		r.endRound(liveV, liveE)
 		if !changed && !changed2 {
 			break
 		}
@@ -93,11 +96,13 @@ func TwoPhase(c *engine.Cluster, input string, opts Options) (*Result, error) {
 	if err := r.drop("tp_result", "tp_e", "tp_v"); err != nil {
 		return nil, err
 	}
-	return &Result{Labels: labels, Rounds: rounds}, nil
+	return &Result{Labels: labels, Rounds: rounds, RoundLog: r.roundLog}, nil
 }
 
 // tpStar applies one star operation to tp_e, leaving the previous edge set
-// in tp_prev for the change check.
+// in tp_prev for the change check. It returns the live vertex count (the
+// vertices still touching an edge before the operation) and the edge count
+// of the star output.
 //
 // The canonical edge table is expanded to both orientations inside the
 // plan; grouping by the first column then yields m(v) = min(N[v]). The
@@ -105,7 +110,7 @@ func TwoPhase(c *engine.Cluster, input string, opts Options) (*Result, error) {
 // output is {(u, m(v)) : u ∈ N(v), u < v} ∪ {(v, m(v))}. In both cases
 // u > m(v) whenever the pair is not a loop, so the output is already
 // canonical and deduplication suffices.
-func tpStar(r *run, large bool) error {
+func tpStar(r *run, large bool) (int64, int64, error) {
 	sym := engine.UnionAll(
 		engine.Project(r.scan("tp_e"),
 			engine.ProjCol{Expr: engine.Col(0), Name: "v"},
@@ -121,8 +126,9 @@ func tpStar(r *run, large bool) error {
 		engine.ProjCol{Expr: engine.Col(0), Name: "v"},
 		engine.ProjCol{Expr: engine.Least(engine.Col(0), engine.Col(1)), Name: "m"},
 	)
-	if _, err := r.create("tp_m", mPlan, 0); err != nil {
-		return err
+	liveV, err := r.create("tp_m", mPlan, 0)
+	if err != nil {
+		return 0, 0, err
 	}
 	// Join columns: v, u, v, m.
 	joined := engine.Join(sym, r.scan("tp_m"), 0, 0)
@@ -147,16 +153,17 @@ func tpStar(r *run, large bool) error {
 	}
 	out := engine.Distinct(engine.Filter(edges,
 		engine.Bin(engine.OpNe, engine.Col(0), engine.Col(1))))
-	if _, err := r.create("tp_e2", out, 0); err != nil {
-		return err
+	liveE, err := r.create("tp_e2", out, 0)
+	if err != nil {
+		return 0, 0, err
 	}
 	if err := r.drop("tp_m"); err != nil {
-		return err
+		return 0, 0, err
 	}
 	if err := r.rename("tp_e", "tp_prev"); err != nil {
-		return err
+		return 0, 0, err
 	}
-	return r.rename("tp_e2", "tp_e")
+	return liveV, liveE, r.rename("tp_e2", "tp_e")
 }
 
 // tpStarChanged reports whether the last star operation changed the edge

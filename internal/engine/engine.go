@@ -52,6 +52,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dbcc/internal/xrand"
 )
@@ -209,6 +210,9 @@ type Options struct {
 	// the paper calls total-written (Table V) "arguably more important"
 	// than instantaneous peak (Table IV).
 	TransactionMode bool
+	// TraceCapacity sets the size of the query-trace ring buffer readable
+	// via Trace(); 0 means the default of 256, negative disables tracing.
+	TraceCapacity int
 }
 
 // Cluster is the in-process MPP database: a catalog of distributed tables,
@@ -227,11 +231,15 @@ type Cluster struct {
 	tables map[string]*Table
 	udfs   map[string]UDF
 
-	statsMu sync.Mutex // guards stats and the concurrency gauges
-	stats   Stats
-	active  int64
-	peak    int64
-	total   int64
+	statsMu  sync.Mutex // guards stats, the concurrency gauges, trace and opTotals
+	stats    Stats
+	active   int64
+	peak     int64
+	total    int64
+	trace    []TraceRecord // query-trace ring buffer
+	traceSeq int64         // statements traced since the last reset
+	traceCap int
+	opTotals map[string]OpTotal
 
 	sem chan struct{} // cluster-wide worker-pool slots
 }
@@ -253,6 +261,12 @@ func NewCluster(opts Options) *Cluster {
 	if opts.SparkPerQueryWork <= 0 {
 		opts.SparkPerQueryWork = 800_000
 	}
+	traceCap := opts.TraceCapacity
+	if traceCap == 0 {
+		traceCap = defaultTraceCapacity
+	} else if traceCap < 0 {
+		traceCap = 0
+	}
 	return &Cluster{
 		segments:    opts.Segments,
 		workers:     opts.Workers,
@@ -262,6 +276,8 @@ func NewCluster(opts Options) *Cluster {
 		broadcast:   opts.BroadcastThreshold,
 		tables:      make(map[string]*Table),
 		udfs:        make(map[string]UDF),
+		traceCap:    traceCap,
+		opTotals:    make(map[string]OpTotal),
 		sem:         make(chan struct{}, opts.Workers),
 	}
 }
@@ -334,14 +350,28 @@ func (c *Cluster) endStatement() {
 }
 
 // ResetStats clears all counters (keeping live-space accounting consistent
-// with the tables that currently exist). The concurrency gauges are not
-// reset. Per-run statistics are only meaningful when runs do not overlap;
-// concurrent sessions share one set of counters.
+// with the tables that currently exist), the query-trace ring buffer and
+// the per-operator accumulators, so benchmarks that reset between
+// algorithm runs never leak metrics from one run into the next. The
+// concurrency gauges are not reset. Per-run statistics are only meaningful
+// when runs do not overlap; concurrent sessions share one set of counters.
 func (c *Cluster) ResetStats() {
 	c.statsMu.Lock()
 	defer c.statsMu.Unlock()
 	live := c.stats.LiveBytes
 	c.stats = Stats{LiveBytes: live, PeakBytes: live}
+	c.trace = nil
+	c.traceSeq = 0
+	c.opTotals = make(map[string]OpTotal)
+}
+
+// Counters returns the cheap scalar counters (queries, rows written, bytes
+// written) without copying the per-query log — the accessor round-level
+// instrumentation polls between queries.
+func (c *Cluster) Counters() (queries, rowsWritten, bytesWritten int64) {
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
+	return c.stats.Queries, c.stats.RowsWritten, c.stats.BytesWritten
 }
 
 // hashDatum maps a distribution-key value to a segment.
@@ -392,6 +422,7 @@ func (c *Cluster) CreateTable(name string, schema Schema, distKey int) (*Table, 
 // partitions are replaced with freshly allocated slices so concurrent
 // scans keep reading their consistent snapshots.
 func (c *Cluster) InsertRows(name string, rows []Row) error {
+	start := time.Now()
 	t, ok := c.Table(name)
 	if !ok {
 		return fmt.Errorf("engine: table %q does not exist", name)
@@ -428,6 +459,15 @@ func (c *Cluster) InsertRows(name string, rows []Row) error {
 	t.mu.Unlock()
 	bytes := int64(len(rows)) * int64(len(t.Schema)) * DatumSize
 	c.accountWrite("insert "+name, int64(len(rows)), bytes)
+	c.addTrace(TraceRecord{
+		Kind:    "insert",
+		Target:  name,
+		Plan:    fmt.Sprintf("Insert(%s, %d rows)", name, len(rows)),
+		Rows:    int64(len(rows)),
+		Bytes:   bytes,
+		Start:   start,
+		Elapsed: time.Since(start),
+	})
 	return nil
 }
 

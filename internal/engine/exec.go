@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync/atomic"
+	"time"
 
 	"dbcc/internal/xrand"
 )
@@ -28,15 +29,17 @@ func (c *Cluster) CreateTableAs(name string, p Plan, distKey int) (int64, error)
 	if _, exists := c.Table(name); exists {
 		return 0, fmt.Errorf("engine: table %q already exists", name)
 	}
-	rel, err := c.exec(p)
+	start := time.Now()
+	rel, root, err := c.exec(p)
 	if err != nil {
 		return 0, err
 	}
+	var placeShuffle int64
 	if distKey != NoDistKey {
 		if distKey < 0 || distKey >= len(rel.schema) {
 			return 0, fmt.Errorf("engine: distribution key %d out of range for %v", distKey, rel.schema)
 		}
-		rel = c.redistribute(rel, distKey)
+		rel, placeShuffle = c.redistribute(rel, distKey)
 	}
 	t := &Table{Name: name, Schema: rel.schema, DistKey: distKey, Parts: rel.parts}
 	c.mu.Lock()
@@ -48,6 +51,17 @@ func (c *Cluster) CreateTableAs(name string, p Plan, distKey int) (int64, error)
 	c.mu.Unlock()
 	c.accountWrite("create "+name, t.Rows(), t.Bytes())
 	c.chargeProfileOverhead()
+	c.addTrace(TraceRecord{
+		Kind:    "create",
+		Target:  name,
+		Plan:    p.String(),
+		Rows:    t.Rows(),
+		Bytes:   t.Bytes(),
+		Shuffle: root.TotalShuffle() + placeShuffle,
+		Start:   start,
+		Elapsed: time.Since(start),
+		Root:    root,
+	})
 	return t.Rows(), nil
 }
 
@@ -56,11 +70,19 @@ func (c *Cluster) CreateTableAs(name string, p Plan, distKey int) (int64, error)
 // table and therefore does not count toward the write statistics, but it
 // does count as a query.
 func (c *Cluster) Query(p Plan) (Schema, []Row, error) {
+	schema, rows, _, err := c.QueryAnalyze(p)
+	return schema, rows, err
+}
+
+// QueryAnalyze is Query returning additionally the per-operator execution
+// profile of the run — the engine half of EXPLAIN ANALYZE.
+func (c *Cluster) QueryAnalyze(p Plan) (Schema, []Row, *OpMetrics, error) {
 	c.beginStatement()
 	defer c.endStatement()
-	rel, err := c.exec(p)
+	start := time.Now()
+	rel, root, err := c.exec(p)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	var out []Row
 	for _, part := range rel.parts {
@@ -70,7 +92,17 @@ func (c *Cluster) Query(p Plan) (Schema, []Row, error) {
 	c.stats.Queries++
 	c.statsMu.Unlock()
 	c.chargeProfileOverhead()
-	return rel.schema, out, nil
+	c.addTrace(TraceRecord{
+		Kind:    "select",
+		Plan:    p.String(),
+		Rows:    int64(len(out)),
+		Bytes:   root.Bytes,
+		Shuffle: root.TotalShuffle(),
+		Start:   start,
+		Elapsed: time.Since(start),
+		Root:    root,
+	})
+	return rel.schema, out, root, nil
 }
 
 // profileSink keeps the synthetic scheduling work below observable so the
@@ -92,28 +124,66 @@ func (c *Cluster) chargeProfileOverhead() {
 	profileSink.Add(acc)
 }
 
-// exec evaluates a plan tree to a distributed relation.
-func (c *Cluster) exec(p Plan) (*relation, error) {
+// finishOp builds the metrics node for one executed operator: output
+// volume and per-segment distribution from the produced relation, plus the
+// operator's shuffle traffic, per-segment compute times and inclusive wall
+// time since start.
+func finishOp(op, detail string, rel *relation, children []*OpMetrics,
+	shuffle int64, segTimes []time.Duration, start time.Time) *OpMetrics {
+	m := &OpMetrics{
+		Op:       op,
+		Detail:   detail,
+		Shuffle:  shuffle,
+		Elapsed:  time.Since(start),
+		SegTimes: segTimes,
+		Children: children,
+	}
+	m.SegRows = make([]int64, len(rel.parts))
+	for i, p := range rel.parts {
+		m.SegRows[i] = int64(len(p))
+		m.Rows += int64(len(p))
+	}
+	m.Bytes = m.Rows * int64(len(rel.schema)) * DatumSize
+	return m
+}
+
+// parallelTimed is parallel with a per-segment wall-time measurement of fn.
+func (c *Cluster) parallelTimed(fn func(seg int)) []time.Duration {
+	times := make([]time.Duration, c.segments)
+	c.parallel(func(seg int) {
+		t0 := time.Now()
+		fn(seg)
+		times[seg] = time.Since(t0)
+	})
+	return times
+}
+
+// exec evaluates a plan tree to a distributed relation, collecting one
+// OpMetrics node per operator.
+func (c *Cluster) exec(p Plan) (*relation, *OpMetrics, error) {
+	start := time.Now()
 	switch p := p.(type) {
 	case ScanPlan:
 		t, ok := c.Table(p.Table)
 		if !ok {
-			return nil, fmt.Errorf("engine: table %q does not exist", p.Table)
+			return nil, nil, fmt.Errorf("engine: table %q does not exist", p.Table)
 		}
-		return &relation{schema: t.Schema, parts: t.snapshotParts(), distKey: t.DistKey}, nil
+		rel := &relation{schema: t.Schema, parts: t.snapshotParts(), distKey: t.DistKey}
+		return rel, finishOp("Scan", p.Table, rel, nil, 0, nil, start), nil
 
 	case ValuesPlan:
 		parts := make([][]Row, c.segments)
 		parts[0] = p.Rows
-		return &relation{schema: p.Cols, parts: parts, distKey: NoDistKey}, nil
+		rel := &relation{schema: p.Cols, parts: parts, distKey: NoDistKey}
+		return rel, finishOp("Values", "", rel, nil, 0, nil, start), nil
 
 	case FilterPlan:
-		in, err := c.exec(p.Input)
+		in, cm, err := c.exec(p.Input)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		out := c.newParts()
-		c.parallel(func(seg int) {
+		segTimes := c.parallelTimed(func(seg int) {
 			var keep []Row
 			for _, row := range in.parts[seg] {
 				if truthy(p.Pred.Eval(row)) {
@@ -122,16 +192,17 @@ func (c *Cluster) exec(p Plan) (*relation, error) {
 			}
 			out[seg] = keep
 		})
-		return &relation{schema: in.schema, parts: out, distKey: in.distKey}, nil
+		rel := &relation{schema: in.schema, parts: out, distKey: in.distKey}
+		return rel, finishOp("Filter", p.Pred.String(), rel, []*OpMetrics{cm}, 0, segTimes, start), nil
 
 	case ProjectPlan:
-		in, err := c.exec(p.Input)
+		in, cm, err := c.exec(p.Input)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		schema, err := p.Schema(c)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		// A projection that passes the current distribution column through
 		// unchanged preserves the distribution.
@@ -145,7 +216,7 @@ func (c *Cluster) exec(p Plan) (*relation, error) {
 			}
 		}
 		out := c.newParts()
-		c.parallel(func(seg int) {
+		segTimes := c.parallelTimed(func(seg int) {
 			rows := make([]Row, len(in.parts[seg]))
 			for i, row := range in.parts[seg] {
 				nr := make(Row, len(p.Cols))
@@ -156,33 +227,37 @@ func (c *Cluster) exec(p Plan) (*relation, error) {
 			}
 			out[seg] = rows
 		})
-		return &relation{schema: schema, parts: out, distKey: outKey}, nil
+		rel := &relation{schema: schema, parts: out, distKey: outKey}
+		return rel, finishOp("Project", "", rel, []*OpMetrics{cm}, 0, segTimes, start), nil
 
 	case UnionAllPlan:
 		schema, err := p.Schema(c)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		out := c.newParts()
+		var children []*OpMetrics
 		for _, inp := range p.Inputs {
-			in, err := c.exec(inp)
+			in, cm, err := c.exec(inp)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
+			children = append(children, cm)
 			for seg := range out {
 				out[seg] = append(out[seg], in.parts[seg]...)
 			}
 		}
-		return &relation{schema: schema, parts: out, distKey: NoDistKey}, nil
+		rel := &relation{schema: schema, parts: out, distKey: NoDistKey}
+		return rel, finishOp("UnionAll", "", rel, children, 0, nil, start), nil
 
 	case DistinctPlan:
-		in, err := c.exec(p.Input)
+		in, cm, err := c.exec(p.Input)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		shuffled := c.redistributeByRowHash(in)
+		shuffled, moved := c.redistributeByRowHash(in)
 		out := c.newParts()
-		c.parallel(func(seg int) {
+		segTimes := c.parallelTimed(func(seg int) {
 			seen := make(map[string]struct{}, len(shuffled.parts[seg]))
 			var keep []Row
 			var buf []byte
@@ -196,33 +271,35 @@ func (c *Cluster) exec(p Plan) (*relation, error) {
 			}
 			out[seg] = keep
 		})
-		return &relation{schema: in.schema, parts: out, distKey: NoDistKey}, nil
+		rel := &relation{schema: in.schema, parts: out, distKey: NoDistKey}
+		return rel, finishOp("Distinct", "", rel, []*OpMetrics{cm}, moved, segTimes, start), nil
 
 	case SortPlan:
-		return c.execSort(p)
+		return c.execSort(p, start)
 
 	case GroupByPlan:
-		return c.execGroupBy(p)
+		return c.execGroupBy(p, start)
 
 	case JoinPlan:
-		return c.execJoin(p)
+		return c.execJoin(p, start)
 	}
-	return nil, fmt.Errorf("engine: unknown plan node %T", p)
+	return nil, nil, fmt.Errorf("engine: unknown plan node %T", p)
 }
 
 // newParts allocates an empty per-segment row partition set.
 func (c *Cluster) newParts() [][]Row { return make([][]Row, c.segments) }
 
-// redistribute hash-shuffles a relation so rows are placed by column key.
-func (c *Cluster) redistribute(in *relation, key int) *relation {
+// redistribute hash-shuffles a relation so rows are placed by column key,
+// returning the bytes moved between segments.
+func (c *Cluster) redistribute(in *relation, key int) (*relation, int64) {
 	if in.distKey == key {
-		return in
+		return in, 0
 	}
 	return c.shuffle(in, func(row Row) int { return c.hashDatum(row[key]) }, key)
 }
 
 // redistributeByRowHash shuffles by a hash of the whole row (for DISTINCT).
-func (c *Cluster) redistributeByRowHash(in *relation) *relation {
+func (c *Cluster) redistributeByRowHash(in *relation) (*relation, int64) {
 	return c.shuffle(in, func(row Row) int {
 		var h uint64
 		for _, d := range row {
@@ -237,8 +314,9 @@ func (c *Cluster) redistributeByRowHash(in *relation) *relation {
 }
 
 // shuffle moves every row to the segment chosen by dest, recording the
-// network traffic in the statistics.
-func (c *Cluster) shuffle(in *relation, dest func(Row) int, newKey int) *relation {
+// network traffic in the statistics and returning it for per-operator
+// accounting.
+func (c *Cluster) shuffle(in *relation, dest func(Row) int, newKey int) (*relation, int64) {
 	// Phase 1: each source segment buckets its rows by destination.
 	buckets := make([][][]Row, c.segments) // [src][dst]
 	moved := make([]int64, c.segments)
@@ -267,7 +345,7 @@ func (c *Cluster) shuffle(in *relation, dest func(Row) int, newKey int) *relatio
 		total += m
 	}
 	c.addShuffleBytes(total)
-	return &relation{schema: in.schema, parts: out, distKey: newKey}
+	return &relation{schema: in.schema, parts: out, distKey: newKey}, total
 }
 
 // encodeRow appends a canonical byte encoding of the row to buf.
@@ -287,10 +365,10 @@ func encodeRow(buf []byte, row Row) []byte {
 
 // execSort gathers all rows onto segment 0 and orders them by the sort
 // keys, applying the limit if any.
-func (c *Cluster) execSort(p SortPlan) (*relation, error) {
-	in, err := c.exec(p.Input)
+func (c *Cluster) execSort(p SortPlan, start time.Time) (*relation, *OpMetrics, error) {
+	in, cm, err := c.exec(p.Input)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var all []Row
 	for _, part := range in.parts {
@@ -326,7 +404,8 @@ func (c *Cluster) execSort(p SortPlan) (*relation, error) {
 	}
 	parts := c.newParts()
 	parts[0] = all
-	return &relation{schema: in.schema, parts: parts, distKey: NoDistKey}, nil
+	rel := &relation{schema: in.schema, parts: parts, distKey: NoDistKey}
+	return rel, finishOp("Sort", "", rel, []*OpMetrics{cm}, 0, nil, start), nil
 }
 
 // aggState is the running state of the aggregates for one group.
@@ -369,14 +448,14 @@ func mergeAgg(st aggState, i int, a Agg, v Datum) {
 // segment pre-aggregates locally before the shuffle (map-side combine);
 // under ProfileSparkSQL raw rows are shuffled, as Spark SQL's planner of
 // the paper's era did for this query shape.
-func (c *Cluster) execGroupBy(p GroupByPlan) (*relation, error) {
-	in, err := c.exec(p.Input)
+func (c *Cluster) execGroupBy(p GroupByPlan, start time.Time) (*relation, *OpMetrics, error) {
+	in, cm, err := c.exec(p.Input)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	schema, err := p.Schema(c)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	nk := len(p.Keys)
 
@@ -404,10 +483,11 @@ func (c *Cluster) execGroupBy(p GroupByPlan) (*relation, error) {
 	}
 
 	// aggregateParts folds partial rows (already in key+agg layout) per
-	// segment into one row per group.
+	// segment into one row per group, timing each segment's fold.
+	var segTimes []time.Duration
 	aggregateParts := func(parts [][]Row) [][]Row {
 		out := c.newParts()
-		c.parallel(func(seg int) {
+		segTimes = c.parallelTimed(func(seg int) {
 			groups := make(map[string]Row)
 			var order []string
 			var buf []byte
@@ -455,6 +535,7 @@ func (c *Cluster) execGroupBy(p GroupByPlan) (*relation, error) {
 	if c.profile == ProfileMPP {
 		rel.parts = aggregateParts(rel.parts) // map-side combine
 	}
+	var moved int64
 	if nk == 0 {
 		// Global aggregate: gather everything to segment 0.
 		all := make([]Row, 0)
@@ -465,38 +546,40 @@ func (c *Cluster) execGroupBy(p GroupByPlan) (*relation, error) {
 		parts[0] = all
 		rel = &relation{schema: schema, parts: parts, distKey: NoDistKey}
 	} else if rel.distKey != 0 {
-		rel = c.shuffle(rel, func(row Row) int { return c.hashDatum(row[0]) }, 0)
+		rel, moved = c.shuffle(rel, func(row Row) int { return c.hashDatum(row[0]) }, 0)
 	}
 	rel.parts = aggregateParts(rel.parts)
-	return rel, nil
+	detail := fmt.Sprintf("keys=%v aggs=%d", p.Keys, len(p.Aggs))
+	return rel, finishOp("GroupBy", detail, rel, []*OpMetrics{cm}, moved, segTimes, start), nil
 }
 
 // execJoin evaluates a distributed hash equi-join: both sides are
 // redistributed by their join keys (if not already co-located), then each
 // segment joins its share with an in-memory hash table built on the
 // smaller side.
-func (c *Cluster) execJoin(p JoinPlan) (*relation, error) {
-	left, err := c.exec(p.Left)
+func (c *Cluster) execJoin(p JoinPlan, start time.Time) (*relation, *OpMetrics, error) {
+	left, lm, err := c.exec(p.Left)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	right, err := c.exec(p.Right)
+	right, rm, err := c.exec(p.Right)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if p.LeftKey < 0 || p.LeftKey >= len(left.schema) {
-		return nil, fmt.Errorf("engine: left join key %d out of range for %v", p.LeftKey, left.schema)
+		return nil, nil, fmt.Errorf("engine: left join key %d out of range for %v", p.LeftKey, left.schema)
 	}
 	if p.RightKey < 0 || p.RightKey >= len(right.schema) {
-		return nil, fmt.Errorf("engine: right join key %d out of range for %v", p.RightKey, right.schema)
+		return nil, nil, fmt.Errorf("engine: right join key %d out of range for %v", p.RightKey, right.schema)
 	}
 	schema, err := p.Schema(c)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	// Broadcast motion: if the build side is small enough and the probe
 	// side is not already placed on its join key, replicate the build side
 	// to every segment instead of shuffling both sides.
+	var moved int64
 	outKey := p.LeftKey
 	if c.broadcast > 0 && left.distKey != p.LeftKey {
 		var rightRows int64
@@ -504,19 +587,25 @@ func (c *Cluster) execJoin(p JoinPlan) (*relation, error) {
 			rightRows += int64(len(part))
 		}
 		if rightRows <= c.broadcast {
-			right = c.broadcastAll(right)
+			var bmoved int64
+			right, bmoved = c.broadcastAll(right)
+			moved += bmoved
 			outKey = left.distKey
 		} else {
-			left = c.redistribute(left, p.LeftKey)
-			right = c.redistribute(right, p.RightKey)
+			var lmoved, rmoved int64
+			left, lmoved = c.redistribute(left, p.LeftKey)
+			right, rmoved = c.redistribute(right, p.RightKey)
+			moved += lmoved + rmoved
 		}
 	} else {
-		left = c.redistribute(left, p.LeftKey)
-		right = c.redistribute(right, p.RightKey)
+		var lmoved, rmoved int64
+		left, lmoved = c.redistribute(left, p.LeftKey)
+		right, rmoved = c.redistribute(right, p.RightKey)
+		moved += lmoved + rmoved
 	}
 
 	out := c.newParts()
-	c.parallel(func(seg int) {
+	segTimes := c.parallelTimed(func(seg int) {
 		build := make(map[int64][]Row)
 		for _, row := range right.parts[seg] {
 			k := row[p.RightKey]
@@ -553,12 +642,19 @@ func (c *Cluster) execJoin(p JoinPlan) (*relation, error) {
 		}
 		out[seg] = rows
 	})
-	return &relation{schema: schema, parts: out, distKey: outKey}, nil
+	rel := &relation{schema: schema, parts: out, distKey: outKey}
+	op := "HashJoin"
+	if p.Kind == LeftOuterJoin {
+		op = "HashLeftJoin"
+	}
+	detail := fmt.Sprintf("$%d = $%d", p.LeftKey, p.RightKey)
+	return rel, finishOp(op, detail, rel, []*OpMetrics{lm, rm}, moved, segTimes, start), nil
 }
 
 // broadcastAll replicates a relation onto every segment (broadcast
-// motion), charging the replication traffic to the shuffle statistics.
-func (c *Cluster) broadcastAll(in *relation) *relation {
+// motion), charging the replication traffic to the shuffle statistics and
+// returning it.
+func (c *Cluster) broadcastAll(in *relation) (*relation, int64) {
 	var all []Row
 	var bytes int64
 	for _, part := range in.parts {
@@ -571,6 +667,7 @@ func (c *Cluster) broadcastAll(in *relation) *relation {
 	for i := range parts {
 		parts[i] = all
 	}
-	c.addShuffleBytes(bytes * int64(c.segments-1))
-	return &relation{schema: in.schema, parts: parts, distKey: NoDistKey}
+	moved := bytes * int64(c.segments-1)
+	c.addShuffleBytes(moved)
+	return &relation{schema: in.schema, parts: parts, distKey: NoDistKey}, moved
 }

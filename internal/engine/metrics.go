@@ -1,0 +1,232 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// OpMetrics is the measured execution profile of one operator of an
+// executed plan: the per-operator "actual" numbers an EXPLAIN ANALYZE
+// renders next to the planned tree. Every execution of a plan produces one
+// OpMetrics node per operator, mirroring the plan tree shape.
+//
+// Elapsed is inclusive wall time (the operator and everything below it),
+// matching the convention of PostgreSQL's "actual time". SegRows and
+// SegTimes expose the per-segment distribution of the operator's output
+// and compute time — the skew signal an MPP operator profile is read for.
+type OpMetrics struct {
+	Op       string          // operator name: Scan, Filter, HashJoin, ...
+	Detail   string          // operator argument: table name, keys, ...
+	Rows     int64           // total output rows
+	Bytes    int64           // modelled output bytes (rows × width × DatumSize)
+	Shuffle  int64           // bytes redistributed between segments by this operator
+	Elapsed  time.Duration   // inclusive wall time of this subtree
+	SegRows  []int64         // output rows per segment
+	SegTimes []time.Duration // compute time per segment of the operator's parallel phase (nil if none)
+	Children []*OpMetrics
+}
+
+// TotalShuffle sums the redistribution traffic of the whole subtree.
+func (m *OpMetrics) TotalShuffle() int64 {
+	if m == nil {
+		return 0
+	}
+	total := m.Shuffle
+	for _, ch := range m.Children {
+		total += ch.TotalShuffle()
+	}
+	return total
+}
+
+// MaxSegRows returns the largest per-segment output row count, the
+// numerator of the skew ratio.
+func (m *OpMetrics) MaxSegRows() int64 {
+	var mx int64
+	for _, n := range m.SegRows {
+		if n > mx {
+			mx = n
+		}
+	}
+	return mx
+}
+
+// Skew returns max/mean of the per-segment output row counts (1.0 means
+// perfectly balanced; 0 when the operator produced no rows).
+func (m *OpMetrics) Skew() float64 {
+	if m.Rows == 0 || len(m.SegRows) == 0 {
+		return 0
+	}
+	mean := float64(m.Rows) / float64(len(m.SegRows))
+	return float64(m.MaxSegRows()) / mean
+}
+
+// Format renders the metrics tree as indented text, one operator per line
+// with its actual rows, bytes and wall time, followed by the per-segment
+// row and time breakdown.
+func (m *OpMetrics) Format() string {
+	var b strings.Builder
+	m.format(&b, 0)
+	return b.String()
+}
+
+func (m *OpMetrics) format(b *strings.Builder, depth int) {
+	indent := strings.Repeat("  ", depth)
+	prefix := ""
+	if depth > 0 {
+		prefix = "-> "
+	}
+	detail := ""
+	if m.Detail != "" {
+		detail = "(" + m.Detail + ")"
+	}
+	fmt.Fprintf(b, "%s%s%s%s (actual time=%s rows=%d bytes=%d", indent, prefix, m.Op, detail,
+		fmtDuration(m.Elapsed), m.Rows, m.Bytes)
+	if m.Shuffle > 0 {
+		fmt.Fprintf(b, " shuffle=%d", m.Shuffle)
+	}
+	b.WriteString(")\n")
+	if len(m.SegRows) > 0 {
+		fmt.Fprintf(b, "%s   seg rows=%s", indent, fmtInt64s(m.SegRows))
+		if len(m.SegTimes) > 0 {
+			fmt.Fprintf(b, " times=%s", fmtDurations(m.SegTimes))
+		}
+		if m.Rows > 0 {
+			fmt.Fprintf(b, " skew=%.2f", m.Skew())
+		}
+		b.WriteString("\n")
+	}
+	for _, ch := range m.Children {
+		ch.format(b, depth+1)
+	}
+}
+
+// fmtDuration renders a duration with fixed millisecond precision so
+// explain output stays visually aligned.
+func fmtDuration(d time.Duration) string {
+	return fmt.Sprintf("%.3fms", float64(d.Nanoseconds())/1e6)
+}
+
+func fmtInt64s(xs []int64) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = fmt.Sprintf("%d", x)
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}
+
+func fmtDurations(xs []time.Duration) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = fmtDuration(x)
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}
+
+// TraceRecord is one entry of the cluster's query-trace ring buffer: the
+// full execution profile of one statement, the per-query granularity the
+// paper's r.log_exec driver records.
+type TraceRecord struct {
+	Seq     int64         // statement sequence number (monotonic per cluster)
+	Kind    string        // "create", "select" or "insert"
+	Target  string        // created/inserted table name ("" for selects)
+	Plan    string        // planned operator tree, as Plan.String()
+	Rows    int64         // rows written (creates/inserts) or returned (selects)
+	Bytes   int64         // bytes written (creates/inserts) or returned (selects)
+	Shuffle int64         // bytes redistributed between segments
+	Start   time.Time     // wall-clock start of execution
+	Elapsed time.Duration // total execution wall time
+	Root    *OpMetrics    // per-operator profile (nil for plain inserts)
+}
+
+// OpTotal is the cumulative execution profile of one operator kind across
+// all statements since the last ResetStats — the per-operator accumulator
+// behind OpTotals.
+type OpTotal struct {
+	Calls   int64
+	Rows    int64
+	Bytes   int64
+	Shuffle int64
+	Elapsed time.Duration
+}
+
+// defaultTraceCapacity is the trace ring size when Options.TraceCapacity
+// is zero.
+const defaultTraceCapacity = 256
+
+// Trace returns the contents of the query-trace ring buffer, oldest first.
+// The ring holds the most recent TraceCapacity statements; older records
+// are overwritten.
+func (c *Cluster) Trace() []TraceRecord {
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
+	out := make([]TraceRecord, 0, len(c.trace))
+	if c.traceCap <= 0 || len(c.trace) < c.traceCap {
+		out = append(out, c.trace...)
+	} else {
+		// The ring is full: the oldest record sits at the next write slot.
+		at := int(c.traceSeq) % c.traceCap
+		out = append(out, c.trace[at:]...)
+		out = append(out, c.trace[:at]...)
+	}
+	return out
+}
+
+// OpTotals returns the cumulative per-operator accumulators, keyed by
+// operator name.
+func (c *Cluster) OpTotals() map[string]OpTotal {
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
+	out := make(map[string]OpTotal, len(c.opTotals))
+	for k, v := range c.opTotals {
+		out[k] = v
+	}
+	return out
+}
+
+// OpNames returns the operator kinds present in OpTotals, sorted.
+func (c *Cluster) OpNames() []string {
+	totals := c.OpTotals()
+	names := make([]string, 0, len(totals))
+	for n := range totals {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// addTrace appends one statement record to the ring buffer and folds its
+// operator profile into the per-operator accumulators.
+func (c *Cluster) addTrace(rec TraceRecord) {
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
+	if c.traceCap > 0 {
+		rec.Seq = c.traceSeq
+		if len(c.trace) < c.traceCap {
+			c.trace = append(c.trace, rec)
+		} else {
+			c.trace[int(c.traceSeq)%c.traceCap] = rec
+		}
+		c.traceSeq++
+	}
+	c.accumulateOps(rec.Root)
+}
+
+// accumulateOps folds an operator profile tree into opTotals. Caller holds
+// statsMu.
+func (c *Cluster) accumulateOps(m *OpMetrics) {
+	if m == nil {
+		return
+	}
+	t := c.opTotals[m.Op]
+	t.Calls++
+	t.Rows += m.Rows
+	t.Bytes += m.Bytes
+	t.Shuffle += m.Shuffle
+	t.Elapsed += m.Elapsed
+	c.opTotals[m.Op] = t
+	for _, ch := range m.Children {
+		c.accumulateOps(ch)
+	}
+}

@@ -17,9 +17,13 @@ type CreateTablePlain struct {
 	DistBy string
 }
 
-// ExplainStmt is EXPLAIN select: it plans the query and reports the
-// operator tree instead of executing it.
-type ExplainStmt struct{ Select *SelectStmt }
+// ExplainStmt is EXPLAIN [ANALYZE] select: it plans the query and reports
+// the operator tree. With Analyze set the query is also executed and the
+// report carries the measured per-operator, per-segment profile.
+type ExplainStmt struct {
+	Select  *SelectStmt
+	Analyze bool
+}
 
 // DropTable is DROP TABLE name [, name ...].
 type DropTable struct{ Names []string }

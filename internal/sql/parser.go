@@ -120,11 +120,12 @@ func (p *parser) statement() (Statement, error) {
 		return p.insertValues()
 	case p.atKw("explain"):
 		p.next()
+		analyze := p.acceptKw("analyze")
 		sel, err := p.selectStmt()
 		if err != nil {
 			return nil, err
 		}
-		return &ExplainStmt{Select: sel}, nil
+		return &ExplainStmt{Select: sel, Analyze: analyze}, nil
 	case p.atKw("select"):
 		sel, err := p.selectStmt()
 		if err != nil {

@@ -136,9 +136,20 @@ func (s *Session) ExecStmt(st Statement) (int64, error) {
 
 	case *ExplainStmt:
 		// EXPLAIN is answered through Explain; executing it directly just
-		// validates that the query plans.
-		_, _, err := PlanSelectResolved(s.c, st.Select, s.resolver())
-		return 0, err
+		// validates that the query plans. EXPLAIN ANALYZE does execute,
+		// reporting the produced row count like any query.
+		plan, _, err := PlanSelectResolved(s.c, st.Select, s.resolver())
+		if err != nil {
+			return 0, err
+		}
+		if !st.Analyze {
+			return 0, nil
+		}
+		_, rows, err := s.c.Query(plan)
+		if err != nil {
+			return 0, err
+		}
+		return int64(len(rows)), nil
 
 	case *DropTable:
 		for _, n := range st.Names {
@@ -221,17 +232,22 @@ func (s *Session) Query(src string) (engine.Schema, []engine.Row, error) {
 	return names, rows, nil
 }
 
-// Explain plans a SELECT (or EXPLAIN SELECT) statement and returns the
-// engine operator tree as text, without executing it.
+// Explain plans a SELECT (or EXPLAIN [ANALYZE] SELECT) statement and
+// returns the engine operator tree as text. A plain EXPLAIN only plans;
+// EXPLAIN ANALYZE (or ExplainAnalyze) also executes the query and
+// annotates every operator with its measured actual rows, bytes, wall
+// time and per-segment breakdown.
 func (s *Session) Explain(src string) (string, error) {
 	st, err := ParseOne(src)
 	if err != nil {
 		return "", err
 	}
 	var sel *SelectStmt
+	analyze := false
 	switch st := st.(type) {
 	case *ExplainStmt:
 		sel = st.Select
+		analyze = st.Analyze
 	case *SelectQuery:
 		sel = st.Select
 	case *CreateTableAs:
@@ -243,7 +259,42 @@ func (s *Session) Explain(src string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	return fmt.Sprintf("%s -> %v", plan.String(), []string(names)), nil
+	if !analyze {
+		return FormatExplain(plan, names), nil
+	}
+	_, rows, root, err := s.c.QueryAnalyze(renameOutput(plan, names))
+	if err != nil {
+		return "", err
+	}
+	return FormatExplainAnalyze(root, names, int64(len(rows))), nil
+}
+
+// ExplainAnalyze executes a SELECT and returns the annotated operator
+// profile report, regardless of whether the source text carries the
+// EXPLAIN ANALYZE prefix.
+func (s *Session) ExplainAnalyze(src string) (string, error) {
+	st, err := ParseOne(src)
+	if err != nil {
+		return "", err
+	}
+	var sel *SelectStmt
+	switch st := st.(type) {
+	case *ExplainStmt:
+		sel = st.Select
+	case *SelectQuery:
+		sel = st.Select
+	default:
+		return "", fmt.Errorf("sql: EXPLAIN ANALYZE requires a SELECT, got %T", st)
+	}
+	plan, names, err := PlanSelectResolved(s.c, sel, s.resolver())
+	if err != nil {
+		return "", err
+	}
+	_, rows, root, err := s.c.QueryAnalyze(renameOutput(plan, names))
+	if err != nil {
+		return "", err
+	}
+	return FormatExplainAnalyze(root, names, int64(len(rows))), nil
 }
 
 // Queryf is Query with fmt.Sprintf-style formatting.
