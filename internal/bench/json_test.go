@@ -178,6 +178,33 @@ func TestBaselineCheck(t *testing.T) {
 	}
 }
 
+// tinyRCDetQueries is the exact whole-run query count of the deterministic
+// RC variant on the tiny dataset. Unlike the CI smoke baseline (which
+// allows relative drift across the larger datasets), this pin is exact:
+// the deterministic variant must issue precisely the same statements for a
+// fixed seed, so any change here means an engine or algorithm change
+// altered query planning and the constant (and likely the committed
+// baseline file) must be updated deliberately.
+const tinyRCDetQueries = 28
+
+func TestRCDetQueryCountPinned(t *testing.T) {
+	rep := JSONReport(tinyDataset(), tinyConfig(), 0)
+	for _, a := range rep.Algorithms {
+		if a.Name != "rc-det" {
+			continue
+		}
+		if a.Error != "" || a.DNF {
+			t.Fatalf("deterministic RC did not finish: err=%q dnf=%v", a.Error, a.DNF)
+		}
+		if a.Queries != tinyRCDetQueries {
+			t.Fatalf("deterministic RC issued %d queries, pinned at %d; update the constant only for intended planning changes",
+				a.Queries, tinyRCDetQueries)
+		}
+		return
+	}
+	t.Fatal("report has no rc-det entry")
+}
+
 func TestLoadCommittedBaseline(t *testing.T) {
 	b, err := LoadBaseline(filepath.Join("testdata", "bench_baseline.json"))
 	if err != nil {

@@ -70,8 +70,17 @@ func I(v int64) Datum { return Datum{Int: v} }
 var NullDatum = Datum{Null: true}
 
 // DatumSize is the modelled on-disk size of one column value in bytes,
-// matching the 64-bit vertex IDs of the paper's tables.
+// matching the 64-bit vertex IDs of the paper's tables. Storage accounting
+// (Table.Bytes, OpMetrics.Bytes, Stats.BytesWritten) uses this width.
 const DatumSize = 8
+
+// DatumWireSize is the modelled size of one column value on the
+// interconnect: the canonical row encoding emitted by encodeRow is one
+// null-tag byte plus the 8-byte payload per value, and shuffle/broadcast
+// traffic (Stats.ShuffleBytes, OpMetrics.Shuffle) is charged at exactly
+// this width. TestWireWidthAgreement asserts the encoding and the
+// accounting never drift apart.
+const DatumWireSize = DatumSize + 1
 
 // Row is one table row.
 type Row []Datum
@@ -433,28 +442,33 @@ func (c *Cluster) InsertRows(name string, rows []Row) error {
 		}
 	}
 	t.mu.Lock()
-	incoming := make([][]Row, c.segments)
-	len0 := len(t.Parts[0]) // placement cursor for tables without a distribution key
-	for _, r := range rows {
+	// Counting pass: compute each row's segment once, so the per-segment
+	// buffers below are allocated at exact capacity instead of append-grown.
+	segOf := make([]int32, len(rows))
+	counts := make([]int, c.segments)
+	cursor := len(t.Parts[0]) // round-robin cursor for tables without a distribution key
+	for i, r := range rows {
 		seg := 0
 		if t.DistKey != NoDistKey {
 			seg = c.hashDatum(r[t.DistKey])
 		} else {
-			seg = len0 % c.segments
-			if seg == 0 {
-				len0++
-			}
+			seg = cursor % c.segments
+			cursor++
 		}
-		incoming[seg] = append(incoming[seg], r)
+		segOf[i] = int32(seg)
+		counts[seg]++
 	}
-	for seg, in := range incoming {
-		if len(in) == 0 {
+	for seg, n := range counts {
+		if n == 0 {
 			continue
 		}
-		merged := make([]Row, 0, len(t.Parts[seg])+len(in))
+		merged := make([]Row, 0, len(t.Parts[seg])+n)
 		merged = append(merged, t.Parts[seg]...)
-		merged = append(merged, in...)
 		t.Parts[seg] = merged
+	}
+	for i, r := range rows {
+		seg := segOf[i]
+		t.Parts[seg] = append(t.Parts[seg], r)
 	}
 	t.mu.Unlock()
 	bytes := int64(len(rows)) * int64(len(t.Schema)) * DatumSize

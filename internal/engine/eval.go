@@ -1,0 +1,285 @@
+package engine
+
+// Vectorized expression evaluation over chunks. evalVec computes an
+// expression once per chunk instead of once per row: column references
+// alias the input column (zero copies), arithmetic and comparisons run as
+// tight loops over flat []int64 with word-wise null propagation, and only
+// genuinely row-oriented expressions (UDF calls, unknown Expr
+// implementations) fall back to a scalar loop — with a reused argument
+// buffer, so even the fallback allocates per chunk, not per row.
+
+// colVec is one evaluated expression column: values plus an optional null
+// bitmap (nil = no NULLs), the same layout as a chunk column.
+type colVec struct {
+	vals  []int64
+	nulls nullBitmap
+}
+
+// null reports whether row i of the vector is NULL.
+func (v colVec) null(i int) bool { return v.nulls.get(i) }
+
+// datum materialises row i as a Datum.
+func (v colVec) datum(i int) Datum {
+	if v.nulls.get(i) {
+		return NullDatum
+	}
+	return Datum{Int: v.vals[i]}
+}
+
+// setNull marks row i NULL, allocating the bitmap lazily.
+func (v *colVec) setNull(i, n int) {
+	if v.nulls == nil {
+		v.nulls = newNullBitmap(n)
+	}
+	v.nulls.set(i)
+}
+
+// orNulls unions two null bitmaps (NULL if either side is NULL) sized for
+// n rows; nil in, nil out when both sides are all-valid.
+func orNulls(a, b nullBitmap, n int) nullBitmap {
+	if a == nil && b == nil {
+		return nil
+	}
+	out := newNullBitmap(n)
+	for i := range out {
+		var w uint64
+		if i < len(a) {
+			w |= a[i]
+		}
+		if i < len(b) {
+			w |= b[i]
+		}
+		out[i] = w
+	}
+	return out
+}
+
+// evalVec evaluates e over every row of ch.
+func evalVec(e Expr, ch *Chunk) colVec {
+	n := ch.length
+	switch e := e.(type) {
+	case ColRef:
+		return colVec{vals: ch.cols[e.Idx], nulls: ch.nulls[e.Idx]}
+
+	case ConstExpr:
+		vals := make([]int64, n)
+		if e.Val.Null {
+			nb := newNullBitmap(n)
+			for i := range nb {
+				nb[i] = ^uint64(0)
+			}
+			return colVec{vals: vals, nulls: nb}
+		}
+		if e.Val.Int != 0 {
+			for i := range vals {
+				vals[i] = e.Val.Int
+			}
+		}
+		return colVec{vals: vals}
+
+	case BinExpr:
+		return evalBinVec(e, ch)
+
+	case IsNullExpr:
+		arg := evalVec(e.Arg, ch)
+		out := colVec{vals: make([]int64, n)}
+		for i := 0; i < n; i++ {
+			isNull := arg.null(i)
+			if e.Negate {
+				isNull = !isNull
+			}
+			if isNull {
+				out.vals[i] = 1
+			}
+		}
+		return out
+
+	case CoalesceExpr:
+		args := evalArgVecs(e.Args, ch)
+		out := colVec{vals: make([]int64, n)}
+		for i := 0; i < n; i++ {
+			hit := false
+			for _, a := range args {
+				if !a.null(i) {
+					out.vals[i] = a.vals[i]
+					hit = true
+					break
+				}
+			}
+			if !hit {
+				out.setNull(i, n)
+			}
+		}
+		return out
+
+	case LeastExpr:
+		args := evalArgVecs(e.Args, ch)
+		out := colVec{vals: make([]int64, n)}
+		for i := 0; i < n; i++ {
+			hit := false
+			var best int64
+			for _, a := range args {
+				if a.null(i) {
+					continue
+				}
+				if v := a.vals[i]; !hit || v < best {
+					best, hit = v, true
+				}
+			}
+			if hit {
+				out.vals[i] = best
+			} else {
+				out.setNull(i, n)
+			}
+		}
+		return out
+
+	case UDFExpr:
+		args := evalArgVecs(e.Args, ch)
+		argBuf := make([]Datum, len(args))
+		out := colVec{vals: make([]int64, n)}
+		for i := 0; i < n; i++ {
+			for j := range args {
+				argBuf[j] = args[j].datum(i)
+			}
+			d := e.Fn(argBuf)
+			if d.Null {
+				out.setNull(i, n)
+			} else {
+				out.vals[i] = d.Int
+			}
+		}
+		return out
+
+	default:
+		// Unknown Expr implementation: reconstruct each row into a scratch
+		// buffer and evaluate the row-oriented interface.
+		scratch := make(Row, len(ch.cols))
+		out := colVec{vals: make([]int64, n)}
+		for i := 0; i < n; i++ {
+			for c := range scratch {
+				scratch[c] = ch.datum(c, i)
+			}
+			d := e.Eval(scratch)
+			if d.Null {
+				out.setNull(i, n)
+			} else {
+				out.vals[i] = d.Int
+			}
+		}
+		return out
+	}
+}
+
+// evalArgVecs evaluates an argument list.
+func evalArgVecs(args []Expr, ch *Chunk) []colVec {
+	out := make([]colVec, len(args))
+	for i, a := range args {
+		out[i] = evalVec(a, ch)
+	}
+	return out
+}
+
+// evalBinVec evaluates a binary operator column-at-a-time. Comparisons and
+// arithmetic propagate NULL by bitmap union; AND/OR run a scalar loop for
+// SQL's three-valued logic, mirroring BinExpr.Eval exactly.
+func evalBinVec(e BinExpr, ch *Chunk) colVec {
+	n := ch.length
+	l := evalVec(e.Left, ch)
+	r := evalVec(e.Right, ch)
+	out := colVec{vals: make([]int64, n)}
+
+	switch e.Op {
+	case OpAnd:
+		for i := 0; i < n; i++ {
+			ln, rn := l.null(i), r.null(i)
+			switch {
+			case !ln && l.vals[i] == 0 || !rn && r.vals[i] == 0:
+				// false AND anything = false
+			case ln || rn:
+				out.setNull(i, n)
+			default:
+				out.vals[i] = 1
+			}
+		}
+		return out
+	case OpOr:
+		for i := 0; i < n; i++ {
+			ln, rn := l.null(i), r.null(i)
+			switch {
+			case !ln && l.vals[i] != 0 || !rn && r.vals[i] != 0:
+				out.vals[i] = 1
+			case ln || rn:
+				out.setNull(i, n)
+			}
+		}
+		return out
+	}
+
+	out.nulls = orNulls(l.nulls, r.nulls, n)
+	lv, rv, ov := l.vals, r.vals, out.vals
+	switch e.Op {
+	case OpAdd:
+		for i := 0; i < n; i++ {
+			ov[i] = lv[i] + rv[i]
+		}
+	case OpSub:
+		for i := 0; i < n; i++ {
+			ov[i] = lv[i] - rv[i]
+		}
+	case OpEq:
+		for i := 0; i < n; i++ {
+			if lv[i] == rv[i] {
+				ov[i] = 1
+			}
+		}
+	case OpNe:
+		for i := 0; i < n; i++ {
+			if lv[i] != rv[i] {
+				ov[i] = 1
+			}
+		}
+	case OpLt:
+		for i := 0; i < n; i++ {
+			if lv[i] < rv[i] {
+				ov[i] = 1
+			}
+		}
+	case OpLe:
+		for i := 0; i < n; i++ {
+			if lv[i] <= rv[i] {
+				ov[i] = 1
+			}
+		}
+	case OpGt:
+		for i := 0; i < n; i++ {
+			if lv[i] > rv[i] {
+				ov[i] = 1
+			}
+		}
+	case OpGe:
+		for i := 0; i < n; i++ {
+			if lv[i] >= rv[i] {
+				ov[i] = 1
+			}
+		}
+	default:
+		panic("engine: unknown binary operator in vectorized eval")
+	}
+	return out
+}
+
+// chunkFromVecs assembles evaluated columns into a chunk; column slices
+// are aliased, not copied (chunks and vectors are immutable).
+func chunkFromVecs(vecs []colVec, n int) *Chunk {
+	ch := &Chunk{
+		length: n,
+		cols:   make([][]int64, len(vecs)),
+		nulls:  make([]nullBitmap, len(vecs)),
+	}
+	for i, v := range vecs {
+		ch.cols[i] = v.vals
+		ch.nulls[i] = v.nulls
+	}
+	return ch
+}

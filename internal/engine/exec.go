@@ -3,18 +3,29 @@ package engine
 import (
 	"encoding/binary"
 	"fmt"
-	"sort"
 	"sync/atomic"
 	"time"
 
 	"dbcc/internal/xrand"
 )
 
-// relation is an in-flight distributed intermediate result.
+// relation is an in-flight distributed intermediate result: one columnar
+// chunk per segment. Rows exist only at the storage boundary — Scan
+// converts stored rows into chunks and CreateTableAs/Query convert back —
+// so every operator between the boundaries runs on flat column arrays.
 type relation struct {
 	schema  Schema
-	parts   [][]Row
+	parts   []*Chunk
 	distKey int // column the rows are currently hash-distributed by, or NoDistKey
+}
+
+// rows returns the total row count across segments.
+func (r *relation) rows() int64 {
+	var n int64
+	for _, ch := range r.parts {
+		n += int64(ch.length)
+	}
+	return n
 }
 
 // CreateTableAs executes the plan, materialises its output as a new table
@@ -41,7 +52,11 @@ func (c *Cluster) CreateTableAs(name string, p Plan, distKey int) (int64, error)
 		}
 		rel, placeShuffle = c.redistribute(rel, distKey)
 	}
-	t := &Table{Name: name, Schema: rel.schema, DistKey: distKey, Parts: rel.parts}
+	parts := make([][]Row, c.segments)
+	c.parallel(func(seg int) {
+		parts[seg] = chunkToRows(rel.parts[seg])
+	})
+	t := &Table{Name: name, Schema: rel.schema, DistKey: distKey, Parts: parts}
 	c.mu.Lock()
 	if _, exists := c.tables[name]; exists {
 		c.mu.Unlock()
@@ -86,7 +101,7 @@ func (c *Cluster) QueryAnalyze(p Plan) (Schema, []Row, *OpMetrics, error) {
 	}
 	var out []Row
 	for _, part := range rel.parts {
-		out = append(out, part...)
+		out = append(out, chunkToRows(part)...)
 	}
 	c.statsMu.Lock()
 	c.stats.Queries++
@@ -140,8 +155,8 @@ func finishOp(op, detail string, rel *relation, children []*OpMetrics,
 	}
 	m.SegRows = make([]int64, len(rel.parts))
 	for i, p := range rel.parts {
-		m.SegRows[i] = int64(len(p))
-		m.Rows += int64(len(p))
+		m.SegRows[i] = int64(p.length)
+		m.Rows += int64(p.length)
 	}
 	m.Bytes = m.Rows * int64(len(rel.schema)) * DatumSize
 	return m
@@ -168,12 +183,17 @@ func (c *Cluster) exec(p Plan) (*relation, *OpMetrics, error) {
 		if !ok {
 			return nil, nil, fmt.Errorf("engine: table %q does not exist", p.Table)
 		}
-		rel := &relation{schema: t.Schema, parts: t.snapshotParts(), distKey: t.DistKey}
+		stored := t.snapshotParts()
+		parts := make([]*Chunk, c.segments)
+		c.parallel(func(seg int) {
+			parts[seg] = rowsToChunk(stored[seg], len(t.Schema))
+		})
+		rel := &relation{schema: t.Schema, parts: parts, distKey: t.DistKey}
 		return rel, finishOp("Scan", p.Table, rel, nil, 0, nil, start), nil
 
 	case ValuesPlan:
-		parts := make([][]Row, c.segments)
-		parts[0] = p.Rows
+		parts := c.newParts(len(p.Cols))
+		parts[0] = rowsToChunk(p.Rows, len(p.Cols))
 		rel := &relation{schema: p.Cols, parts: parts, distKey: NoDistKey}
 		return rel, finishOp("Values", "", rel, nil, 0, nil, start), nil
 
@@ -182,15 +202,18 @@ func (c *Cluster) exec(p Plan) (*relation, *OpMetrics, error) {
 		if err != nil {
 			return nil, nil, err
 		}
-		out := c.newParts()
+		out := make([]*Chunk, c.segments)
 		segTimes := c.parallelTimed(func(seg int) {
-			var keep []Row
-			for _, row := range in.parts[seg] {
-				if truthy(p.Pred.Eval(row)) {
-					keep = append(keep, row)
+			ch := in.parts[seg]
+			pred := evalVec(p.Pred, ch)
+			keep := getI32(ch.length)
+			for r := 0; r < ch.length; r++ {
+				if !pred.null(r) && pred.vals[r] != 0 {
+					keep = append(keep, int32(r))
 				}
 			}
-			out[seg] = keep
+			out[seg] = gatherChunk(ch, keep)
+			putI32(keep)
 		})
 		rel := &relation{schema: in.schema, parts: out, distKey: in.distKey}
 		return rel, finishOp("Filter", p.Pred.String(), rel, []*OpMetrics{cm}, 0, segTimes, start), nil
@@ -215,17 +238,14 @@ func (c *Cluster) exec(p Plan) (*relation, *OpMetrics, error) {
 				}
 			}
 		}
-		out := c.newParts()
+		out := make([]*Chunk, c.segments)
 		segTimes := c.parallelTimed(func(seg int) {
-			rows := make([]Row, len(in.parts[seg]))
-			for i, row := range in.parts[seg] {
-				nr := make(Row, len(p.Cols))
-				for j, col := range p.Cols {
-					nr[j] = col.Expr.Eval(row)
-				}
-				rows[i] = nr
+			ch := in.parts[seg]
+			vecs := make([]colVec, len(p.Cols))
+			for i, col := range p.Cols {
+				vecs[i] = evalVec(col.Expr, ch)
 			}
-			out[seg] = rows
+			out[seg] = chunkFromVecs(vecs, ch.length)
 		})
 		rel := &relation{schema: schema, parts: out, distKey: outKey}
 		return rel, finishOp("Project", "", rel, []*OpMetrics{cm}, 0, segTimes, start), nil
@@ -235,7 +255,7 @@ func (c *Cluster) exec(p Plan) (*relation, *OpMetrics, error) {
 		if err != nil {
 			return nil, nil, err
 		}
-		out := c.newParts()
+		ins := make([]*relation, 0, len(p.Inputs))
 		var children []*OpMetrics
 		for _, inp := range p.Inputs {
 			in, cm, err := c.exec(inp)
@@ -243,10 +263,16 @@ func (c *Cluster) exec(p Plan) (*relation, *OpMetrics, error) {
 				return nil, nil, err
 			}
 			children = append(children, cm)
-			for seg := range out {
-				out[seg] = append(out[seg], in.parts[seg]...)
-			}
+			ins = append(ins, in)
 		}
+		out := make([]*Chunk, c.segments)
+		c.parallel(func(seg int) {
+			pieces := make([]*Chunk, len(ins))
+			for i, in := range ins {
+				pieces[i] = in.parts[seg]
+			}
+			out[seg] = concatChunks(len(schema), pieces)
+		})
 		rel := &relation{schema: schema, parts: out, distKey: NoDistKey}
 		return rel, finishOp("UnionAll", "", rel, children, 0, nil, start), nil
 
@@ -256,20 +282,9 @@ func (c *Cluster) exec(p Plan) (*relation, *OpMetrics, error) {
 			return nil, nil, err
 		}
 		shuffled, moved := c.redistributeByRowHash(in)
-		out := c.newParts()
+		out := make([]*Chunk, c.segments)
 		segTimes := c.parallelTimed(func(seg int) {
-			seen := make(map[string]struct{}, len(shuffled.parts[seg]))
-			var keep []Row
-			var buf []byte
-			for _, row := range shuffled.parts[seg] {
-				buf = encodeRow(buf[:0], row)
-				if _, dup := seen[string(buf)]; dup {
-					continue
-				}
-				seen[string(buf)] = struct{}{}
-				keep = append(keep, row)
-			}
-			out[seg] = keep
+			out[seg] = distinctChunk(shuffled.parts[seg])
 		})
 		rel := &relation{schema: in.schema, parts: out, distKey: NoDistKey}
 		return rel, finishOp("Distinct", "", rel, []*OpMetrics{cm}, moved, segTimes, start), nil
@@ -286,8 +301,14 @@ func (c *Cluster) exec(p Plan) (*relation, *OpMetrics, error) {
 	return nil, nil, fmt.Errorf("engine: unknown plan node %T", p)
 }
 
-// newParts allocates an empty per-segment row partition set.
-func (c *Cluster) newParts() [][]Row { return make([][]Row, c.segments) }
+// newParts allocates a per-segment chunk set of empty chunks.
+func (c *Cluster) newParts(ncols int) []*Chunk {
+	parts := make([]*Chunk, c.segments)
+	for i := range parts {
+		parts[i] = newChunk(ncols, 0)
+	}
+	return parts
+}
 
 // redistribute hash-shuffles a relation so rows are placed by column key,
 // returning the bytes moved between segments.
@@ -295,50 +316,79 @@ func (c *Cluster) redistribute(in *relation, key int) (*relation, int64) {
 	if in.distKey == key {
 		return in, 0
 	}
-	return c.shuffle(in, func(row Row) int { return c.hashDatum(row[key]) }, key)
+	return c.shuffle(in, func(ch *Chunk, r int) int {
+		if ch.nulls[key].get(r) {
+			return 0
+		}
+		return int(xrand.Mix64(uint64(ch.cols[key][r])) % uint64(c.segments))
+	}, key)
 }
 
 // redistributeByRowHash shuffles by a hash of the whole row (for DISTINCT).
 func (c *Cluster) redistributeByRowHash(in *relation) (*relation, int64) {
-	return c.shuffle(in, func(row Row) int {
-		var h uint64
-		for _, d := range row {
-			if d.Null {
-				h = xrand.Mix64(h ^ 0x9e37)
-			} else {
-				h = xrand.Mix64(h ^ uint64(d.Int))
-			}
-		}
-		return int(h % uint64(c.segments))
+	ncols := len(in.schema)
+	return c.shuffle(in, func(ch *Chunk, r int) int {
+		return int(chunkRowHash(ch, 0, ncols, r) % uint64(c.segments))
 	}, NoDistKey)
 }
 
 // shuffle moves every row to the segment chosen by dest, recording the
 // network traffic in the statistics and returning it for per-operator
-// accounting.
-func (c *Cluster) shuffle(in *relation, dest func(Row) int, newKey int) (*relation, int64) {
-	// Phase 1: each source segment buckets its rows by destination.
-	buckets := make([][][]Row, c.segments) // [src][dst]
-	moved := make([]int64, c.segments)
+// accounting. Each source segment first counts its rows per destination,
+// then places them into exact-capacity per-destination chunks — no
+// append-growing — and each destination concatenates its incoming chunks
+// column-at-a-time. Rows that change segments are charged DatumWireSize
+// bytes per value, the width of the canonical row encoding.
+func (c *Cluster) shuffle(in *relation, dest func(ch *Chunk, r int) int, newKey int) (*relation, int64) {
+	ncols := len(in.schema)
+	segs := c.segments
+	// Phase 1: each source segment counts, then places, its rows by
+	// destination.
+	buckets := make([][]*Chunk, segs) // [src][dst]
+	moved := make([]int64, segs)
 	c.parallel(func(src int) {
-		b := make([][]Row, c.segments)
-		for _, row := range in.parts[src] {
-			d := dest(row)
-			b[d] = append(b[d], row)
-			if d != src {
-				moved[src] += int64(len(row)) * DatumSize
+		ch := in.parts[src]
+		n := ch.length
+		dests := getI32(n)[:n]
+		counts := make([]int32, segs)
+		for r := 0; r < n; r++ {
+			d := dest(ch, r)
+			dests[r] = int32(d)
+			counts[d]++
+		}
+		rowBytes := int64(ncols) * DatumWireSize
+		b := make([]*Chunk, segs)
+		for d := range b {
+			b[d] = newChunk(ncols, int(counts[d]))
+		}
+		cursors := make([]int32, segs)
+		for r := 0; r < n; r++ {
+			d := dests[r]
+			k := int(cursors[d])
+			cursors[d]++
+			dst := b[d]
+			for col := 0; col < ncols; col++ {
+				if ch.nulls[col].get(r) {
+					dst.ensureNulls(col).set(k)
+				} else {
+					dst.cols[col][k] = ch.cols[col][r]
+				}
+			}
+			if int(d) != src {
+				moved[src] += rowBytes
 			}
 		}
+		putI32(dests)
 		buckets[src] = b
 	})
-	// Phase 2: each destination concatenates its incoming buckets.
-	out := c.newParts()
+	// Phase 2: each destination concatenates its incoming chunks.
+	out := make([]*Chunk, segs)
 	c.parallel(func(dst int) {
-		var rows []Row
-		for src := 0; src < c.segments; src++ {
-			rows = append(rows, buckets[src][dst]...)
+		pieces := make([]*Chunk, segs)
+		for src := 0; src < segs; src++ {
+			pieces[src] = buckets[src][dst]
 		}
-		out[dst] = rows
+		out[dst] = concatChunks(ncols, pieces)
 	})
 	var total int64
 	for _, m := range moved {
@@ -348,7 +398,10 @@ func (c *Cluster) shuffle(in *relation, dest func(Row) int, newKey int) (*relati
 	return &relation{schema: in.schema, parts: out, distKey: newKey}, total
 }
 
-// encodeRow appends a canonical byte encoding of the row to buf.
+// encodeRow appends the canonical byte encoding of a row to buf: one null
+// tag plus the 8-byte payload per value — DatumWireSize bytes per column,
+// the width shuffle accounting charges (TestWireWidthAgreement locks the
+// two together).
 func encodeRow(buf []byte, row Row) []byte {
 	for _, d := range row {
 		if d.Null {
@@ -361,87 +414,6 @@ func encodeRow(buf []byte, row Row) []byte {
 		buf = append(buf, w[:]...)
 	}
 	return buf
-}
-
-// execSort gathers all rows onto segment 0 and orders them by the sort
-// keys, applying the limit if any.
-func (c *Cluster) execSort(p SortPlan, start time.Time) (*relation, *OpMetrics, error) {
-	in, cm, err := c.exec(p.Input)
-	if err != nil {
-		return nil, nil, err
-	}
-	var all []Row
-	for _, part := range in.parts {
-		all = append(all, part...)
-	}
-	sort.SliceStable(all, func(i, j int) bool {
-		for _, k := range p.Keys {
-			a, b := all[i][k.Col], all[j][k.Col]
-			var cmp int
-			switch {
-			case a.Null && b.Null:
-				cmp = 0
-			case a.Null:
-				cmp = -1
-			case b.Null:
-				cmp = 1
-			case a.Int < b.Int:
-				cmp = -1
-			case a.Int > b.Int:
-				cmp = 1
-			}
-			if k.Desc {
-				cmp = -cmp
-			}
-			if cmp != 0 {
-				return cmp < 0
-			}
-		}
-		return false
-	})
-	if p.Limit >= 0 && int64(len(all)) > p.Limit {
-		all = all[:p.Limit]
-	}
-	parts := c.newParts()
-	parts[0] = all
-	rel := &relation{schema: in.schema, parts: parts, distKey: NoDistKey}
-	return rel, finishOp("Sort", "", rel, []*OpMetrics{cm}, 0, nil, start), nil
-}
-
-// aggState is the running state of the aggregates for one group.
-type aggState []Datum
-
-// mergeAgg folds value v into slot i of the state for aggregate a.
-func mergeAgg(st aggState, i int, a Agg, v Datum) {
-	switch a.Op {
-	case AggMin:
-		if v.Null {
-			return
-		}
-		if st[i].Null || v.Int < st[i].Int {
-			st[i] = v
-		}
-	case AggMax:
-		if v.Null {
-			return
-		}
-		if st[i].Null || v.Int > st[i].Int {
-			st[i] = v
-		}
-	case AggCount:
-		if st[i].Null {
-			st[i] = I(0)
-		}
-		st[i] = I(st[i].Int + v.Int)
-	case AggSum:
-		if v.Null {
-			return
-		}
-		if st[i].Null {
-			st[i] = I(0)
-		}
-		st[i] = I(st[i].Int + v.Int)
-	}
 }
 
 // execGroupBy evaluates a grouped aggregation. Under ProfileMPP each
@@ -459,74 +431,24 @@ func (c *Cluster) execGroupBy(p GroupByPlan, start time.Time) (*relation, *OpMet
 	}
 	nk := len(p.Keys)
 
-	// toPartial converts an input row into a (keys..., aggValues...) row,
-	// where count contributes 1 per row.
-	toPartial := func(row Row) Row {
-		nr := make(Row, nk+len(p.Aggs))
-		for i, k := range p.Keys {
-			nr[i] = row[k]
-		}
-		for i, a := range p.Aggs {
-			switch a.Op {
-			case AggCount:
-				// count(*) counts rows; count(expr) counts non-NULL values.
-				if a.Arg != nil && a.Arg.Eval(row).Null {
-					nr[nk+i] = I(0)
-				} else {
-					nr[nk+i] = I(1)
-				}
-			default:
-				nr[nk+i] = a.Arg.Eval(row)
-			}
-		}
-		return nr
-	}
-
-	// aggregateParts folds partial rows (already in key+agg layout) per
+	// aggregateParts folds partial chunks (already in key+agg layout) per
 	// segment into one row per group, timing each segment's fold.
 	var segTimes []time.Duration
-	aggregateParts := func(parts [][]Row) [][]Row {
-		out := c.newParts()
+	aggregateParts := func(parts []*Chunk) []*Chunk {
+		out := make([]*Chunk, c.segments)
 		segTimes = c.parallelTimed(func(seg int) {
-			groups := make(map[string]Row)
-			var order []string
-			var buf []byte
-			for _, row := range parts[seg] {
-				buf = encodeRow(buf[:0], row[:nk])
-				g, ok := groups[string(buf)]
-				if !ok {
-					g = make(Row, nk+len(p.Aggs))
-					copy(g, row[:nk])
-					for i := range p.Aggs {
-						g[nk+i] = NullDatum
-					}
-					groups[string(buf)] = g
-					order = append(order, string(buf))
-				}
-				for i, a := range p.Aggs {
-					mergeAgg(aggState(g[nk:]), i, a, row[nk+i])
-				}
-			}
-			rows := make([]Row, 0, len(groups))
-			for _, k := range order {
-				rows = append(rows, groups[k])
-			}
-			out[seg] = rows
+			out[seg] = groupChunk(parts[seg], nk, p.Aggs)
 		})
 		return out
 	}
 
-	// Convert input rows to partial layout.
-	partial := c.newParts()
+	// Convert input chunks to partial layout.
+	partial := make([]*Chunk, c.segments)
 	c.parallel(func(seg int) {
-		rows := make([]Row, len(in.parts[seg]))
-		for i, row := range in.parts[seg] {
-			rows[i] = toPartial(row)
-		}
-		partial[seg] = rows
+		partial[seg] = buildPartialChunk(in.parts[seg], p.Keys, p.Aggs)
 	})
 	rel := &relation{schema: schema, parts: partial, distKey: NoDistKey}
-	if nk > 0 && in.distKey != NoDistKey && nk >= 1 && p.Keys[0] == in.distKey {
+	if nk > 0 && in.distKey != NoDistKey && p.Keys[0] == in.distKey {
 		// Grouping by the distribution column: groups are already
 		// co-located (single-key distribution).
 		rel.distKey = 0
@@ -538,15 +460,17 @@ func (c *Cluster) execGroupBy(p GroupByPlan, start time.Time) (*relation, *OpMet
 	var moved int64
 	if nk == 0 {
 		// Global aggregate: gather everything to segment 0.
-		all := make([]Row, 0)
-		for _, part := range rel.parts {
-			all = append(all, part...)
-		}
-		parts := c.newParts()
+		all := concatChunks(len(schema), rel.parts)
+		parts := c.newParts(len(schema))
 		parts[0] = all
 		rel = &relation{schema: schema, parts: parts, distKey: NoDistKey}
 	} else if rel.distKey != 0 {
-		rel, moved = c.shuffle(rel, func(row Row) int { return c.hashDatum(row[0]) }, 0)
+		rel, moved = c.shuffle(rel, func(ch *Chunk, r int) int {
+			if ch.nulls[0].get(r) {
+				return 0
+			}
+			return int(xrand.Mix64(uint64(ch.cols[0][r])) % uint64(c.segments))
+		}, 0)
 	}
 	rel.parts = aggregateParts(rel.parts)
 	detail := fmt.Sprintf("keys=%v aggs=%d", p.Keys, len(p.Aggs))
@@ -555,8 +479,8 @@ func (c *Cluster) execGroupBy(p GroupByPlan, start time.Time) (*relation, *OpMet
 
 // execJoin evaluates a distributed hash equi-join: both sides are
 // redistributed by their join keys (if not already co-located), then each
-// segment joins its share with an in-memory hash table built on the
-// smaller side.
+// segment joins its share with the int64-keyed open-addressing hash table
+// built on the right side.
 func (c *Cluster) execJoin(p JoinPlan, start time.Time) (*relation, *OpMetrics, error) {
 	left, lm, err := c.exec(p.Left)
 	if err != nil {
@@ -582,10 +506,7 @@ func (c *Cluster) execJoin(p JoinPlan, start time.Time) (*relation, *OpMetrics, 
 	var moved int64
 	outKey := p.LeftKey
 	if c.broadcast > 0 && left.distKey != p.LeftKey {
-		var rightRows int64
-		for _, part := range right.parts {
-			rightRows += int64(len(part))
-		}
+		rightRows := right.rows()
 		if rightRows <= c.broadcast {
 			var bmoved int64
 			right, bmoved = c.broadcastAll(right)
@@ -604,43 +525,9 @@ func (c *Cluster) execJoin(p JoinPlan, start time.Time) (*relation, *OpMetrics, 
 		moved += lmoved + rmoved
 	}
 
-	out := c.newParts()
+	out := make([]*Chunk, c.segments)
 	segTimes := c.parallelTimed(func(seg int) {
-		build := make(map[int64][]Row)
-		for _, row := range right.parts[seg] {
-			k := row[p.RightKey]
-			if k.Null {
-				continue // NULL keys never match
-			}
-			build[k.Int] = append(build[k.Int], row)
-		}
-		var rows []Row
-		rw := len(right.schema)
-		for _, lrow := range left.parts[seg] {
-			k := lrow[p.LeftKey]
-			var matches []Row
-			if !k.Null {
-				matches = build[k.Int]
-			}
-			if len(matches) == 0 {
-				if p.Kind == LeftOuterJoin {
-					nr := make(Row, len(lrow)+rw)
-					copy(nr, lrow)
-					for i := 0; i < rw; i++ {
-						nr[len(lrow)+i] = NullDatum
-					}
-					rows = append(rows, nr)
-				}
-				continue
-			}
-			for _, rrow := range matches {
-				nr := make(Row, 0, len(lrow)+rw)
-				nr = append(nr, lrow...)
-				nr = append(nr, rrow...)
-				rows = append(rows, nr)
-			}
-		}
-		out[seg] = rows
+		out[seg] = joinChunks(left.parts[seg], right.parts[seg], p.LeftKey, p.RightKey, p.Kind)
 	})
 	rel := &relation{schema: schema, parts: out, distKey: outKey}
 	op := "HashJoin"
@@ -652,21 +539,15 @@ func (c *Cluster) execJoin(p JoinPlan, start time.Time) (*relation, *OpMetrics, 
 }
 
 // broadcastAll replicates a relation onto every segment (broadcast
-// motion), charging the replication traffic to the shuffle statistics and
-// returning it.
+// motion), charging the replication traffic to the shuffle statistics at
+// the wire width and returning it.
 func (c *Cluster) broadcastAll(in *relation) (*relation, int64) {
-	var all []Row
-	var bytes int64
-	for _, part := range in.parts {
-		all = append(all, part...)
-		for _, row := range part {
-			bytes += int64(len(row)) * DatumSize
-		}
-	}
-	parts := make([][]Row, c.segments)
+	all := concatChunks(len(in.schema), in.parts)
+	parts := make([]*Chunk, c.segments)
 	for i := range parts {
 		parts[i] = all
 	}
+	bytes := int64(all.length) * int64(len(in.schema)) * DatumWireSize
 	moved := bytes * int64(c.segments-1)
 	c.addShuffleBytes(moved)
 	return &relation{schema: in.schema, parts: parts, distKey: NoDistKey}, moved

@@ -1,0 +1,143 @@
+package engine
+
+// Columnar execution kernels: the per-segment inner loops of the hot
+// operators, operating directly on chunks and the int64-specialized hash
+// tables. Each kernel is a pure function over immutable input chunks so
+// it can run as a leaf task on the worker pool, be differential-tested
+// against a row-at-a-time reference, and be benchmarked in isolation
+// (see kernels_bench_test.go).
+
+// joinChunks joins one segment's co-located chunks: a hash table is built
+// over the right (build) side keyed on the raw int64 join key, then the
+// left (probe) side streams through it. NULL keys never match; for a left
+// outer join, unmatched probe rows are emitted padded with NULLs. Build
+// rows are inserted in reverse so each chain iterates in ascending build
+// order — the exact match order the row engine produced.
+func joinChunks(left, right *Chunk, leftKey, rightKey int, kind JoinKind) *Chunk {
+	lw, rw := len(left.cols), len(right.cols)
+	out := newChunkBuilder(lw+rw, 0)
+
+	jt := newJoinTable(right.length)
+	rkeys := right.cols[rightKey]
+	rnulls := right.nulls[rightKey]
+	for i := right.length - 1; i >= 0; i-- {
+		if rnulls.get(i) {
+			continue
+		}
+		jt.insert(rkeys[i], int32(i))
+	}
+
+	lkeys := left.cols[leftKey]
+	lnulls := left.nulls[leftKey]
+	for i := 0; i < left.length; i++ {
+		m := int32(-1)
+		if !lnulls.get(i) {
+			m = jt.lookup(lkeys[i])
+		}
+		if m < 0 {
+			if kind == LeftOuterJoin {
+				out.appendOuterRow(left, i, rw)
+			}
+			continue
+		}
+		for ; m >= 0; m = jt.next[m] {
+			out.appendJoinRow(left, i, right, int(m))
+		}
+	}
+	return out.finish()
+}
+
+// groupChunk folds a partial-layout chunk (nk key columns followed by one
+// column per aggregate) into one row per distinct key, preserving
+// first-seen group order. Lookup is a single hash + open-addressing probe
+// per input row; aggregate state mutates in place in the output builder.
+func groupChunk(in *Chunk, nk int, aggs []Agg) *Chunk {
+	na := len(aggs)
+	b := newChunkBuilder(nk+na, 0)
+	t := newGroupTable(64)
+	for r := 0; r < in.length; r++ {
+		h := chunkRowHash(in, 0, nk, r)
+		id, found := t.insertOrGet(h, func(g int32) bool {
+			return builderKeysEqual(b, g, in, r, nk)
+		})
+		if !found {
+			b.appendGroupRow(in, r, nk, na)
+		}
+		for i, a := range aggs {
+			c := nk + i
+			b.mergeAgg(c, id, a.Op, in.cols[c][r], in.nulls[c].get(r))
+		}
+	}
+	return b.finish()
+}
+
+// builderKeysEqual compares the key columns of admitted group g against
+// input row r, NULLs comparing equal (SQL GROUP BY key semantics).
+func builderKeysEqual(b *chunkBuilder, g int32, in *Chunk, r, nk int) bool {
+	for c := 0; c < nk; c++ {
+		gn, rn := b.nulls[c].get(int(g)), in.nulls[c].get(r)
+		if gn != rn {
+			return false
+		}
+		if !gn && b.cols[c][g] != in.cols[c][r] {
+			return false
+		}
+	}
+	return true
+}
+
+// distinctChunk removes duplicate rows, keeping the first occurrence of
+// each, via one whole-row hash + probe per input row. The survivors are
+// gathered into an exact-capacity output chunk.
+func distinctChunk(in *Chunk) *Chunk {
+	ncols := len(in.cols)
+	t := newGroupTable(64)
+	keep := getI32(in.length)
+	for r := 0; r < in.length; r++ {
+		h := chunkRowHash(in, 0, ncols, r)
+		_, found := t.insertOrGet(h, func(id int32) bool {
+			return chunkRowsEqual(in, int(keep[id]), in, r, 0, ncols)
+		})
+		if !found {
+			keep = append(keep, int32(r))
+		}
+	}
+	out := gatherChunk(in, keep)
+	putI32(keep)
+	return out
+}
+
+// buildPartialChunk converts one segment's input chunk into group-by
+// partial layout: the nk key columns (aliased, not copied) followed by one
+// column per aggregate holding its per-row partial value — the evaluated
+// argument for MIN/MAX/SUM, and a 0/1 non-NULL indicator (or constant 1
+// for count(*)) for COUNT.
+func buildPartialChunk(in *Chunk, keys []int, aggs []Agg) *Chunk {
+	n := in.length
+	vecs := make([]colVec, len(keys)+len(aggs))
+	for i, k := range keys {
+		vecs[i] = colVec{vals: in.cols[k], nulls: in.nulls[k]}
+	}
+	for i, a := range aggs {
+		switch {
+		case a.Op == AggCount && a.Arg == nil:
+			ones := make([]int64, n)
+			for j := range ones {
+				ones[j] = 1
+			}
+			vecs[len(keys)+i] = colVec{vals: ones}
+		case a.Op == AggCount:
+			arg := evalVec(a.Arg, in)
+			counts := make([]int64, n)
+			for j := 0; j < n; j++ {
+				if !arg.null(j) {
+					counts[j] = 1
+				}
+			}
+			vecs[len(keys)+i] = colVec{vals: counts}
+		default:
+			vecs[len(keys)+i] = evalVec(a.Arg, in)
+		}
+	}
+	return chunkFromVecs(vecs, n)
+}

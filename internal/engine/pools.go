@@ -1,0 +1,34 @@
+package engine
+
+import "sync"
+
+// Pooled per-task scratch buffers. Shuffle destination maps and
+// filter/distinct selection vectors are needed once per segment task and
+// discarded immediately; recycling them through a sync.Pool keeps the
+// steady-state allocation rate of a query round independent of its row
+// count. Buffers are returned before the owning kernel publishes its
+// output, so no pooled memory ever escapes into a chunk.
+
+// i32Scratch is a pooled []int32 used for row-index and destination
+// scratch vectors.
+var i32Scratch = sync.Pool{
+	New: func() any {
+		s := make([]int32, 0, 1024)
+		return &s
+	},
+}
+
+// getI32 returns a zero-length scratch slice with capacity >= n.
+func getI32(n int) []int32 {
+	p := i32Scratch.Get().(*[]int32)
+	s := *p
+	if cap(s) < n {
+		s = make([]int32, 0, n)
+	}
+	return s[:0]
+}
+
+// putI32 recycles a scratch slice.
+func putI32(s []int32) {
+	i32Scratch.Put(&s)
+}
