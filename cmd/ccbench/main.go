@@ -14,6 +14,13 @@
 // Flags -scale, -reps, -segments, -seed and -capacity tune the campaign;
 // the defaults match the committed EXPERIMENTS.md numbers.
 //
+// Chaos flags exercise the fault-tolerance layer: -fault-rate injects
+// deterministic segment-task failures at the given probability (retried
+// by the engine with capped exponential backoff; the labellings must
+// still verify), -fault-seed makes the fault schedule reproducible, and
+// -timeout aborts any single statement exceeding the duration. A failed
+// run reports the rounds it completed before aborting.
+//
 // JSON mode (-json) runs the four table algorithms plus the deterministic
 // RC variant per dataset and writes one BENCH_<dataset>.json report per
 // dataset into -out. -datasets selects a comma-separated subset (default
@@ -56,6 +63,9 @@ func main() {
 		datasets   = flag.String("datasets", "", "comma-separated dataset subset for -json (default: all)")
 		baseline   = flag.String("baseline", "", "baseline file to check -json reports against; deviations exit non-zero")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof and /metrics on this address (e.g. localhost:6060)")
+		faultRate  = flag.Float64("fault-rate", 0, "inject segment-task failures at this probability per attempt (0 = off)")
+		faultSeed  = flag.Uint64("fault-seed", 1, "seed for the deterministic fault injector")
+		timeout    = flag.Duration("timeout", 0, "per-statement deadline (0 = none)")
 	)
 	flag.Parse()
 
@@ -70,6 +80,9 @@ func main() {
 		Seed:           *seed,
 		CapacityFactor: *capacity,
 		Verify:         !*noVerify,
+		FaultRate:      *faultRate,
+		FaultSeed:      *faultSeed,
+		QueryTimeout:   *timeout,
 	}
 	progress := func(s string) {
 		if !*quiet {

@@ -7,6 +7,10 @@
 // \load NAME FILE bulk-loads an edge list, \timing toggles per-statement
 // elapsed-time reporting, \trace [N] prints the last N records of the
 // cluster's query-trace ring, \q quits.
+//
+// The chaos flags -fault-rate, -fault-seed and -timeout enable the
+// engine's deterministic fault injection and per-statement deadline;
+// \stats then also reports the retry/fault/cancellation totals.
 package main
 
 import (
@@ -24,9 +28,17 @@ import (
 
 func main() {
 	segments := flag.Int("segments", 0, "virtual MPP segments (0 = default)")
+	faultRate := flag.Float64("fault-rate", 0, "inject segment-task failures at this probability per attempt (0 = off)")
+	faultSeed := flag.Uint64("fault-seed", 1, "seed for the deterministic fault injector")
+	timeout := flag.Duration("timeout", 0, "per-statement deadline (0 = none)")
 	flag.Parse()
 
-	db := dbcc.Open(dbcc.Config{Segments: *segments})
+	db := dbcc.Open(dbcc.Config{
+		Segments:     *segments,
+		FaultRate:    *faultRate,
+		FaultSeed:    *faultSeed,
+		QueryTimeout: *timeout,
+	})
 	sess := db.SQL()
 	in := bufio.NewScanner(os.Stdin)
 	in.Buffer(make([]byte, 1<<20), 1<<20)
@@ -155,6 +167,9 @@ func meta(db *dbcc.DB, line string, timing *bool) bool {
 			s.Queries, s.RowsWritten, float64(s.BytesWritten)/(1<<20),
 			float64(s.LiveBytes)/(1<<20), float64(s.PeakBytes)/(1<<20),
 			float64(s.ShuffleBytes)/(1<<20))
+		if retries, faults, cancelled := db.Cluster().FaultTotals(); retries > 0 || faults > 0 || cancelled > 0 {
+			fmt.Printf("retries=%d faults=%d cancelled=%d\n", retries, faults, cancelled)
+		}
 	case "\\load":
 		if len(fields) != 3 {
 			fmt.Println("usage: \\load TABLENAME FILE")

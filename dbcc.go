@@ -25,6 +25,7 @@
 package dbcc
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync/atomic"
@@ -54,6 +55,13 @@ type (
 // budget (the paper's "did not finish" outcome).
 var ErrSpaceLimit = ccalg.ErrSpaceLimit
 
+// RoundError is the typed failure an algorithm returns when a round
+// fails (fault injection exhausting its retries, cancellation, a space
+// limit): it carries the per-round statistics gathered up to the failure
+// so callers can report partial progress. Unwrap exposes the underlying
+// cause, so errors.Is(err, ErrSpaceLimit) still works.
+type RoundError = ccalg.RoundError
+
 // Config configures the embedded MPP cluster.
 type Config struct {
 	// Segments is the number of virtual MPP segments (parallel workers);
@@ -68,6 +76,18 @@ type Config struct {
 	// MPP database (Sec. VII-C): no map-side combine and a fixed
 	// scheduling cost per query.
 	SparkSQLProfile bool
+	// QueryTimeout aborts any single statement that runs longer than
+	// this; 0 means no per-query deadline. Algorithms surface the
+	// timeout as a *RoundError wrapping context.DeadlineExceeded.
+	QueryTimeout time.Duration
+	// FaultRate enables deterministic fault injection: every segment
+	// task attempt fails with this probability (and is retried by the
+	// engine with capped exponential backoff). 0 disables injection.
+	FaultRate float64
+	// FaultSeed seeds the fault injector; the injected fault schedule is
+	// a pure function of the seed and the statement sequence, so chaos
+	// runs reproduce exactly.
+	FaultSeed uint64
 }
 
 // Algorithm names accepted by Params.Algorithm.
@@ -155,7 +175,20 @@ func Open(cfg Config) *DB {
 	if cfg.SparkSQLProfile {
 		profile = engine.ProfileSparkSQL
 	}
-	c := engine.NewCluster(engine.Options{Segments: cfg.Segments, Workers: cfg.Workers, Profile: profile})
+	var injector *engine.FaultInjector
+	if cfg.FaultRate > 0 {
+		injector = engine.NewFaultInjector(engine.FaultConfig{
+			Seed:        cfg.FaultSeed,
+			FailureRate: cfg.FaultRate,
+		})
+	}
+	c := engine.NewCluster(engine.Options{
+		Segments:      cfg.Segments,
+		Workers:       cfg.Workers,
+		Profile:       profile,
+		QueryTimeout:  cfg.QueryTimeout,
+		FaultInjector: injector,
+	})
 	ccalg.RegisterUDFs(c)
 	return &DB{c: c}
 }
@@ -177,12 +210,20 @@ func (db *DB) LoadGraph(name string, g *Graph) error {
 // algorithm and returns the labelling with run metrics. The scratch table
 // is removed afterwards; engine statistics cover only this run.
 func (db *DB) ConnectedComponents(g *Graph, p Params) (*Result, error) {
+	return db.ConnectedComponentsCtx(context.Background(), g, p)
+}
+
+// ConnectedComponentsCtx is ConnectedComponents under a caller context:
+// cancelling ctx (or its deadline expiring) aborts the run between
+// operators and segment tasks, returning a *RoundError that carries the
+// rounds completed so far.
+func (db *DB) ConnectedComponentsCtx(ctx context.Context, g *Graph, p Params) (*Result, error) {
 	table := fmt.Sprintf("cc_input_%d", db.n.Add(1))
 	if err := db.LoadGraph(table, g); err != nil {
 		return nil, err
 	}
 	defer db.c.DropTable(table)
-	return db.ConnectedComponentsOf(table, p)
+	return db.ConnectedComponentsOfCtx(ctx, table, p)
 }
 
 // ConnectedComponentsOf runs the selected algorithm against an existing
@@ -195,6 +236,12 @@ func (db *DB) ConnectedComponents(g *Graph, p Params) (*Result, error) {
 // share those counters, so per-run Stats are best-effort; labellings are
 // always exact.
 func (db *DB) ConnectedComponentsOf(table string, p Params) (*Result, error) {
+	return db.ConnectedComponentsOfCtx(context.Background(), table, p)
+}
+
+// ConnectedComponentsOfCtx is ConnectedComponentsOf under a caller
+// context (see ConnectedComponentsCtx).
+func (db *DB) ConnectedComponentsOfCtx(ctx context.Context, table string, p Params) (*Result, error) {
 	name := p.Algorithm
 	if name == "" {
 		name = RandomisedContraction
@@ -205,6 +252,7 @@ func (db *DB) ConnectedComponentsOf(table string, p Params) (*Result, error) {
 	}
 	db.c.ResetStats()
 	opts := ccalg.Options{
+		Context:      ctx,
 		Seed:         p.Seed,
 		MaxLiveBytes: p.MaxLiveBytes,
 		RC: ccalg.RCOptions{

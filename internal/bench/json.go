@@ -18,7 +18,10 @@ import (
 // JSONSchemaVersion identifies the BENCH_*.json layout; bump it whenever a
 // field is added, removed or renamed so downstream consumers (the CI
 // bench-smoke job, plotting scripts) can detect mismatches.
-const JSONSchemaVersion = 1
+//
+// Version 2 added partial (rounds completed before a failed run aborted)
+// and the fault-tolerance counters retries/faults.
+const JSONSchemaVersion = 2
 
 // RoundJSON is one algorithm round in the machine-readable report — the
 // serialised form of ccalg.RoundStats.
@@ -40,6 +43,9 @@ type AlgorithmJSON struct {
 	FullName     string      `json:"full_name"`
 	DNF          bool        `json:"dnf"`
 	Error        string      `json:"error"`
+	Partial      int         `json:"partial"` // rounds completed before a failing run aborted
+	Retries      int64       `json:"retries"` // segment-task retries (fault injection)
+	Faults       int64       `json:"faults"`  // injected segment faults
 	Rounds       int         `json:"rounds"`
 	Queries      int64       `json:"queries"`
 	RowsWritten  int64       `json:"rows_written"`
@@ -106,11 +112,7 @@ func JSONReport(ds Dataset, cfg Config, capacity int64) *BenchJSON {
 	}
 	for _, a := range jsonAlgorithms() {
 		aj := AlgorithmJSON{Name: a.Name, FullName: a.FullName, RoundLog: []RoundJSON{}}
-		profile := engine.ProfileMPP
-		if cfg.SparkProfile {
-			profile = engine.ProfileSparkSQL
-		}
-		c := engine.NewCluster(engine.Options{Segments: cfg.Segments, Profile: profile})
+		c := engine.NewCluster(clusterOptions(cfg))
 		if err := graph.Load(c, "input", g); err != nil {
 			aj.Error = err.Error()
 			rep.Algorithms = append(rep.Algorithms, aj)
@@ -144,6 +146,11 @@ func JSONReport(ds Dataset, cfg Config, capacity int64) *BenchJSON {
 		aj.BytesWritten = st.BytesWritten
 		aj.PeakBytes = st.PeakBytes - input
 		aj.ShuffleBytes = st.ShuffleBytes
+		aj.Retries, aj.Faults, _ = c.FaultTotals()
+		var re *ccalg.RoundError
+		if errors.As(err, &re) {
+			aj.Partial = len(re.RoundLog)
+		}
 		switch {
 		case errors.Is(err, ccalg.ErrSpaceLimit):
 			aj.DNF = true

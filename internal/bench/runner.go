@@ -31,6 +31,17 @@ type Config struct {
 	SparkProfile bool
 	// Verify cross-checks every labelling against the Union/Find oracle.
 	Verify bool
+	// FaultRate injects deterministic segment-task failures at this
+	// probability per task attempt (retried by the engine); 0 disables
+	// injection. Chaos campaigns exercise the paper's claim that the
+	// algorithms are correct on a substrate with failing segment tasks.
+	FaultRate float64
+	// FaultSeed seeds the fault injector (the fault schedule is a pure
+	// function of the seed and statement sequence).
+	FaultSeed uint64
+	// QueryTimeout aborts any single statement exceeding this duration;
+	// 0 disables the per-query deadline.
+	QueryTimeout time.Duration
 }
 
 // DefaultConfig returns the configuration used for the committed
@@ -51,6 +62,9 @@ type Outcome struct {
 	Algorithm  string // short name
 	DNF        bool   // exceeded the storage capacity (paper's "–")
 	Err        error  // non-DNF failure, nil normally
+	Partial    int    // rounds completed before a failing run aborted
+	Retries    int64  // segment-task retries across the cell (fault injection)
+	Faults     int64  // injected segment faults across the cell
 	Runs       int
 	MeanSecs   float64
 	StddevSecs float64
@@ -97,7 +111,15 @@ func Run(ds Dataset, alg ccalg.Info, cfg Config, capacity int64) Outcome {
 		seed := cfg.Seed + uint64(rep)
 		g := ds.Gen(cfg.Scale, cfg.Seed) // same graph across reps; seeds vary the algorithm
 		res, m, err := runOnce(g, alg, cfg, capacity, seed)
+		out.Retries += m.retries
+		out.Faults += m.faults
 		if err != nil {
+			// A RoundError reports how far the run got before aborting;
+			// surface that partial progress alongside the failure.
+			var re *ccalg.RoundError
+			if errors.As(err, &re) {
+				out.Partial = len(re.RoundLog)
+			}
 			if errors.Is(err, ccalg.ErrSpaceLimit) {
 				out.DNF = true
 				out.PeakBytes = m.peak
@@ -133,15 +155,35 @@ type metrics struct {
 	input   int64
 	peak    int64
 	written int64
+	retries int64
+	faults  int64
 }
 
-// runOnce executes one repetition on a fresh cluster.
-func runOnce(g *graph.Graph, alg ccalg.Info, cfg Config, capacity int64, seed uint64) (*ccalg.Result, metrics, error) {
+// clusterOptions builds the engine options for one benchmark cluster,
+// including the fault-injection and per-query-deadline settings.
+func clusterOptions(cfg Config) engine.Options {
 	profile := engine.ProfileMPP
 	if cfg.SparkProfile {
 		profile = engine.ProfileSparkSQL
 	}
-	c := engine.NewCluster(engine.Options{Segments: cfg.Segments, Profile: profile})
+	var injector *engine.FaultInjector
+	if cfg.FaultRate > 0 {
+		injector = engine.NewFaultInjector(engine.FaultConfig{
+			Seed:        cfg.FaultSeed,
+			FailureRate: cfg.FaultRate,
+		})
+	}
+	return engine.Options{
+		Segments:      cfg.Segments,
+		Profile:       profile,
+		QueryTimeout:  cfg.QueryTimeout,
+		FaultInjector: injector,
+	}
+}
+
+// runOnce executes one repetition on a fresh cluster.
+func runOnce(g *graph.Graph, alg ccalg.Info, cfg Config, capacity int64, seed uint64) (*ccalg.Result, metrics, error) {
+	c := engine.NewCluster(clusterOptions(cfg))
 	if err := graph.Load(c, "input", g); err != nil {
 		return nil, metrics{}, err
 	}
@@ -151,7 +193,9 @@ func runOnce(g *graph.Graph, alg ccalg.Info, cfg Config, capacity int64, seed ui
 	res, err := alg.Run(c, "input", ccalg.Options{Seed: seed, MaxLiveBytes: capacity})
 	secs := time.Since(start).Seconds()
 	st := c.Stats()
-	m := metrics{secs: secs, input: input, peak: st.PeakBytes - input, written: st.BytesWritten}
+	retries, faults, _ := c.FaultTotals()
+	m := metrics{secs: secs, input: input, peak: st.PeakBytes - input,
+		written: st.BytesWritten, retries: retries, faults: faults}
 	if err != nil {
 		return nil, m, err
 	}

@@ -20,7 +20,14 @@ func BFS(c *engine.Cluster, input string, opts Options) (*Result, error) {
 	}
 	r := newRun(c, opts)
 	defer r.cleanup()
+	res, err := runBFS(r, c, input)
+	if err != nil {
+		return nil, r.roundError("bfs", err)
+	}
+	return res, nil
+}
 
+func runBFS(r *run, c *engine.Cluster, input string) (*Result, error) {
 	// Symmetrised edge table, distributed by source. BFS never shrinks the
 	// edge set, so this count is the constant live-edge figure of the round
 	// log — the reason its per-round cost does not decay.
@@ -62,7 +69,7 @@ func BFS(c *engine.Cluster, input string, opts Options) (*Result, error) {
 			return nil, err
 		}
 		// Converged when no vertex changed its representative.
-		changed, err := countRows(c, engine.Filter(
+		changed, err := countRows(r.ctx, c, engine.Filter(
 			engine.Join(r.scan("bfs_l"), r.scan("bfs_l2"), 0, 0),
 			engine.Bin(engine.OpNe, engine.Col(1), engine.Col(3)),
 		))

@@ -21,6 +21,7 @@
 package ccalg
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync/atomic"
@@ -38,10 +39,41 @@ var ErrSpaceLimit = errors.New("ccalg: live space budget exceeded; algorithm did
 // provably terminates long before this on any input that fits in memory.
 const maxRounds = 100000
 
+// RoundError is the graceful-degradation wrapper for a round that failed
+// mid-algorithm (cancellation, timeout, retry exhaustion, space budget):
+// it carries the identity of the failed round and the statistics of every
+// round completed before it, so callers can report partial progress
+// instead of losing the whole run. errors.Is/As see through it to the
+// underlying cause via Unwrap.
+type RoundError struct {
+	// Algorithm is the short registry name of the failed run ("rc", ...).
+	Algorithm string
+	// Round is the 1-based round that failed (one past the last completed
+	// round).
+	Round int
+	// RoundLog holds the statistics of every round completed before the
+	// failure, in order — the partial progress of the run.
+	RoundLog []RoundStats
+	// Err is the underlying failure.
+	Err error
+}
+
+func (e *RoundError) Error() string {
+	return fmt.Sprintf("ccalg: %s failed in round %d (%d rounds completed): %v",
+		e.Algorithm, e.Round, len(e.RoundLog), e.Err)
+}
+
+// Unwrap exposes the underlying cause to errors.Is / errors.As.
+func (e *RoundError) Unwrap() error { return e.Err }
+
 // Options configures an algorithm run.
 type Options struct {
 	// Seed drives all randomness; runs are reproducible for a fixed seed.
 	Seed uint64
+	// Context, when non-nil, bounds the run: cancelling it (or its
+	// deadline expiring) aborts the algorithm between queries and between
+	// segment tasks, returning a RoundError wrapping the cancellation.
+	Context context.Context
 	// MaxLiveBytes aborts the run with ErrSpaceLimit when the cluster's
 	// live table footprint exceeds it; 0 means unlimited.
 	MaxLiveBytes int64
@@ -141,6 +173,7 @@ var runSeq atomic.Uint64
 // names.
 type run struct {
 	c        *engine.Cluster
+	ctx      context.Context
 	maxBytes int64
 	ns       string
 	temps    map[string]struct{}
@@ -152,12 +185,36 @@ type run struct {
 }
 
 func newRun(c *engine.Cluster, opts Options) *run {
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	return &run{
 		c:        c,
+		ctx:      ctx,
 		maxBytes: opts.MaxLiveBytes,
 		ns:       fmt.Sprintf("run%d_", runSeq.Add(1)),
 		temps:    make(map[string]struct{}),
 		onRound:  opts.OnRound,
+	}
+}
+
+// roundError wraps a mid-algorithm failure in a RoundError carrying the
+// run's partial round log. Errors that already are RoundErrors pass
+// through unchanged (nested drivers).
+func (r *run) roundError(alg string, err error) error {
+	if err == nil {
+		return nil
+	}
+	var re *RoundError
+	if errors.As(err, &re) {
+		return err
+	}
+	return &RoundError{
+		Algorithm: alg,
+		Round:     len(r.roundLog) + 1,
+		RoundLog:  append([]RoundStats(nil), r.roundLog...),
+		Err:       err,
 	}
 }
 
@@ -207,7 +264,7 @@ func (r *run) checkSpace() error {
 // space check.
 func (r *run) create(name string, p engine.Plan, distKey int) (int64, error) {
 	phys := r.t(name)
-	n, err := r.c.CreateTableAs(phys, p, distKey)
+	n, err := r.c.CreateTableAsCtx(r.ctx, phys, p, distKey)
 	if err != nil {
 		return 0, err
 	}
@@ -257,9 +314,9 @@ func (r *run) labelsOf(table string) (graph.Labelling, error) {
 }
 
 // countRows runs a counting query over a plan without materialising it.
-func countRows(c *engine.Cluster, p engine.Plan) (int64, error) {
+func countRows(ctx context.Context, c *engine.Cluster, p engine.Plan) (int64, error) {
 	counted := engine.GroupBy(p, nil, engine.Agg{Op: engine.AggCount, Name: "n"})
-	_, rows, err := c.Query(counted)
+	_, rows, err := c.QueryCtx(ctx, counted)
 	if err != nil {
 		return 0, err
 	}

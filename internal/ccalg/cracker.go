@@ -30,7 +30,14 @@ func Cracker(c *engine.Cluster, input string, opts Options) (*Result, error) {
 	}
 	r := newRun(c, opts)
 	defer r.cleanup()
+	res, err := runCracker(r, c, input)
+	if err != nil {
+		return nil, r.roundError("cr", err)
+	}
+	return res, nil
+}
 
+func runCracker(r *run, c *engine.Cluster, input string) (*Result, error) {
 	// Working edge set: symmetric, deduplicated, loop-free.
 	if _, err := r.create("cr_e", engine.Distinct(engine.Filter(symmetric(input),
 		engine.Bin(engine.OpNe, engine.Col(0), engine.Col(1)))), 0); err != nil {
@@ -50,7 +57,7 @@ func Cracker(c *engine.Cluster, input string, opts Options) (*Result, error) {
 
 	rounds := 0
 	for {
-		n, err := countRows(c, r.scan("cr_e"))
+		n, err := countRows(r.ctx, c, r.scan("cr_e"))
 		if err != nil {
 			return nil, err
 		}
@@ -82,7 +89,7 @@ func Cracker(c *engine.Cluster, input string, opts Options) (*Result, error) {
 	}
 	prev := int64(-1)
 	for {
-		n, err := countRows(c, r.scan("cr_lab"))
+		n, err := countRows(r.ctx, c, r.scan("cr_lab"))
 		if err != nil {
 			return nil, err
 		}

@@ -28,7 +28,14 @@ func HashToMin(c *engine.Cluster, input string, opts Options) (*Result, error) {
 	}
 	r := newRun(c, opts)
 	defer r.cleanup()
+	res, err := runHashToMin(r, c, input)
+	if err != nil {
+		return nil, r.roundError("hm", err)
+	}
+	return res, nil
+}
 
+func runHashToMin(r *run, c *engine.Cluster, input string) (*Result, error) {
 	// Initial clusters: C(v) = N[v] — both edge orientations plus a self
 	// row per vertex; the raw map output is materialised first, MapReduce
 	// style, then reduced to the deduplicated state.
@@ -86,13 +93,13 @@ func HashToMin(c *engine.Cluster, input string, opts Options) (*Result, error) {
 		// Converged when the cluster table is unchanged (a fixpoint of the
 		// update). Multiset equality: equal cardinalities and the distinct
 		// union no larger than either side.
-		n1, err := countRows(c, r.scan("hm_c"))
+		n1, err := countRows(r.ctx, c, r.scan("hm_c"))
 		if err != nil {
 			return nil, err
 		}
 		same := false
 		if n1 == n2 {
-			nu, err := countRows(c, engine.Distinct(engine.UnionAll(
+			nu, err := countRows(r.ctx, c, engine.Distinct(engine.UnionAll(
 				r.scan("hm_c"), r.scan("hm_c2"))))
 			if err != nil {
 				return nil, err

@@ -95,10 +95,11 @@ func RandomisedContraction(c *engine.Cluster, input string, opts Options) (*Resu
 	defer r.cleanup()
 	// The session shares the run's temp-table namespace, so the literal
 	// Appendix A table names in the SQL below resolve to run-private
-	// catalog names and concurrent RC sessions never collide.
-	res, err := runRC(r, sql.SessionWithNamespace(c, r.ns), input, opts)
+	// catalog names and concurrent RC sessions never collide; it also
+	// carries the run's context so cancellation reaches every statement.
+	res, err := runRC(r, sql.SessionWithNamespace(c, r.ns).WithContext(r.ctx), input, opts)
 	if err != nil {
-		return nil, err
+		return nil, r.roundError("rc", err)
 	}
 	return res, nil
 }
@@ -330,25 +331,33 @@ func rcFoldSafe(r *run, s *sql.Session, method Method, round int, k rcKeys) erro
 // composition for the GF methods exactly as the paper's Python does.
 func rcComposeFast(r *run, s *sql.Session, method Method, stack []rcKeys) error {
 	gfMethod := method == FiniteFields || method == GFPrime
-	axb := func(a, x, b int64) int64 {
+	axb := func(a, x, b int64) (int64, error) {
+		fn := "axplusb"
 		if method == GFPrime {
-			_, rows, err := s.Queryf("select axbp(%d, %d, %d) as r", a, x, b)
-			if err != nil || len(rows) != 1 {
-				panic("ccalg: axbp self-query failed")
-			}
-			return rows[0][0].Int
+			fn = "axbp"
 		}
-		_, rows, err := s.Queryf("select axplusb(%d, %d, %d) as r", a, x, b)
-		if err != nil || len(rows) != 1 {
-			panic("ccalg: axplusb self-query failed")
+		_, rows, err := s.Queryf("select %s(%d, %d, %d) as r", fn, a, x, b)
+		if err != nil {
+			return 0, fmt.Errorf("ccalg: %s self-query failed: %w", fn, err)
 		}
-		return rows[0][0].Int
+		if len(rows) != 1 {
+			return 0, fmt.Errorf("ccalg: %s self-query returned %d rows, want 1", fn, len(rows))
+		}
+		return rows[0][0].Int, nil
 	}
 	accA, accB := int64(1), int64(0)
 	for i := len(stack) - 1; i >= 1; i-- {
 		if gfMethod {
 			k := stack[i]
-			accA, accB = axb(accA, k.a, 0), axb(accA, k.b, accB)
+			newA, err := axb(accA, k.a, 0)
+			if err != nil {
+				return err
+			}
+			newB, err := axb(accA, k.b, accB)
+			if err != nil {
+				return err
+			}
+			accA, accB = newA, newB
 		}
 		var relabel string
 		if gfMethod {

@@ -30,7 +30,14 @@ func TwoPhase(c *engine.Cluster, input string, opts Options) (*Result, error) {
 	}
 	r := newRun(c, opts)
 	defer r.cleanup()
+	res, err := runTwoPhase(r, input)
+	if err != nil {
+		return nil, r.roundError("tp", err)
+	}
+	return res, nil
+}
 
+func runTwoPhase(r *run, input string) (*Result, error) {
 	// Working edge set in canonical (larger, smaller) order, deduplicated,
 	// loops dropped (isolated vertices are reattached at labelling time).
 	canon := engine.Project(symmetric(input),
@@ -169,17 +176,17 @@ func tpStar(r *run, large bool) (int64, int64, error) {
 // tpStarChanged reports whether the last star operation changed the edge
 // set, and drops the saved previous edge set.
 func tpStarChanged(r *run) (bool, error) {
-	n1, err := countRows(r.c, r.scan("tp_prev"))
+	n1, err := countRows(r.ctx, r.c, r.scan("tp_prev"))
 	if err != nil {
 		return false, err
 	}
-	n2, err := countRows(r.c, r.scan("tp_e"))
+	n2, err := countRows(r.ctx, r.c, r.scan("tp_e"))
 	if err != nil {
 		return false, err
 	}
 	changed := true
 	if n1 == n2 {
-		nu, err := countRows(r.c, engine.Distinct(engine.UnionAll(
+		nu, err := countRows(r.ctx, r.c, engine.Distinct(engine.UnionAll(
 			r.scan("tp_prev"), r.scan("tp_e"))))
 		if err != nil {
 			return false, err

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"testing"
 )
 
@@ -44,7 +45,7 @@ func TestShuffleChargesWireSize(t *testing.T) {
 	for s := 1; s < 4; s++ {
 		in.parts[s] = newChunk(2, 0)
 	}
-	out, moved := c.shuffle(in, func(ch *Chunk, r int) int {
+	out, moved, err := c.newExecEnv(context.Background()).shuffle(in, func(ch *Chunk, r int) int {
 		if ch.length == 0 {
 			return 0
 		}
@@ -53,6 +54,9 @@ func TestShuffleChargesWireSize(t *testing.T) {
 		}
 		return 0
 	}, NoDistKey)
+	if err != nil {
+		t.Fatalf("shuffle: %v", err)
+	}
 	want := int64(7) * 2 * DatumWireSize
 	if moved != want {
 		t.Fatalf("shuffle charged %d bytes, want %d", moved, want)

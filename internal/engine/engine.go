@@ -222,6 +222,26 @@ type Options struct {
 	// TraceCapacity sets the size of the query-trace ring buffer readable
 	// via Trace(); 0 means the default of 256, negative disables tracing.
 	TraceCapacity int
+	// QueryTimeout is the per-statement execution deadline; statements
+	// exceeding it abort with a context.DeadlineExceeded error. 0 means no
+	// deadline. It composes with caller-supplied contexts: whichever
+	// cancels first wins.
+	QueryTimeout time.Duration
+	// FaultInjector, when non-nil, injects deterministic segment-task
+	// failures and latency spikes (see FaultConfig) — the chaos harness
+	// modelling segment failure in an MPP cluster.
+	FaultInjector *FaultInjector
+	// MaxTaskRetries is how many times one segment task is retried after
+	// an injected fault before its query fails; 0 means the default of 3,
+	// negative disables retries.
+	MaxTaskRetries int
+	// RetryBackoff is the base of the capped exponential backoff between
+	// task retries; 0 means the default of 200µs.
+	RetryBackoff time.Duration
+	// RetryBudget caps the total retries one statement may consume across
+	// all its tasks; 0 means the default of 1024, negative disables
+	// retries entirely.
+	RetryBudget int
 }
 
 // Cluster is the in-process MPP database: a catalog of distributed tables,
@@ -235,6 +255,13 @@ type Cluster struct {
 	sparkW      int
 	transaction bool
 	broadcast   int64
+
+	queryTimeout   time.Duration
+	injector       *FaultInjector
+	maxTaskRetries int
+	retryBackoff   time.Duration
+	retryBudget    int
+	stmtSeq        atomic.Uint64 // statement numbering for fault determinism
 
 	mu     sync.RWMutex // guards tables, udfs, Table.Name
 	tables map[string]*Table
@@ -276,18 +303,39 @@ func NewCluster(opts Options) *Cluster {
 	} else if traceCap < 0 {
 		traceCap = 0
 	}
+	retries := opts.MaxTaskRetries
+	if retries == 0 {
+		retries = 3
+	} else if retries < 0 {
+		retries = 0
+	}
+	backoff := opts.RetryBackoff
+	if backoff <= 0 {
+		backoff = 200 * time.Microsecond
+	}
+	budget := opts.RetryBudget
+	if budget == 0 {
+		budget = 1024
+	} else if budget < 0 {
+		budget = 0
+	}
 	return &Cluster{
-		segments:    opts.Segments,
-		workers:     opts.Workers,
-		profile:     opts.Profile,
-		sparkW:      opts.SparkPerQueryWork,
-		transaction: opts.TransactionMode,
-		broadcast:   opts.BroadcastThreshold,
-		tables:      make(map[string]*Table),
-		udfs:        make(map[string]UDF),
-		traceCap:    traceCap,
-		opTotals:    make(map[string]OpTotal),
-		sem:         make(chan struct{}, opts.Workers),
+		segments:       opts.Segments,
+		workers:        opts.Workers,
+		profile:        opts.Profile,
+		sparkW:         opts.SparkPerQueryWork,
+		transaction:    opts.TransactionMode,
+		broadcast:      opts.BroadcastThreshold,
+		queryTimeout:   opts.QueryTimeout,
+		injector:       opts.FaultInjector,
+		maxTaskRetries: retries,
+		retryBackoff:   backoff,
+		retryBudget:    budget,
+		tables:         make(map[string]*Table),
+		udfs:           make(map[string]UDF),
+		traceCap:       traceCap,
+		opTotals:       make(map[string]OpTotal),
+		sem:            make(chan struct{}, opts.Workers),
 	}
 }
 
@@ -430,7 +478,8 @@ func (c *Cluster) CreateTable(name string, schema Schema, distKey int) (*Table, 
 // the table's distribution key, and accounts for the write. Mutated
 // partitions are replaced with freshly allocated slices so concurrent
 // scans keep reading their consistent snapshots.
-func (c *Cluster) InsertRows(name string, rows []Row) error {
+func (c *Cluster) InsertRows(name string, rows []Row) (err error) {
+	defer recoverToError("insert", &err)
 	start := time.Now()
 	t, ok := c.Table(name)
 	if !ok {

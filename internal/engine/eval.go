@@ -1,5 +1,7 @@
 package engine
 
+import "fmt"
+
 // Vectorized expression evaluation over chunks. evalVec computes an
 // expression once per chunk instead of once per row: column references
 // alias the input column (zero copies), arithmetic and comparisons run as
@@ -7,6 +9,10 @@ package engine
 // genuinely row-oriented expressions (UDF calls, unknown Expr
 // implementations) fall back to a scalar loop — with a reused argument
 // buffer, so even the fallback allocates per chunk, not per row.
+//
+// Evaluation is fallible: a malformed plan (an unknown operator smuggled
+// into a BinExpr) surfaces as a returned error that fails its query, never
+// as a process-killing panic.
 
 // colVec is one evaluated expression column: values plus an optional null
 // bitmap (nil = no NULLs), the same layout as a chunk column.
@@ -55,11 +61,11 @@ func orNulls(a, b nullBitmap, n int) nullBitmap {
 }
 
 // evalVec evaluates e over every row of ch.
-func evalVec(e Expr, ch *Chunk) colVec {
+func evalVec(e Expr, ch *Chunk) (colVec, error) {
 	n := ch.length
 	switch e := e.(type) {
 	case ColRef:
-		return colVec{vals: ch.cols[e.Idx], nulls: ch.nulls[e.Idx]}
+		return colVec{vals: ch.cols[e.Idx], nulls: ch.nulls[e.Idx]}, nil
 
 	case ConstExpr:
 		vals := make([]int64, n)
@@ -68,20 +74,23 @@ func evalVec(e Expr, ch *Chunk) colVec {
 			for i := range nb {
 				nb[i] = ^uint64(0)
 			}
-			return colVec{vals: vals, nulls: nb}
+			return colVec{vals: vals, nulls: nb}, nil
 		}
 		if e.Val.Int != 0 {
 			for i := range vals {
 				vals[i] = e.Val.Int
 			}
 		}
-		return colVec{vals: vals}
+		return colVec{vals: vals}, nil
 
 	case BinExpr:
 		return evalBinVec(e, ch)
 
 	case IsNullExpr:
-		arg := evalVec(e.Arg, ch)
+		arg, err := evalVec(e.Arg, ch)
+		if err != nil {
+			return colVec{}, err
+		}
 		out := colVec{vals: make([]int64, n)}
 		for i := 0; i < n; i++ {
 			isNull := arg.null(i)
@@ -92,10 +101,13 @@ func evalVec(e Expr, ch *Chunk) colVec {
 				out.vals[i] = 1
 			}
 		}
-		return out
+		return out, nil
 
 	case CoalesceExpr:
-		args := evalArgVecs(e.Args, ch)
+		args, err := evalArgVecs(e.Args, ch)
+		if err != nil {
+			return colVec{}, err
+		}
 		out := colVec{vals: make([]int64, n)}
 		for i := 0; i < n; i++ {
 			hit := false
@@ -110,10 +122,13 @@ func evalVec(e Expr, ch *Chunk) colVec {
 				out.setNull(i, n)
 			}
 		}
-		return out
+		return out, nil
 
 	case LeastExpr:
-		args := evalArgVecs(e.Args, ch)
+		args, err := evalArgVecs(e.Args, ch)
+		if err != nil {
+			return colVec{}, err
+		}
 		out := colVec{vals: make([]int64, n)}
 		for i := 0; i < n; i++ {
 			hit := false
@@ -132,10 +147,13 @@ func evalVec(e Expr, ch *Chunk) colVec {
 				out.setNull(i, n)
 			}
 		}
-		return out
+		return out, nil
 
 	case UDFExpr:
-		args := evalArgVecs(e.Args, ch)
+		args, err := evalArgVecs(e.Args, ch)
+		if err != nil {
+			return colVec{}, err
+		}
 		argBuf := make([]Datum, len(args))
 		out := colVec{vals: make([]int64, n)}
 		for i := 0; i < n; i++ {
@@ -149,7 +167,7 @@ func evalVec(e Expr, ch *Chunk) colVec {
 				out.vals[i] = d.Int
 			}
 		}
-		return out
+		return out, nil
 
 	default:
 		// Unknown Expr implementation: reconstruct each row into a scratch
@@ -167,26 +185,36 @@ func evalVec(e Expr, ch *Chunk) colVec {
 				out.vals[i] = d.Int
 			}
 		}
-		return out
+		return out, nil
 	}
 }
 
 // evalArgVecs evaluates an argument list.
-func evalArgVecs(args []Expr, ch *Chunk) []colVec {
+func evalArgVecs(args []Expr, ch *Chunk) ([]colVec, error) {
 	out := make([]colVec, len(args))
 	for i, a := range args {
-		out[i] = evalVec(a, ch)
+		v, err := evalVec(a, ch)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
 	}
-	return out
+	return out, nil
 }
 
 // evalBinVec evaluates a binary operator column-at-a-time. Comparisons and
 // arithmetic propagate NULL by bitmap union; AND/OR run a scalar loop for
 // SQL's three-valued logic, mirroring BinExpr.Eval exactly.
-func evalBinVec(e BinExpr, ch *Chunk) colVec {
+func evalBinVec(e BinExpr, ch *Chunk) (colVec, error) {
 	n := ch.length
-	l := evalVec(e.Left, ch)
-	r := evalVec(e.Right, ch)
+	l, err := evalVec(e.Left, ch)
+	if err != nil {
+		return colVec{}, err
+	}
+	r, err := evalVec(e.Right, ch)
+	if err != nil {
+		return colVec{}, err
+	}
 	out := colVec{vals: make([]int64, n)}
 
 	switch e.Op {
@@ -202,7 +230,7 @@ func evalBinVec(e BinExpr, ch *Chunk) colVec {
 				out.vals[i] = 1
 			}
 		}
-		return out
+		return out, nil
 	case OpOr:
 		for i := 0; i < n; i++ {
 			ln, rn := l.null(i), r.null(i)
@@ -213,7 +241,7 @@ func evalBinVec(e BinExpr, ch *Chunk) colVec {
 				out.setNull(i, n)
 			}
 		}
-		return out
+		return out, nil
 	}
 
 	out.nulls = orNulls(l.nulls, r.nulls, n)
@@ -264,9 +292,9 @@ func evalBinVec(e BinExpr, ch *Chunk) colVec {
 			}
 		}
 	default:
-		panic("engine: unknown binary operator in vectorized eval")
+		return colVec{}, fmt.Errorf("engine: unknown binary operator %d in vectorized eval", e.Op)
 	}
-	return out
+	return out, nil
 }
 
 // chunkFromVecs assembles evaluated columns into a chunk; column slices

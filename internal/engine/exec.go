@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"sync/atomic"
@@ -33,15 +34,27 @@ func (r *relation) rows() int64 {
 // and returns the number of rows written — the value the paper's driver
 // script reads from every query to detect termination.
 func (c *Cluster) CreateTableAs(name string, p Plan, distKey int) (int64, error) {
+	return c.CreateTableAsCtx(context.Background(), name, p, distKey)
+}
+
+// CreateTableAsCtx is CreateTableAs executing under a context: cancelling
+// ctx (or exceeding Options.QueryTimeout) aborts the statement between
+// operators and between segment tasks, draining in-flight tasks before
+// returning.
+func (c *Cluster) CreateTableAsCtx(ctx context.Context, name string, p Plan, distKey int) (rows int64, err error) {
+	defer recoverToError("create table "+name, &err)
 	c.beginStatement()
 	defer c.endStatement()
+	ctx, cancel := c.statementContext(ctx)
+	defer cancel()
 	// Fast-fail before executing; the authoritative check is the atomic
 	// publish below (another session may create the name meanwhile).
 	if _, exists := c.Table(name); exists {
 		return 0, fmt.Errorf("engine: table %q already exists", name)
 	}
 	start := time.Now()
-	rel, root, err := c.exec(p)
+	e := c.newExecEnv(ctx)
+	rel, root, err := e.exec(p)
 	if err != nil {
 		return 0, err
 	}
@@ -50,12 +63,23 @@ func (c *Cluster) CreateTableAs(name string, p Plan, distKey int) (int64, error)
 		if distKey < 0 || distKey >= len(rel.schema) {
 			return 0, fmt.Errorf("engine: distribution key %d out of range for %v", distKey, rel.schema)
 		}
-		rel, placeShuffle = c.redistribute(rel, distKey)
+		rel, placeShuffle, err = e.redistribute(rel, distKey)
+		if err != nil {
+			return 0, err
+		}
 	}
 	parts := make([][]Row, c.segments)
-	c.parallel(func(seg int) {
+	err = e.parallel(func(seg int) error {
 		parts[seg] = chunkToRows(rel.parts[seg])
+		return nil
 	})
+	if err != nil {
+		return 0, err
+	}
+	// The placement shuffle and row conversion ran after the plan's root
+	// operator finished; fold their fault counters into the root node so
+	// the trace accounts for every retry of the statement.
+	e.drainFaultCounters(root)
 	t := &Table{Name: name, Schema: rel.schema, DistKey: distKey, Parts: parts}
 	c.mu.Lock()
 	if _, exists := c.tables[name]; exists {
@@ -85,17 +109,33 @@ func (c *Cluster) CreateTableAs(name string, p Plan, distKey int) (int64, error)
 // table and therefore does not count toward the write statistics, but it
 // does count as a query.
 func (c *Cluster) Query(p Plan) (Schema, []Row, error) {
-	schema, rows, _, err := c.QueryAnalyze(p)
+	schema, rows, _, err := c.QueryAnalyzeCtx(context.Background(), p)
+	return schema, rows, err
+}
+
+// QueryCtx is Query executing under a context (see CreateTableAsCtx).
+func (c *Cluster) QueryCtx(ctx context.Context, p Plan) (Schema, []Row, error) {
+	schema, rows, _, err := c.QueryAnalyzeCtx(ctx, p)
 	return schema, rows, err
 }
 
 // QueryAnalyze is Query returning additionally the per-operator execution
 // profile of the run — the engine half of EXPLAIN ANALYZE.
 func (c *Cluster) QueryAnalyze(p Plan) (Schema, []Row, *OpMetrics, error) {
+	return c.QueryAnalyzeCtx(context.Background(), p)
+}
+
+// QueryAnalyzeCtx is QueryAnalyze executing under a context (see
+// CreateTableAsCtx).
+func (c *Cluster) QueryAnalyzeCtx(ctx context.Context, p Plan) (_ Schema, _ []Row, _ *OpMetrics, err error) {
+	defer recoverToError("query", &err)
 	c.beginStatement()
 	defer c.endStatement()
+	ctx, cancel := c.statementContext(ctx)
+	defer cancel()
 	start := time.Now()
-	rel, root, err := c.exec(p)
+	e := c.newExecEnv(ctx)
+	rel, root, err := e.exec(p)
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -139,11 +179,22 @@ func (c *Cluster) chargeProfileOverhead() {
 	profileSink.Add(acc)
 }
 
+// drainFaultCounters moves the environment's pending retry/fault/cancel
+// counters into the metrics node. Operators execute depth-first and
+// sequentially within a statement, so between two finishOp calls the
+// counters belong to exactly one operator.
+func (e *execEnv) drainFaultCounters(m *OpMetrics) {
+	m.Retries += e.opRetries.Swap(0)
+	m.Faults += e.opFaults.Swap(0)
+	m.Cancelled += e.opCancelled.Swap(0)
+}
+
 // finishOp builds the metrics node for one executed operator: output
-// volume and per-segment distribution from the produced relation, plus the
+// volume and per-segment distribution from the produced relation, the
 // operator's shuffle traffic, per-segment compute times and inclusive wall
-// time since start.
-func finishOp(op, detail string, rel *relation, children []*OpMetrics,
+// time since start, plus the fault-tolerance counters accumulated since the
+// previous operator finished.
+func (e *execEnv) finishOp(op, detail string, rel *relation, children []*OpMetrics,
 	shuffle int64, segTimes []time.Duration, start time.Time) *OpMetrics {
 	m := &OpMetrics{
 		Op:       op,
@@ -159,23 +210,19 @@ func finishOp(op, detail string, rel *relation, children []*OpMetrics,
 		m.Rows += int64(p.length)
 	}
 	m.Bytes = m.Rows * int64(len(rel.schema)) * DatumSize
+	e.drainFaultCounters(m)
 	return m
 }
 
-// parallelTimed is parallel with a per-segment wall-time measurement of fn.
-func (c *Cluster) parallelTimed(fn func(seg int)) []time.Duration {
-	times := make([]time.Duration, c.segments)
-	c.parallel(func(seg int) {
-		t0 := time.Now()
-		fn(seg)
-		times[seg] = time.Since(t0)
-	})
-	return times
-}
-
 // exec evaluates a plan tree to a distributed relation, collecting one
-// OpMetrics node per operator.
-func (c *Cluster) exec(p Plan) (*relation, *OpMetrics, error) {
+// OpMetrics node per operator. Cancellation is checked before every
+// operator; segment tasks additionally observe it between retries and
+// before starting.
+func (e *execEnv) exec(p Plan) (*relation, *OpMetrics, error) {
+	if err := e.checkCancelled(); err != nil {
+		return nil, nil, err
+	}
+	c := e.c
 	start := time.Now()
 	switch p := p.(type) {
 	case ScanPlan:
@@ -185,41 +232,54 @@ func (c *Cluster) exec(p Plan) (*relation, *OpMetrics, error) {
 		}
 		stored := t.snapshotParts()
 		parts := make([]*Chunk, c.segments)
-		c.parallel(func(seg int) {
+		err := e.parallel(func(seg int) error {
 			parts[seg] = rowsToChunk(stored[seg], len(t.Schema))
+			return nil
 		})
+		if err != nil {
+			return nil, nil, err
+		}
 		rel := &relation{schema: t.Schema, parts: parts, distKey: t.DistKey}
-		return rel, finishOp("Scan", p.Table, rel, nil, 0, nil, start), nil
+		return rel, e.finishOp("Scan", p.Table, rel, nil, 0, nil, start), nil
 
 	case ValuesPlan:
 		parts := c.newParts(len(p.Cols))
 		parts[0] = rowsToChunk(p.Rows, len(p.Cols))
 		rel := &relation{schema: p.Cols, parts: parts, distKey: NoDistKey}
-		return rel, finishOp("Values", "", rel, nil, 0, nil, start), nil
+		return rel, e.finishOp("Values", "", rel, nil, 0, nil, start), nil
 
 	case FilterPlan:
-		in, cm, err := c.exec(p.Input)
+		in, cm, err := e.exec(p.Input)
 		if err != nil {
 			return nil, nil, err
 		}
 		out := make([]*Chunk, c.segments)
-		segTimes := c.parallelTimed(func(seg int) {
+		segTimes, err := e.parallelTimed(func(seg int) error {
 			ch := in.parts[seg]
-			pred := evalVec(p.Pred, ch)
-			keep := getI32(ch.length)
+			pred, err := evalVec(p.Pred, ch)
+			if err != nil {
+				return err
+			}
+			kp := getI32(ch.length)
+			keep := *kp
 			for r := 0; r < ch.length; r++ {
 				if !pred.null(r) && pred.vals[r] != 0 {
 					keep = append(keep, int32(r))
 				}
 			}
 			out[seg] = gatherChunk(ch, keep)
-			putI32(keep)
+			*kp = keep
+			putI32(kp)
+			return nil
 		})
+		if err != nil {
+			return nil, nil, err
+		}
 		rel := &relation{schema: in.schema, parts: out, distKey: in.distKey}
-		return rel, finishOp("Filter", p.Pred.String(), rel, []*OpMetrics{cm}, 0, segTimes, start), nil
+		return rel, e.finishOp("Filter", p.Pred.String(), rel, []*OpMetrics{cm}, 0, segTimes, start), nil
 
 	case ProjectPlan:
-		in, cm, err := c.exec(p.Input)
+		in, cm, err := e.exec(p.Input)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -239,16 +299,24 @@ func (c *Cluster) exec(p Plan) (*relation, *OpMetrics, error) {
 			}
 		}
 		out := make([]*Chunk, c.segments)
-		segTimes := c.parallelTimed(func(seg int) {
+		segTimes, err := e.parallelTimed(func(seg int) error {
 			ch := in.parts[seg]
 			vecs := make([]colVec, len(p.Cols))
 			for i, col := range p.Cols {
-				vecs[i] = evalVec(col.Expr, ch)
+				v, err := evalVec(col.Expr, ch)
+				if err != nil {
+					return err
+				}
+				vecs[i] = v
 			}
 			out[seg] = chunkFromVecs(vecs, ch.length)
+			return nil
 		})
+		if err != nil {
+			return nil, nil, err
+		}
 		rel := &relation{schema: schema, parts: out, distKey: outKey}
-		return rel, finishOp("Project", "", rel, []*OpMetrics{cm}, 0, segTimes, start), nil
+		return rel, e.finishOp("Project", "", rel, []*OpMetrics{cm}, 0, segTimes, start), nil
 
 	case UnionAllPlan:
 		schema, err := p.Schema(c)
@@ -258,7 +326,7 @@ func (c *Cluster) exec(p Plan) (*relation, *OpMetrics, error) {
 		ins := make([]*relation, 0, len(p.Inputs))
 		var children []*OpMetrics
 		for _, inp := range p.Inputs {
-			in, cm, err := c.exec(inp)
+			in, cm, err := e.exec(inp)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -266,37 +334,48 @@ func (c *Cluster) exec(p Plan) (*relation, *OpMetrics, error) {
 			ins = append(ins, in)
 		}
 		out := make([]*Chunk, c.segments)
-		c.parallel(func(seg int) {
+		err = e.parallel(func(seg int) error {
 			pieces := make([]*Chunk, len(ins))
 			for i, in := range ins {
 				pieces[i] = in.parts[seg]
 			}
 			out[seg] = concatChunks(len(schema), pieces)
+			return nil
 		})
-		rel := &relation{schema: schema, parts: out, distKey: NoDistKey}
-		return rel, finishOp("UnionAll", "", rel, children, 0, nil, start), nil
-
-	case DistinctPlan:
-		in, cm, err := c.exec(p.Input)
 		if err != nil {
 			return nil, nil, err
 		}
-		shuffled, moved := c.redistributeByRowHash(in)
+		rel := &relation{schema: schema, parts: out, distKey: NoDistKey}
+		return rel, e.finishOp("UnionAll", "", rel, children, 0, nil, start), nil
+
+	case DistinctPlan:
+		in, cm, err := e.exec(p.Input)
+		if err != nil {
+			return nil, nil, err
+		}
+		shuffled, moved, err := e.redistributeByRowHash(in)
+		if err != nil {
+			return nil, nil, err
+		}
 		out := make([]*Chunk, c.segments)
-		segTimes := c.parallelTimed(func(seg int) {
+		segTimes, err := e.parallelTimed(func(seg int) error {
 			out[seg] = distinctChunk(shuffled.parts[seg])
+			return nil
 		})
+		if err != nil {
+			return nil, nil, err
+		}
 		rel := &relation{schema: in.schema, parts: out, distKey: NoDistKey}
-		return rel, finishOp("Distinct", "", rel, []*OpMetrics{cm}, moved, segTimes, start), nil
+		return rel, e.finishOp("Distinct", "", rel, []*OpMetrics{cm}, moved, segTimes, start), nil
 
 	case SortPlan:
-		return c.execSort(p, start)
+		return e.execSort(p, start)
 
 	case GroupByPlan:
-		return c.execGroupBy(p, start)
+		return e.execGroupBy(p, start)
 
 	case JoinPlan:
-		return c.execJoin(p, start)
+		return e.execJoin(p, start)
 	}
 	return nil, nil, fmt.Errorf("engine: unknown plan node %T", p)
 }
@@ -312,23 +391,25 @@ func (c *Cluster) newParts(ncols int) []*Chunk {
 
 // redistribute hash-shuffles a relation so rows are placed by column key,
 // returning the bytes moved between segments.
-func (c *Cluster) redistribute(in *relation, key int) (*relation, int64) {
+func (e *execEnv) redistribute(in *relation, key int) (*relation, int64, error) {
 	if in.distKey == key {
-		return in, 0
+		return in, 0, nil
 	}
-	return c.shuffle(in, func(ch *Chunk, r int) int {
+	segs := uint64(e.c.segments)
+	return e.shuffle(in, func(ch *Chunk, r int) int {
 		if ch.nulls[key].get(r) {
 			return 0
 		}
-		return int(xrand.Mix64(uint64(ch.cols[key][r])) % uint64(c.segments))
+		return int(xrand.Mix64(uint64(ch.cols[key][r])) % segs)
 	}, key)
 }
 
 // redistributeByRowHash shuffles by a hash of the whole row (for DISTINCT).
-func (c *Cluster) redistributeByRowHash(in *relation) (*relation, int64) {
+func (e *execEnv) redistributeByRowHash(in *relation) (*relation, int64, error) {
 	ncols := len(in.schema)
-	return c.shuffle(in, func(ch *Chunk, r int) int {
-		return int(chunkRowHash(ch, 0, ncols, r) % uint64(c.segments))
+	segs := uint64(e.c.segments)
+	return e.shuffle(in, func(ch *Chunk, r int) int {
+		return int(chunkRowHash(ch, 0, ncols, r) % segs)
 	}, NoDistKey)
 }
 
@@ -338,18 +419,21 @@ func (c *Cluster) redistributeByRowHash(in *relation) (*relation, int64) {
 // then places them into exact-capacity per-destination chunks — no
 // append-growing — and each destination concatenates its incoming chunks
 // column-at-a-time. Rows that change segments are charged DatumWireSize
-// bytes per value, the width of the canonical row encoding.
-func (c *Cluster) shuffle(in *relation, dest func(ch *Chunk, r int) int, newKey int) (*relation, int64) {
+// bytes per value, the width of the canonical row encoding. Each task
+// publishes into its own slot only when it completes, so a retried or
+// cancelled task never leaves partial state behind.
+func (e *execEnv) shuffle(in *relation, dest func(ch *Chunk, r int) int, newKey int) (*relation, int64, error) {
 	ncols := len(in.schema)
-	segs := c.segments
+	segs := e.c.segments
 	// Phase 1: each source segment counts, then places, its rows by
 	// destination.
 	buckets := make([][]*Chunk, segs) // [src][dst]
 	moved := make([]int64, segs)
-	c.parallel(func(src int) {
+	err := e.parallel(func(src int) error {
 		ch := in.parts[src]
 		n := ch.length
-		dests := getI32(n)[:n]
+		dp := getI32(n)
+		dests := (*dp)[:n]
 		counts := make([]int32, segs)
 		for r := 0; r < n; r++ {
 			d := dest(ch, r)
@@ -362,6 +446,7 @@ func (c *Cluster) shuffle(in *relation, dest func(ch *Chunk, r int) int, newKey 
 			b[d] = newChunk(ncols, int(counts[d]))
 		}
 		cursors := make([]int32, segs)
+		var movedHere int64
 		for r := 0; r < n; r++ {
 			d := dests[r]
 			k := int(cursors[d])
@@ -375,27 +460,37 @@ func (c *Cluster) shuffle(in *relation, dest func(ch *Chunk, r int) int, newKey 
 				}
 			}
 			if int(d) != src {
-				moved[src] += rowBytes
+				movedHere += rowBytes
 			}
 		}
-		putI32(dests)
+		*dp = dests
+		putI32(dp)
+		moved[src] = movedHere
 		buckets[src] = b
+		return nil
 	})
+	if err != nil {
+		return nil, 0, err
+	}
 	// Phase 2: each destination concatenates its incoming chunks.
 	out := make([]*Chunk, segs)
-	c.parallel(func(dst int) {
+	err = e.parallel(func(dst int) error {
 		pieces := make([]*Chunk, segs)
 		for src := 0; src < segs; src++ {
 			pieces[src] = buckets[src][dst]
 		}
 		out[dst] = concatChunks(ncols, pieces)
+		return nil
 	})
+	if err != nil {
+		return nil, 0, err
+	}
 	var total int64
 	for _, m := range moved {
 		total += m
 	}
-	c.addShuffleBytes(total)
-	return &relation{schema: in.schema, parts: out, distKey: newKey}, total
+	e.c.addShuffleBytes(total)
+	return &relation{schema: in.schema, parts: out, distKey: newKey}, total, nil
 }
 
 // encodeRow appends the canonical byte encoding of a row to buf: one null
@@ -420,8 +515,9 @@ func encodeRow(buf []byte, row Row) []byte {
 // segment pre-aggregates locally before the shuffle (map-side combine);
 // under ProfileSparkSQL raw rows are shuffled, as Spark SQL's planner of
 // the paper's era did for this query shape.
-func (c *Cluster) execGroupBy(p GroupByPlan, start time.Time) (*relation, *OpMetrics, error) {
-	in, cm, err := c.exec(p.Input)
+func (e *execEnv) execGroupBy(p GroupByPlan, start time.Time) (*relation, *OpMetrics, error) {
+	c := e.c
+	in, cm, err := e.exec(p.Input)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -434,19 +530,32 @@ func (c *Cluster) execGroupBy(p GroupByPlan, start time.Time) (*relation, *OpMet
 	// aggregateParts folds partial chunks (already in key+agg layout) per
 	// segment into one row per group, timing each segment's fold.
 	var segTimes []time.Duration
-	aggregateParts := func(parts []*Chunk) []*Chunk {
+	aggregateParts := func(parts []*Chunk) ([]*Chunk, error) {
 		out := make([]*Chunk, c.segments)
-		segTimes = c.parallelTimed(func(seg int) {
+		var err error
+		segTimes, err = e.parallelTimed(func(seg int) error {
 			out[seg] = groupChunk(parts[seg], nk, p.Aggs)
+			return nil
 		})
-		return out
+		if err != nil {
+			return nil, err
+		}
+		return out, nil
 	}
 
 	// Convert input chunks to partial layout.
 	partial := make([]*Chunk, c.segments)
-	c.parallel(func(seg int) {
-		partial[seg] = buildPartialChunk(in.parts[seg], p.Keys, p.Aggs)
+	err = e.parallel(func(seg int) error {
+		ch, err := buildPartialChunk(in.parts[seg], p.Keys, p.Aggs)
+		if err != nil {
+			return err
+		}
+		partial[seg] = ch
+		return nil
 	})
+	if err != nil {
+		return nil, nil, err
+	}
 	rel := &relation{schema: schema, parts: partial, distKey: NoDistKey}
 	if nk > 0 && in.distKey != NoDistKey && p.Keys[0] == in.distKey {
 		// Grouping by the distribution column: groups are already
@@ -455,7 +564,10 @@ func (c *Cluster) execGroupBy(p GroupByPlan, start time.Time) (*relation, *OpMet
 	}
 
 	if c.profile == ProfileMPP {
-		rel.parts = aggregateParts(rel.parts) // map-side combine
+		rel.parts, err = aggregateParts(rel.parts) // map-side combine
+		if err != nil {
+			return nil, nil, err
+		}
 	}
 	var moved int64
 	if nk == 0 {
@@ -465,28 +577,36 @@ func (c *Cluster) execGroupBy(p GroupByPlan, start time.Time) (*relation, *OpMet
 		parts[0] = all
 		rel = &relation{schema: schema, parts: parts, distKey: NoDistKey}
 	} else if rel.distKey != 0 {
-		rel, moved = c.shuffle(rel, func(ch *Chunk, r int) int {
+		segs := uint64(c.segments)
+		rel, moved, err = e.shuffle(rel, func(ch *Chunk, r int) int {
 			if ch.nulls[0].get(r) {
 				return 0
 			}
-			return int(xrand.Mix64(uint64(ch.cols[0][r])) % uint64(c.segments))
+			return int(xrand.Mix64(uint64(ch.cols[0][r])) % segs)
 		}, 0)
+		if err != nil {
+			return nil, nil, err
+		}
 	}
-	rel.parts = aggregateParts(rel.parts)
+	rel.parts, err = aggregateParts(rel.parts)
+	if err != nil {
+		return nil, nil, err
+	}
 	detail := fmt.Sprintf("keys=%v aggs=%d", p.Keys, len(p.Aggs))
-	return rel, finishOp("GroupBy", detail, rel, []*OpMetrics{cm}, moved, segTimes, start), nil
+	return rel, e.finishOp("GroupBy", detail, rel, []*OpMetrics{cm}, moved, segTimes, start), nil
 }
 
 // execJoin evaluates a distributed hash equi-join: both sides are
 // redistributed by their join keys (if not already co-located), then each
 // segment joins its share with the int64-keyed open-addressing hash table
 // built on the right side.
-func (c *Cluster) execJoin(p JoinPlan, start time.Time) (*relation, *OpMetrics, error) {
-	left, lm, err := c.exec(p.Left)
+func (e *execEnv) execJoin(p JoinPlan, start time.Time) (*relation, *OpMetrics, error) {
+	c := e.c
+	left, lm, err := e.exec(p.Left)
 	if err != nil {
 		return nil, nil, err
 	}
-	right, rm, err := c.exec(p.Right)
+	right, rm, err := e.exec(p.Right)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -505,37 +625,39 @@ func (c *Cluster) execJoin(p JoinPlan, start time.Time) (*relation, *OpMetrics, 
 	// to every segment instead of shuffling both sides.
 	var moved int64
 	outKey := p.LeftKey
-	if c.broadcast > 0 && left.distKey != p.LeftKey {
-		rightRows := right.rows()
-		if rightRows <= c.broadcast {
-			var bmoved int64
-			right, bmoved = c.broadcastAll(right)
-			moved += bmoved
-			outKey = left.distKey
-		} else {
-			var lmoved, rmoved int64
-			left, lmoved = c.redistribute(left, p.LeftKey)
-			right, rmoved = c.redistribute(right, p.RightKey)
-			moved += lmoved + rmoved
-		}
+	if c.broadcast > 0 && left.distKey != p.LeftKey && right.rows() <= c.broadcast {
+		var bmoved int64
+		right, bmoved = c.broadcastAll(right)
+		moved += bmoved
+		outKey = left.distKey
 	} else {
 		var lmoved, rmoved int64
-		left, lmoved = c.redistribute(left, p.LeftKey)
-		right, rmoved = c.redistribute(right, p.RightKey)
+		left, lmoved, err = e.redistribute(left, p.LeftKey)
+		if err != nil {
+			return nil, nil, err
+		}
+		right, rmoved, err = e.redistribute(right, p.RightKey)
+		if err != nil {
+			return nil, nil, err
+		}
 		moved += lmoved + rmoved
 	}
 
 	out := make([]*Chunk, c.segments)
-	segTimes := c.parallelTimed(func(seg int) {
+	segTimes, err := e.parallelTimed(func(seg int) error {
 		out[seg] = joinChunks(left.parts[seg], right.parts[seg], p.LeftKey, p.RightKey, p.Kind)
+		return nil
 	})
+	if err != nil {
+		return nil, nil, err
+	}
 	rel := &relation{schema: schema, parts: out, distKey: outKey}
 	op := "HashJoin"
 	if p.Kind == LeftOuterJoin {
 		op = "HashLeftJoin"
 	}
 	detail := fmt.Sprintf("$%d = $%d", p.LeftKey, p.RightKey)
-	return rel, finishOp(op, detail, rel, []*OpMetrics{lm, rm}, moved, segTimes, start), nil
+	return rel, e.finishOp(op, detail, rel, []*OpMetrics{lm, rm}, moved, segTimes, start), nil
 }
 
 // broadcastAll replicates a relation onto every segment (broadcast

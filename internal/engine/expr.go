@@ -131,7 +131,9 @@ func (e BinExpr) Eval(row Row) Datum {
 	case OpSub:
 		return I(l.Int - r.Int)
 	}
-	panic(fmt.Sprintf("engine: unknown binary operator %d", e.Op))
+	// Eval cannot return an error; evalPanic is recovered at the task
+	// runner / statement boundary and fails only this query.
+	panic(evalPanic{fmt.Errorf("engine: unknown binary operator %d", e.Op)})
 }
 
 func (e BinExpr) String() string {

@@ -92,7 +92,8 @@ func builderKeysEqual(b *chunkBuilder, g int32, in *Chunk, r, nk int) bool {
 func distinctChunk(in *Chunk) *Chunk {
 	ncols := len(in.cols)
 	t := newGroupTable(64)
-	keep := getI32(in.length)
+	kp := getI32(in.length)
+	keep := *kp
 	for r := 0; r < in.length; r++ {
 		h := chunkRowHash(in, 0, ncols, r)
 		_, found := t.insertOrGet(h, func(id int32) bool {
@@ -103,7 +104,8 @@ func distinctChunk(in *Chunk) *Chunk {
 		}
 	}
 	out := gatherChunk(in, keep)
-	putI32(keep)
+	*kp = keep
+	putI32(kp)
 	return out
 }
 
@@ -112,7 +114,7 @@ func distinctChunk(in *Chunk) *Chunk {
 // column per aggregate holding its per-row partial value — the evaluated
 // argument for MIN/MAX/SUM, and a 0/1 non-NULL indicator (or constant 1
 // for count(*)) for COUNT.
-func buildPartialChunk(in *Chunk, keys []int, aggs []Agg) *Chunk {
+func buildPartialChunk(in *Chunk, keys []int, aggs []Agg) (*Chunk, error) {
 	n := in.length
 	vecs := make([]colVec, len(keys)+len(aggs))
 	for i, k := range keys {
@@ -127,7 +129,10 @@ func buildPartialChunk(in *Chunk, keys []int, aggs []Agg) *Chunk {
 			}
 			vecs[len(keys)+i] = colVec{vals: ones}
 		case a.Op == AggCount:
-			arg := evalVec(a.Arg, in)
+			arg, err := evalVec(a.Arg, in)
+			if err != nil {
+				return nil, err
+			}
 			counts := make([]int64, n)
 			for j := 0; j < n; j++ {
 				if !arg.null(j) {
@@ -136,8 +141,12 @@ func buildPartialChunk(in *Chunk, keys []int, aggs []Agg) *Chunk {
 			}
 			vecs[len(keys)+i] = colVec{vals: counts}
 		default:
-			vecs[len(keys)+i] = evalVec(a.Arg, in)
+			arg, err := evalVec(a.Arg, in)
+			if err != nil {
+				return nil, err
+			}
+			vecs[len(keys)+i] = arg
 		}
 	}
-	return chunkFromVecs(vecs, n)
+	return chunkFromVecs(vecs, n), nil
 }

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -197,7 +198,7 @@ func BenchmarkKernelShuffle(b *testing.B) {
 		b.Run(fmt.Sprintf("kernel/n=%d", n), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				out, _ := c.shuffle(in, func(ch *Chunk, r int) int {
+				out, _, _ := c.newExecEnv(context.Background()).shuffle(in, func(ch *Chunk, r int) int {
 					if ch.nulls[0].get(r) {
 						return 0
 					}
@@ -273,5 +274,45 @@ func mustCreateBench(b *testing.B, c *Cluster, name string, schema Schema, distK
 	}
 	if err := c.InsertRows(name, rows); err != nil {
 		b.Fatal(err)
+	}
+}
+
+// TestScratchPoolRoundTripAllocFree pins the allocation cost of the
+// pooled scratch-buffer round-trip at zero. The pool hands out *[]int32
+// boxes precisely so Get and Put recycle one allocation; the historical
+// bug this guards against was a by-value putI32([]int32) that boxed a
+// fresh pointer on every Put, costing one heap allocation per kernel
+// task and silently defeating the pool.
+func TestScratchPoolRoundTripAllocFree(t *testing.T) {
+	// Warm the pool so the measurement sees the steady state.
+	warm := getI32(4096)
+	putI32(warm)
+	allocs := testing.AllocsPerRun(1000, func() {
+		p := getI32(4096)
+		s := *p
+		s = append(s, 1, 2, 3)
+		*p = s
+		putI32(p)
+	})
+	// Allow a little noise: a GC cycle during the run may clear the pool
+	// and force one refill.
+	if allocs > 0.1 {
+		t.Fatalf("scratch pool round-trip costs %.2f allocs/op, want ~0", allocs)
+	}
+}
+
+// BenchmarkKernelScratchPool measures the pooled round-trip the filter,
+// distinct and shuffle kernels perform once per segment task; allocs/op
+// must report 0.
+func BenchmarkKernelScratchPool(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := getI32(1024)
+		s := *p
+		for j := 0; j < 16; j++ {
+			s = append(s, int32(j))
+		}
+		*p = s
+		putI32(p)
 	}
 }

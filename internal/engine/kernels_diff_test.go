@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"testing"
 
 	"dbcc/internal/xrand"
@@ -177,9 +178,12 @@ func TestShuffleMatchesReference(t *testing.T) {
 			return int(uint64(r[0].Int) % uint64(segs))
 		}
 
-		out, moved := c.shuffle(in, func(ch *Chunk, r int) int {
+		out, moved, err := c.newExecEnv(context.Background()).shuffle(in, func(ch *Chunk, r int) int {
 			return destOf(Row{ch.datum(0, r), ch.datum(1, r)})
 		}, NoDistKey)
+		if err != nil {
+			t.Fatalf("shuffle: %v", err)
+		}
 
 		wantParts := make([][]Row, segs)
 		var wantMoved int64

@@ -17,15 +17,18 @@ import (
 // SegTimes expose the per-segment distribution of the operator's output
 // and compute time — the skew signal an MPP operator profile is read for.
 type OpMetrics struct {
-	Op       string          // operator name: Scan, Filter, HashJoin, ...
-	Detail   string          // operator argument: table name, keys, ...
-	Rows     int64           // total output rows
-	Bytes    int64           // modelled output bytes (rows × width × DatumSize)
-	Shuffle  int64           // bytes redistributed between segments by this operator
-	Elapsed  time.Duration   // inclusive wall time of this subtree
-	SegRows  []int64         // output rows per segment
-	SegTimes []time.Duration // compute time per segment of the operator's parallel phase (nil if none)
-	Children []*OpMetrics
+	Op        string          // operator name: Scan, Filter, HashJoin, ...
+	Detail    string          // operator argument: table name, keys, ...
+	Rows      int64           // total output rows
+	Bytes     int64           // modelled output bytes (rows × width × DatumSize)
+	Shuffle   int64           // bytes redistributed between segments by this operator
+	Elapsed   time.Duration   // inclusive wall time of this subtree
+	SegRows   []int64         // output rows per segment
+	SegTimes  []time.Duration // compute time per segment of the operator's parallel phase (nil if none)
+	Retries   int64           // segment-task retries performed by this operator
+	Faults    int64           // injected segment faults observed by this operator
+	Cancelled int64           // segment tasks abandoned by cancellation in this operator
+	Children  []*OpMetrics
 }
 
 // TotalShuffle sums the redistribution traffic of the whole subtree.
@@ -36,6 +39,42 @@ func (m *OpMetrics) TotalShuffle() int64 {
 	total := m.Shuffle
 	for _, ch := range m.Children {
 		total += ch.TotalShuffle()
+	}
+	return total
+}
+
+// TotalRetries sums the segment-task retries of the whole subtree.
+func (m *OpMetrics) TotalRetries() int64 {
+	if m == nil {
+		return 0
+	}
+	total := m.Retries
+	for _, ch := range m.Children {
+		total += ch.TotalRetries()
+	}
+	return total
+}
+
+// TotalFaults sums the injected segment faults of the whole subtree.
+func (m *OpMetrics) TotalFaults() int64 {
+	if m == nil {
+		return 0
+	}
+	total := m.Faults
+	for _, ch := range m.Children {
+		total += ch.TotalFaults()
+	}
+	return total
+}
+
+// TotalCancelled sums the cancelled segment tasks of the whole subtree.
+func (m *OpMetrics) TotalCancelled() int64 {
+	if m == nil {
+		return 0
+	}
+	total := m.Cancelled
+	for _, ch := range m.Children {
+		total += ch.TotalCancelled()
 	}
 	return total
 }
@@ -85,6 +124,12 @@ func (m *OpMetrics) format(b *strings.Builder, depth int) {
 		fmtDuration(m.Elapsed), m.Rows, m.Bytes)
 	if m.Shuffle > 0 {
 		fmt.Fprintf(b, " shuffle=%d", m.Shuffle)
+	}
+	if m.Retries > 0 || m.Faults > 0 {
+		fmt.Fprintf(b, " retries=%d faults=%d", m.Retries, m.Faults)
+	}
+	if m.Cancelled > 0 {
+		fmt.Fprintf(b, " cancelled=%d", m.Cancelled)
 	}
 	b.WriteString(")\n")
 	if len(m.SegRows) > 0 {
@@ -144,11 +189,14 @@ type TraceRecord struct {
 // all statements since the last ResetStats — the per-operator accumulator
 // behind OpTotals.
 type OpTotal struct {
-	Calls   int64
-	Rows    int64
-	Bytes   int64
-	Shuffle int64
-	Elapsed time.Duration
+	Calls     int64
+	Rows      int64
+	Bytes     int64
+	Shuffle   int64
+	Retries   int64
+	Faults    int64
+	Cancelled int64
+	Elapsed   time.Duration
 }
 
 // defaultTraceCapacity is the trace ring size when Options.TraceCapacity
@@ -183,6 +231,20 @@ func (c *Cluster) OpTotals() map[string]OpTotal {
 		out[k] = v
 	}
 	return out
+}
+
+// FaultTotals sums the retry/fault/cancellation counters over every
+// operator executed since the last ResetStats — the cluster-level
+// fault-tolerance gauges.
+func (c *Cluster) FaultTotals() (retries, faults, cancelled int64) {
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
+	for _, t := range c.opTotals {
+		retries += t.Retries
+		faults += t.Faults
+		cancelled += t.Cancelled
+	}
+	return retries, faults, cancelled
 }
 
 // OpNames returns the operator kinds present in OpTotals, sorted.
@@ -224,6 +286,9 @@ func (c *Cluster) accumulateOps(m *OpMetrics) {
 	t.Rows += m.Rows
 	t.Bytes += m.Bytes
 	t.Shuffle += m.Shuffle
+	t.Retries += m.Retries
+	t.Faults += m.Faults
+	t.Cancelled += m.Cancelled
 	t.Elapsed += m.Elapsed
 	c.opTotals[m.Op] = t
 	for _, ch := range m.Children {

@@ -8,6 +8,12 @@ import "sync"
 // steady-state allocation rate of a query round independent of its row
 // count. Buffers are returned before the owning kernel publishes its
 // output, so no pooled memory ever escapes into a chunk.
+//
+// The pool stores *[]int32 boxes and hands the box itself to the caller:
+// taking and returning the same pointer is what keeps the round-trip
+// allocation-free (a by-value Put would box a fresh *[]int32 on every
+// call). Callers that append must write the grown slice back through the
+// pointer before putI32, so the enlarged capacity is what gets recycled.
 
 // i32Scratch is a pooled []int32 used for row-index and destination
 // scratch vectors.
@@ -18,17 +24,18 @@ var i32Scratch = sync.Pool{
 	},
 }
 
-// getI32 returns a zero-length scratch slice with capacity >= n.
-func getI32(n int) []int32 {
+// getI32 returns a pooled scratch box whose slice is zero-length with
+// capacity >= n. Pass the same pointer back to putI32 when done.
+func getI32(n int) *[]int32 {
 	p := i32Scratch.Get().(*[]int32)
-	s := *p
-	if cap(s) < n {
-		s = make([]int32, 0, n)
+	if cap(*p) < n {
+		*p = make([]int32, 0, n)
 	}
-	return s[:0]
+	*p = (*p)[:0]
+	return p
 }
 
-// putI32 recycles a scratch slice.
-func putI32(s []int32) {
-	i32Scratch.Put(&s)
+// putI32 recycles a scratch box obtained from getI32.
+func putI32(p *[]int32) {
+	i32Scratch.Put(p)
 }

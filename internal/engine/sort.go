@@ -50,8 +50,9 @@ func compareChunkRows(keys []SortKey, ca *Chunk, a int, cb *Chunk, b int) int {
 // execSort orders the relation by the sort keys onto segment 0, applying
 // the limit if any: parallel per-segment index sorts, then a coordinator
 // k-way merge of the sorted runs.
-func (c *Cluster) execSort(p SortPlan, start time.Time) (*relation, *OpMetrics, error) {
-	in, cm, err := c.exec(p.Input)
+func (e *execEnv) execSort(p SortPlan, start time.Time) (*relation, *OpMetrics, error) {
+	c := e.c
+	in, cm, err := e.exec(p.Input)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -61,7 +62,7 @@ func (c *Cluster) execSort(p SortPlan, start time.Time) (*relation, *OpMetrics, 
 	// than moving rows keeps the inner loop comparison-only and makes the
 	// local sort stable.
 	runs := make([][]int32, c.segments)
-	segTimes := c.parallelTimed(func(seg int) {
+	segTimes, err := e.parallelTimed(func(seg int) error {
 		ch := in.parts[seg]
 		idx := make([]int32, ch.length)
 		for i := range idx {
@@ -75,7 +76,11 @@ func (c *Cluster) execSort(p SortPlan, start time.Time) (*relation, *OpMetrics, 
 			return a < b
 		})
 		runs[seg] = idx
+		return nil
 	})
+	if err != nil {
+		return nil, nil, err
+	}
 
 	// Phase 2: k-way merge of the sorted runs on the coordinator, ties
 	// resolved by segment index. The heads array tracks each run's cursor;
@@ -117,5 +122,5 @@ func (c *Cluster) execSort(p SortPlan, start time.Time) (*relation, *OpMetrics, 
 	parts := c.newParts(len(in.schema))
 	parts[0] = out
 	rel := &relation{schema: in.schema, parts: parts, distKey: NoDistKey}
-	return rel, finishOp("Sort", "", rel, []*OpMetrics{cm}, 0, segTimes, start), nil
+	return rel, e.finishOp("Sort", "", rel, []*OpMetrics{cm}, 0, segTimes, start), nil
 }

@@ -1,6 +1,7 @@
 package sql
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 
@@ -23,8 +24,9 @@ var sessionSeq atomic.Uint64
 // concurrent runs of the paper's algorithms never collide on intermediate
 // table names.
 type Session struct {
-	c  *engine.Cluster
-	ns string // temp-table namespace prefix; "" shares the global namespace
+	c   *engine.Cluster
+	ns  string          // temp-table namespace prefix; "" shares the global namespace
+	ctx context.Context // statement execution context; nil means Background
 }
 
 // NewSession creates a session on the cluster using the shared global
@@ -44,6 +46,23 @@ func NewIsolatedSession(c *engine.Cluster) *Session {
 // so the two views agree on physical names.
 func SessionWithNamespace(c *engine.Cluster, ns string) *Session {
 	return &Session{c: c, ns: ns}
+}
+
+// WithContext returns a copy of the session whose statements execute
+// under ctx: cancelling it (or its deadline expiring) aborts queries
+// between operators and between segment tasks. The receiver is unchanged.
+func (s *Session) WithContext(ctx context.Context) *Session {
+	out := *s
+	out.ctx = ctx
+	return &out
+}
+
+// context returns the session's execution context, Background by default.
+func (s *Session) context() context.Context {
+	if s.ctx != nil {
+		return s.ctx
+	}
+	return context.Background()
 }
 
 // Cluster returns the underlying cluster.
@@ -121,7 +140,7 @@ func (s *Session) ExecStmt(st Statement) (int64, error) {
 				return 0, fmt.Errorf("sql: DISTRIBUTED BY column %q is not in the select list %v", st.DistBy, names)
 			}
 		}
-		return s.c.CreateTableAs(s.tempName(st.Name), renameOutput(plan, names), distKey)
+		return s.c.CreateTableAsCtx(s.context(), s.tempName(st.Name), renameOutput(plan, names), distKey)
 
 	case *CreateTablePlain:
 		distKey := engine.NoDistKey
@@ -145,7 +164,7 @@ func (s *Session) ExecStmt(st Statement) (int64, error) {
 		if !st.Analyze {
 			return 0, nil
 		}
-		_, rows, err := s.c.Query(plan)
+		_, rows, err := s.c.QueryCtx(s.context(), plan)
 		if err != nil {
 			return 0, err
 		}
@@ -199,7 +218,7 @@ func (s *Session) ExecStmt(st Statement) (int64, error) {
 		if err != nil {
 			return 0, err
 		}
-		_, rows, err := s.c.Query(renameOutput(plan, names))
+		_, rows, err := s.c.QueryCtx(s.context(), renameOutput(plan, names))
 		if err != nil {
 			return 0, err
 		}
@@ -225,7 +244,7 @@ func (s *Session) Query(src string) (engine.Schema, []engine.Row, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	_, rows, err := s.c.Query(renameOutput(plan, names))
+	_, rows, err := s.c.QueryCtx(s.context(), renameOutput(plan, names))
 	if err != nil {
 		return nil, nil, err
 	}
@@ -262,7 +281,7 @@ func (s *Session) Explain(src string) (string, error) {
 	if !analyze {
 		return FormatExplain(plan, names), nil
 	}
-	_, rows, root, err := s.c.QueryAnalyze(renameOutput(plan, names))
+	_, rows, root, err := s.c.QueryAnalyzeCtx(s.context(), renameOutput(plan, names))
 	if err != nil {
 		return "", err
 	}
@@ -290,7 +309,7 @@ func (s *Session) ExplainAnalyze(src string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	_, rows, root, err := s.c.QueryAnalyze(renameOutput(plan, names))
+	_, rows, root, err := s.c.QueryAnalyzeCtx(s.context(), renameOutput(plan, names))
 	if err != nil {
 		return "", err
 	}
