@@ -6,7 +6,7 @@
 //
 //	ccbench -table 1|2|3|4|5        one table
 //	ccbench -figure 5|6             one figure
-//	ccbench -experiment gamma|rounds|scaling|spark|variants|methods|rerandom|segments
+//	ccbench -experiment gamma|rounds|scaling|spark|variants|methods|rerandom|segments|spill
 //	ccbench -all                    everything (the EXPERIMENTS.md run)
 //	ccbench -concurrency 8          N concurrent RC sessions on one cluster
 //	ccbench -json                   machine-readable BENCH_<dataset>.json reports
@@ -20,6 +20,12 @@
 // still verify), -fault-seed makes the fault schedule reproducible, and
 // -timeout aborts any single statement exceeding the duration. A failed
 // run reports the rounds it completed before aborting.
+//
+// -mem-budget BYTES bounds each statement's working memory: join,
+// aggregate and sort kernels spill partitions to temporary files beyond
+// their per-segment share (bit-identical results), and the JSON reports
+// carry the spill accounting. The dedicated -experiment spill ablation
+// instead derives a 10%-of-peak budget per algorithm automatically.
 //
 // JSON mode (-json) runs the four table algorithms plus the deterministic
 // RC variant per dataset and writes one BENCH_<dataset>.json report per
@@ -48,7 +54,7 @@ func main() {
 	var (
 		table      = flag.Int("table", 0, "print table 1-5")
 		figure     = flag.Int("figure", 0, "print figure 5 or 6")
-		experiment = flag.String("experiment", "", "run experiment: gamma|appendixb|naive|transaction|rounds|scaling|spark|variants|methods|rerandom|segments")
+		experiment = flag.String("experiment", "", "run experiment: gamma|appendixb|naive|transaction|rounds|scaling|spark|variants|methods|rerandom|segments|spill")
 		all        = flag.Bool("all", false, "run everything")
 		scale      = flag.Float64("scale", 1.0, "dataset scale (1.0 ≈ 1/10000 of the paper)")
 		reps       = flag.Int("reps", 3, "repetitions per cell (paper: 3)")
@@ -66,6 +72,7 @@ func main() {
 		faultRate  = flag.Float64("fault-rate", 0, "inject segment-task failures at this probability per attempt (0 = off)")
 		faultSeed  = flag.Uint64("fault-seed", 1, "seed for the deterministic fault injector")
 		timeout    = flag.Duration("timeout", 0, "per-statement deadline (0 = none)")
+		memBudget  = flag.Int64("mem-budget", 0, "per-statement working-memory budget in bytes; kernels spill to disk beyond it (0 = unbounded)")
 	)
 	flag.Parse()
 
@@ -83,6 +90,7 @@ func main() {
 		FaultRate:      *faultRate,
 		FaultSeed:      *faultSeed,
 		QueryTimeout:   *timeout,
+		MemoryBudget:   *memBudget,
 	}
 	progress := func(s string) {
 		if !*quiet {
@@ -159,13 +167,15 @@ func main() {
 			bench.RerandomExperiment(out, cfg)
 		case "segments":
 			bench.SegmentsExperiment(out, cfg)
+		case "spill":
+			bench.SpillExperiment(out, cfg)
 		default:
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
 			os.Exit(2)
 		}
 	}
 	if *all {
-		for _, e := range []string{"gamma", "appendixb", "naive", "transaction", "broadcast", "rounds", "scaling", "spark", "variants", "methods", "rerandom", "segments"} {
+		for _, e := range []string{"gamma", "appendixb", "naive", "transaction", "broadcast", "rounds", "scaling", "spark", "variants", "methods", "rerandom", "segments", "spill"} {
 			runExp(e)
 		}
 	} else if *experiment != "" {

@@ -11,6 +11,12 @@
 // The chaos flags -fault-rate, -fault-seed and -timeout enable the
 // engine's deterministic fault injection and per-statement deadline;
 // \stats then also reports the retry/fault/cancellation totals.
+//
+// -mem-budget BYTES bounds each statement's working memory: joins,
+// aggregations and sorts spill partitions to temporary files once their
+// hash tables and sort state would exceed the per-segment share, with
+// bit-identical results. \stats then reports the peak accounted working
+// memory and the spill volume.
 package main
 
 import (
@@ -31,6 +37,7 @@ func main() {
 	faultRate := flag.Float64("fault-rate", 0, "inject segment-task failures at this probability per attempt (0 = off)")
 	faultSeed := flag.Uint64("fault-seed", 1, "seed for the deterministic fault injector")
 	timeout := flag.Duration("timeout", 0, "per-statement deadline (0 = none)")
+	memBudget := flag.Int64("mem-budget", 0, "per-statement working-memory budget in bytes; kernels spill to disk beyond it (0 = unbounded)")
 	flag.Parse()
 
 	db := dbcc.Open(dbcc.Config{
@@ -38,7 +45,9 @@ func main() {
 		FaultRate:    *faultRate,
 		FaultSeed:    *faultSeed,
 		QueryTimeout: *timeout,
+		MemoryBudget: *memBudget,
 	})
+	defer db.Close()
 	sess := db.SQL()
 	in := bufio.NewScanner(os.Stdin)
 	in.Buffer(make([]byte, 1<<20), 1<<20)
@@ -169,6 +178,11 @@ func meta(db *dbcc.DB, line string, timing *bool) bool {
 			float64(s.ShuffleBytes)/(1<<20))
 		if retries, faults, cancelled := db.Cluster().FaultTotals(); retries > 0 || faults > 0 || cancelled > 0 {
 			fmt.Printf("retries=%d faults=%d cancelled=%d\n", retries, faults, cancelled)
+		}
+		if s.SpilledBytes > 0 || s.PeakWorkBytes > 0 {
+			fmt.Printf("peakWork=%.2fMiB spilled=%.2fMiB spillParts=%d spillPasses=%d\n",
+				float64(s.PeakWorkBytes)/(1<<20), float64(s.SpilledBytes)/(1<<20),
+				s.SpillPartitions, s.SpillPasses)
 		}
 	case "\\load":
 		if len(fields) != 3 {

@@ -88,6 +88,12 @@ type Config struct {
 	// a pure function of the seed and the statement sequence, so chaos
 	// runs reproduce exactly.
 	FaultSeed uint64
+	// MemoryBudget bounds the working memory (hash tables, sort state,
+	// partition buffers) of any single statement, in bytes; kernels that
+	// would exceed their per-segment share spill partitions to temporary
+	// files and produce bit-identical results. 0 means unbounded (the
+	// classic all-in-memory engine).
+	MemoryBudget int64
 }
 
 // Algorithm names accepted by Params.Algorithm.
@@ -188,10 +194,17 @@ func Open(cfg Config) *DB {
 		Profile:       profile,
 		QueryTimeout:  cfg.QueryTimeout,
 		FaultInjector: injector,
+		MemoryBudget:  cfg.MemoryBudget,
 	})
 	ccalg.RegisterUDFs(c)
 	return &DB{c: c}
 }
+
+// Close releases the cluster's on-disk resources (the spill directory of
+// memory-bounded execution). A DB remains usable without ever calling
+// Close — statements clean their own partition files up — but long-lived
+// processes opening many DBs should Close each when done.
+func (db *DB) Close() error { return db.c.Close() }
 
 // Cluster exposes the underlying engine for advanced use (custom plans,
 // statistics, UDF registration).

@@ -21,7 +21,11 @@ import (
 //
 // Version 2 added partial (rounds completed before a failed run aborted)
 // and the fault-tolerance counters retries/faults.
-const JSONSchemaVersion = 2
+//
+// Version 3 added the memory-bounded-execution accounting: the campaign's
+// memory_budget and, per algorithm, peak_work_bytes, spilled_bytes,
+// spill_partitions and spill_passes.
+const JSONSchemaVersion = 3
 
 // RoundJSON is one algorithm round in the machine-readable report — the
 // serialised form of ccalg.RoundStats.
@@ -52,6 +56,10 @@ type AlgorithmJSON struct {
 	BytesWritten int64       `json:"bytes_written"`
 	PeakBytes    int64       `json:"peak_bytes"`
 	ShuffleBytes int64       `json:"shuffle_bytes"`
+	PeakWork     int64       `json:"peak_work_bytes"`  // peak accounted working memory
+	Spilled      int64       `json:"spilled_bytes"`    // bytes written to spill partitions
+	SpillParts   int64       `json:"spill_partitions"` // partition files created
+	SpillPasses  int64       `json:"spill_passes"`     // partitioning passes (recursion included)
 	MeanSecs     float64     `json:"mean_secs"`
 	Components   int         `json:"components"`
 	RoundLog     []RoundJSON `json:"round_log"`
@@ -65,6 +73,7 @@ type BenchJSON struct {
 	Scale         float64         `json:"scale"`
 	Segments      int             `json:"segments"`
 	Seed          uint64          `json:"seed"`
+	MemoryBudget  int64           `json:"memory_budget"` // bytes per statement; 0 = unbounded
 	Vertices      int64           `json:"vertices"`
 	Edges         int64           `json:"edges"`
 	Algorithms    []AlgorithmJSON `json:"algorithms"`
@@ -107,6 +116,7 @@ func JSONReport(ds Dataset, cfg Config, capacity int64) *BenchJSON {
 		Scale:         cfg.Scale,
 		Segments:      cfg.Segments,
 		Seed:          cfg.Seed,
+		MemoryBudget:  cfg.MemoryBudget,
 		Vertices:      int64(g.NumVertices()),
 		Edges:         int64(g.NumEdges()),
 	}
@@ -116,6 +126,7 @@ func JSONReport(ds Dataset, cfg Config, capacity int64) *BenchJSON {
 		if err := graph.Load(c, "input", g); err != nil {
 			aj.Error = err.Error()
 			rep.Algorithms = append(rep.Algorithms, aj)
+			c.Close()
 			continue
 		}
 		input := c.Stats().LiveBytes
@@ -146,6 +157,10 @@ func JSONReport(ds Dataset, cfg Config, capacity int64) *BenchJSON {
 		aj.BytesWritten = st.BytesWritten
 		aj.PeakBytes = st.PeakBytes - input
 		aj.ShuffleBytes = st.ShuffleBytes
+		aj.PeakWork = st.PeakWorkBytes
+		aj.Spilled = st.SpilledBytes
+		aj.SpillParts = st.SpillPartitions
+		aj.SpillPasses = st.SpillPasses
 		aj.Retries, aj.Faults, _ = c.FaultTotals()
 		var re *ccalg.RoundError
 		if errors.As(err, &re) {
@@ -166,6 +181,7 @@ func JSONReport(ds Dataset, cfg Config, capacity int64) *BenchJSON {
 			}
 		}
 		rep.Algorithms = append(rep.Algorithms, aj)
+		c.Close()
 	}
 	return rep
 }

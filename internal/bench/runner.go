@@ -42,6 +42,10 @@ type Config struct {
 	// QueryTimeout aborts any single statement exceeding this duration;
 	// 0 disables the per-query deadline.
 	QueryTimeout time.Duration
+	// MemoryBudget bounds each statement's working memory in bytes;
+	// kernels spill partitions to disk beyond their per-segment share and
+	// the reports gain spill accounting. 0 means unbounded.
+	MemoryBudget int64
 }
 
 // DefaultConfig returns the configuration used for the committed
@@ -151,12 +155,14 @@ func Run(ds Dataset, alg ccalg.Info, cfg Config, capacity int64) Outcome {
 
 // metrics captures one repetition's engine accounting.
 type metrics struct {
-	secs    float64
-	input   int64
-	peak    int64
-	written int64
-	retries int64
-	faults  int64
+	secs     float64
+	input    int64
+	peak     int64
+	written  int64
+	retries  int64
+	faults   int64
+	peakWork int64 // peak accounted working memory (memory-bounded execution)
+	spilled  int64 // bytes written to spill partition files
 }
 
 // clusterOptions builds the engine options for one benchmark cluster,
@@ -178,12 +184,14 @@ func clusterOptions(cfg Config) engine.Options {
 		Profile:       profile,
 		QueryTimeout:  cfg.QueryTimeout,
 		FaultInjector: injector,
+		MemoryBudget:  cfg.MemoryBudget,
 	}
 }
 
 // runOnce executes one repetition on a fresh cluster.
 func runOnce(g *graph.Graph, alg ccalg.Info, cfg Config, capacity int64, seed uint64) (*ccalg.Result, metrics, error) {
 	c := engine.NewCluster(clusterOptions(cfg))
+	defer c.Close()
 	if err := graph.Load(c, "input", g); err != nil {
 		return nil, metrics{}, err
 	}
@@ -195,7 +203,8 @@ func runOnce(g *graph.Graph, alg ccalg.Info, cfg Config, capacity int64, seed ui
 	st := c.Stats()
 	retries, faults, _ := c.FaultTotals()
 	m := metrics{secs: secs, input: input, peak: st.PeakBytes - input,
-		written: st.BytesWritten, retries: retries, faults: faults}
+		written: st.BytesWritten, retries: retries, faults: faults,
+		peakWork: st.PeakWorkBytes, spilled: st.SpilledBytes}
 	if err != nil {
 		return nil, m, err
 	}

@@ -158,6 +158,15 @@ type Stats struct {
 	PeakBytes    int64       // maximum LiveBytes observed (Table IV)
 	ShuffleBytes int64       // bytes moved between segments by redistribution
 	Log          []QueryStat // per-query log, in execution order
+
+	// Memory-bounded execution counters (see memory.go). PeakWorkBytes is
+	// the highest accounted kernel working set of any single statement;
+	// with Options.MemoryBudget set it never exceeds the budget. The spill
+	// totals accumulate across statements and are cleared by ResetStats.
+	PeakWorkBytes   int64 // peak accounted working memory of one statement
+	SpilledBytes    int64 // bytes written to spill files
+	SpillPartitions int64 // spill partition/run files created
+	SpillPasses     int64 // partitioning / run-formation passes
 }
 
 // ConcurrencyStats reports the multi-session activity of a cluster, the
@@ -242,6 +251,13 @@ type Options struct {
 	// all its tasks; 0 means the default of 1024, negative disables
 	// retries entirely.
 	RetryBudget int
+	// MemoryBudget bounds each statement's kernel working memory (hash
+	// tables, sort state, spill buffers) in bytes; segment tasks whose
+	// working set would exceed budget/Segments run spilling kernel
+	// variants instead (Grace hash join, partitioned group-by/DISTINCT,
+	// external merge sort — see memory.go and spill_kernels.go). 0 means
+	// unbounded, the historical in-memory behaviour.
+	MemoryBudget int64
 }
 
 // Cluster is the in-process MPP database: a catalog of distributed tables,
@@ -261,7 +277,11 @@ type Cluster struct {
 	maxTaskRetries int
 	retryBackoff   time.Duration
 	retryBudget    int
+	memBudget      int64
 	stmtSeq        atomic.Uint64 // statement numbering for fault determinism
+
+	spillMu   sync.Mutex // guards spillRoot
+	spillRoot string     // lazily created spill directory; "" until first spill
 
 	mu     sync.RWMutex // guards tables, udfs, Table.Name
 	tables map[string]*Table
@@ -331,6 +351,7 @@ func NewCluster(opts Options) *Cluster {
 		maxTaskRetries: retries,
 		retryBackoff:   backoff,
 		retryBudget:    budget,
+		memBudget:      opts.MemoryBudget,
 		tables:         make(map[string]*Table),
 		udfs:           make(map[string]UDF),
 		traceCap:       traceCap,
@@ -344,6 +365,10 @@ func (c *Cluster) Segments() int { return c.segments }
 
 // Workers returns the worker-pool bound in effect.
 func (c *Cluster) Workers() int { return c.workers }
+
+// MemoryBudget returns the per-statement working-memory budget in bytes,
+// or 0 when execution is unbounded.
+func (c *Cluster) MemoryBudget() int64 { return c.memBudget }
 
 // Profile returns the execution environment model in effect.
 func (c *Cluster) Profile() Profile { return c.profile }
@@ -407,9 +432,10 @@ func (c *Cluster) endStatement() {
 }
 
 // ResetStats clears all counters (keeping live-space accounting consistent
-// with the tables that currently exist), the query-trace ring buffer and
-// the per-operator accumulators, so benchmarks that reset between
-// algorithm runs never leak metrics from one run into the next. The
+// with the tables that currently exist), the query-trace ring buffer, the
+// per-operator accumulators and the spill totals (SpilledBytes,
+// SpillPartitions, SpillPasses, PeakWorkBytes), so benchmarks that reset
+// between algorithm runs never leak metrics from one run into the next. The
 // concurrency gauges are not reset. Per-run statistics are only meaningful
 // when runs do not overlap; concurrent sessions share one set of counters.
 func (c *Cluster) ResetStats() {

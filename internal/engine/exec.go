@@ -54,6 +54,7 @@ func (c *Cluster) CreateTableAsCtx(ctx context.Context, name string, p Plan, dis
 	}
 	start := time.Now()
 	e := c.newExecEnv(ctx)
+	defer e.close()
 	rel, root, err := e.exec(p)
 	if err != nil {
 		return 0, err
@@ -135,6 +136,7 @@ func (c *Cluster) QueryAnalyzeCtx(ctx context.Context, p Plan) (_ Schema, _ []Ro
 	defer cancel()
 	start := time.Now()
 	e := c.newExecEnv(ctx)
+	defer e.close()
 	rel, root, err := e.exec(p)
 	if err != nil {
 		return nil, nil, nil, err
@@ -180,13 +182,16 @@ func (c *Cluster) chargeProfileOverhead() {
 }
 
 // drainFaultCounters moves the environment's pending retry/fault/cancel
-// counters into the metrics node. Operators execute depth-first and
-// sequentially within a statement, so between two finishOp calls the
+// and spill counters into the metrics node. Operators execute depth-first
+// and sequentially within a statement, so between two finishOp calls the
 // counters belong to exactly one operator.
 func (e *execEnv) drainFaultCounters(m *OpMetrics) {
 	m.Retries += e.opRetries.Swap(0)
 	m.Faults += e.opFaults.Swap(0)
 	m.Cancelled += e.opCancelled.Swap(0)
+	m.Spilled += e.opSpilled.Swap(0)
+	m.SpillParts += e.opSpillParts.Swap(0)
+	m.SpillPasses += e.opSpillPasses.Swap(0)
 }
 
 // finishOp builds the metrics node for one executed operator: output
@@ -359,7 +364,11 @@ func (e *execEnv) exec(p Plan) (*relation, *OpMetrics, error) {
 		}
 		out := make([]*Chunk, c.segments)
 		segTimes, err := e.parallelTimed(func(seg int) error {
-			out[seg] = distinctChunk(shuffled.parts[seg])
+			ch, derr := e.foldSegment(seg, shuffled.parts[seg], len(in.schema), nil, true)
+			if derr != nil {
+				return derr
+			}
+			out[seg] = ch
 			return nil
 		})
 		if err != nil {
@@ -534,7 +543,11 @@ func (e *execEnv) execGroupBy(p GroupByPlan, start time.Time) (*relation, *OpMet
 		out := make([]*Chunk, c.segments)
 		var err error
 		segTimes, err = e.parallelTimed(func(seg int) error {
-			out[seg] = groupChunk(parts[seg], nk, p.Aggs)
+			ch, gerr := e.foldSegment(seg, parts[seg], nk, p.Aggs, false)
+			if gerr != nil {
+				return gerr
+			}
+			out[seg] = ch
 			return nil
 		})
 		if err != nil {
@@ -645,7 +658,11 @@ func (e *execEnv) execJoin(p JoinPlan, start time.Time) (*relation, *OpMetrics, 
 
 	out := make([]*Chunk, c.segments)
 	segTimes, err := e.parallelTimed(func(seg int) error {
-		out[seg] = joinChunks(left.parts[seg], right.parts[seg], p.LeftKey, p.RightKey, p.Kind)
+		ch, jerr := e.joinSegment(seg, left.parts[seg], right.parts[seg], p.LeftKey, p.RightKey, p.Kind)
+		if jerr != nil {
+			return jerr
+		}
+		out[seg] = ch
 		return nil
 	})
 	if err != nil {

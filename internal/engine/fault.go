@@ -28,6 +28,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
@@ -56,6 +57,11 @@ type FaultConfig struct {
 	LatencyRate float64
 	// Latency is the injected delay for latency spikes; 0 means 200µs.
 	Latency time.Duration
+	// SpillFailureRate is the probability in [0, 1] that any one spill-file
+	// write fails — the disk failure surface of memory-bounded execution.
+	// Spill faults are retried exactly like segment failures: the whole
+	// segment-task attempt reruns and overwrites its partition files.
+	SpillFailureRate float64
 }
 
 // FaultInjector deterministically injects segment-task failures and
@@ -102,6 +108,21 @@ func (f *FaultInjector) decide(stmt uint64, op int64, seg, attempt int) (fail bo
 	return fail, delay
 }
 
+// decideSpillIO returns the fault decision for the nth spill write of one
+// task attempt. Like decide, it is a pure function of the injector seed
+// and the write's identity — spill kernels issue their writes in a
+// deterministic order within one attempt, so chaos runs reproduce.
+func (f *FaultInjector) decideSpillIO(stmt uint64, op int64, seg, attempt int, nth int64) bool {
+	h := xrand.Mix64(f.cfg.Seed ^ 0x5f111ed ^ xrand.Mix64(stmt))
+	h = xrand.Mix64(h ^ uint64(op)<<28 ^ uint64(seg)<<20 ^ uint64(attempt)<<14 ^ uint64(nth))
+	const scale = 1 << 32
+	if float64(h&(scale-1))/scale < f.cfg.SpillFailureRate {
+		f.injected.Add(1)
+		return true
+	}
+	return false
+}
+
 // evalPanic carries an expression-evaluation failure through interfaces
 // that cannot return errors (Expr.Eval); the task runner's and statement
 // boundary's recover guards convert it back into its plain error.
@@ -140,13 +161,53 @@ type execEnv struct {
 	opRetries   atomic.Int64
 	opFaults    atomic.Int64
 	opCancelled atomic.Int64
+
+	// Memory-bounded execution state: the statement's working-memory
+	// ledger, its spill directory (created on first spill, removed by
+	// close), the per-operator spill counters finishOp drains, and each
+	// segment's current attempt number (spill writes key their fault
+	// decisions on it; only the goroutine running segment seg's task
+	// touches curAttempt[seg] at any moment).
+	acct        memAcct
+	spillOnce   sync.Once
+	spillDir    string
+	spillDirErr error
+	curAttempt  []atomic.Int32
+
+	opSpilled     atomic.Int64
+	opSpillParts  atomic.Int64
+	opSpillPasses atomic.Int64
 }
 
 // newExecEnv opens the execution environment for one statement.
 func (c *Cluster) newExecEnv(ctx context.Context) *execEnv {
 	e := &execEnv{c: c, ctx: ctx, stmt: c.stmtSeq.Add(1)}
 	e.budget.Store(int64(c.retryBudget))
+	e.curAttempt = make([]atomic.Int32, c.segments)
 	return e
+}
+
+// close releases the statement's execution resources: its spill directory
+// (removing partition files whether the statement succeeded or errored
+// mid-spill) and the fold of its memory ledger into the cluster stats.
+func (e *execEnv) close() {
+	if e.spillDir != "" {
+		os.RemoveAll(e.spillDir)
+	}
+	spilled := e.acct.spilledBytes.Load()
+	peak := e.acct.peak.Load()
+	if spilled == 0 && peak == 0 {
+		return
+	}
+	c := e.c
+	c.statsMu.Lock()
+	c.stats.SpilledBytes += spilled
+	c.stats.SpillPartitions += e.acct.spillParts.Load()
+	c.stats.SpillPasses += e.acct.spillPasses.Load()
+	if peak > c.stats.PeakWorkBytes {
+		c.stats.PeakWorkBytes = peak
+	}
+	c.statsMu.Unlock()
 }
 
 // statementContext applies the cluster's per-query deadline to a
@@ -341,6 +402,7 @@ func (e *execEnv) attemptTask(ctx context.Context, opID int64, seg, attempt int,
 		}
 		err = fmt.Errorf("engine: segment %d task panicked: %v\n%s", seg, r, debug.Stack())
 	}()
+	e.curAttempt[seg].Store(int32(attempt))
 	if fi := e.c.injector; fi != nil {
 		fail, delay := fi.decide(e.stmt, opID, seg, attempt)
 		if delay > 0 {

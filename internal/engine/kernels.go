@@ -52,9 +52,18 @@ func joinChunks(left, right *Chunk, leftKey, rightKey int, kind JoinKind) *Chunk
 // first-seen group order. Lookup is a single hash + open-addressing probe
 // per input row; aggregate state mutates in place in the output builder.
 func groupChunk(in *Chunk, nk int, aggs []Agg) *Chunk {
-	na := len(aggs)
-	b := newChunkBuilder(nk+na, 0)
+	b := newChunkBuilder(nk+len(aggs), 0)
 	t := newGroupTable(64)
+	foldChunkInto(b, t, in, nk, aggs)
+	return b.finish()
+}
+
+// foldChunkInto folds one partial-layout chunk into an accumulating group
+// builder/table pair. Factoring the loop out of groupChunk lets the spill
+// path (foldPartition) fold a partition's chunks frame by frame into one
+// shared accumulator without materializing their concatenation.
+func foldChunkInto(b *chunkBuilder, t *groupTable, in *Chunk, nk int, aggs []Agg) {
+	na := len(aggs)
 	for r := 0; r < in.length; r++ {
 		h := chunkRowHash(in, 0, nk, r)
 		id, found := t.insertOrGet(h, func(g int32) bool {
@@ -68,7 +77,6 @@ func groupChunk(in *Chunk, nk int, aggs []Agg) *Chunk {
 			b.mergeAgg(c, id, a.Op, in.cols[c][r], in.nulls[c].get(r))
 		}
 	}
-	return b.finish()
 }
 
 // builderKeysEqual compares the key columns of admitted group g against

@@ -28,7 +28,13 @@ type OpMetrics struct {
 	Retries   int64           // segment-task retries performed by this operator
 	Faults    int64           // injected segment faults observed by this operator
 	Cancelled int64           // segment tasks abandoned by cancellation in this operator
-	Children  []*OpMetrics
+
+	// Memory-bounded execution: this operator's disk-spill activity.
+	Spilled     int64 // bytes written to spill files
+	SpillParts  int64 // partition/run files created
+	SpillPasses int64 // partitioning / run-formation passes
+
+	Children []*OpMetrics
 }
 
 // TotalShuffle sums the redistribution traffic of the whole subtree.
@@ -75,6 +81,18 @@ func (m *OpMetrics) TotalCancelled() int64 {
 	total := m.Cancelled
 	for _, ch := range m.Children {
 		total += ch.TotalCancelled()
+	}
+	return total
+}
+
+// TotalSpilled sums the spill bytes of the whole subtree.
+func (m *OpMetrics) TotalSpilled() int64 {
+	if m == nil {
+		return 0
+	}
+	total := m.Spilled
+	for _, ch := range m.Children {
+		total += ch.TotalSpilled()
 	}
 	return total
 }
@@ -130,6 +148,9 @@ func (m *OpMetrics) format(b *strings.Builder, depth int) {
 	}
 	if m.Cancelled > 0 {
 		fmt.Fprintf(b, " cancelled=%d", m.Cancelled)
+	}
+	if m.Spilled > 0 {
+		fmt.Fprintf(b, " spilled=%d parts=%d passes=%d", m.Spilled, m.SpillParts, m.SpillPasses)
 	}
 	b.WriteString(")\n")
 	if len(m.SegRows) > 0 {
@@ -189,14 +210,17 @@ type TraceRecord struct {
 // all statements since the last ResetStats — the per-operator accumulator
 // behind OpTotals.
 type OpTotal struct {
-	Calls     int64
-	Rows      int64
-	Bytes     int64
-	Shuffle   int64
-	Retries   int64
-	Faults    int64
-	Cancelled int64
-	Elapsed   time.Duration
+	Calls       int64
+	Rows        int64
+	Bytes       int64
+	Shuffle     int64
+	Retries     int64
+	Faults      int64
+	Cancelled   int64
+	Spilled     int64
+	SpillParts  int64
+	SpillPasses int64
+	Elapsed     time.Duration
 }
 
 // defaultTraceCapacity is the trace ring size when Options.TraceCapacity
@@ -247,6 +271,21 @@ func (c *Cluster) FaultTotals() (retries, faults, cancelled int64) {
 	return retries, faults, cancelled
 }
 
+// SpillTotals sums the disk-spill counters over every operator executed
+// since the last ResetStats — the cluster-level memory-bounded-execution
+// gauges (also available on Stats, which additionally survives statements
+// that error before their metrics tree is recorded).
+func (c *Cluster) SpillTotals() (spilledBytes, partitions, passes int64) {
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
+	for _, t := range c.opTotals {
+		spilledBytes += t.Spilled
+		partitions += t.SpillParts
+		passes += t.SpillPasses
+	}
+	return spilledBytes, partitions, passes
+}
+
 // OpNames returns the operator kinds present in OpTotals, sorted.
 func (c *Cluster) OpNames() []string {
 	totals := c.OpTotals()
@@ -289,6 +328,9 @@ func (c *Cluster) accumulateOps(m *OpMetrics) {
 	t.Retries += m.Retries
 	t.Faults += m.Faults
 	t.Cancelled += m.Cancelled
+	t.Spilled += m.Spilled
+	t.SpillParts += m.SpillParts
+	t.SpillPasses += m.SpillPasses
 	t.Elapsed += m.Elapsed
 	c.opTotals[m.Op] = t
 	for _, ch := range m.Children {

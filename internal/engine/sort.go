@@ -1,7 +1,6 @@
 package engine
 
 import (
-	"sort"
 	"time"
 )
 
@@ -57,24 +56,19 @@ func (e *execEnv) execSort(p SortPlan, start time.Time) (*relation, *OpMetrics, 
 		return nil, nil, err
 	}
 
-	// Phase 1: each segment sorts its own chunk, in parallel. Sorting an
-	// index vector (with the original position as final tie-break) rather
-	// than moving rows keeps the inner loop comparison-only and makes the
-	// local sort stable.
+	// Phase 1: each segment sorts its own chunk, in parallel. Under a
+	// memory budget sortSegment may run an external merge sort, returning a
+	// freshly materialized sorted chunk with an identity index; otherwise
+	// it index-sorts in place (original position as final tie-break, so the
+	// local sort is stable either way).
 	runs := make([][]int32, c.segments)
+	chs := make([]*Chunk, c.segments)
 	segTimes, err := e.parallelTimed(func(seg int) error {
-		ch := in.parts[seg]
-		idx := make([]int32, ch.length)
-		for i := range idx {
-			idx[i] = int32(i)
+		ch, idx, serr := e.sortSegment(seg, in.parts[seg], p.Keys)
+		if serr != nil {
+			return serr
 		}
-		sort.Slice(idx, func(i, j int) bool {
-			a, b := int(idx[i]), int(idx[j])
-			if cmp := compareChunkRows(p.Keys, ch, a, ch, b); cmp != 0 {
-				return cmp < 0
-			}
-			return a < b
-		})
+		chs[seg] = ch
 		runs[seg] = idx
 		return nil
 	})
@@ -86,7 +80,7 @@ func (e *execEnv) execSort(p SortPlan, start time.Time) (*relation, *OpMetrics, 
 	// resolved by segment index. The heads array tracks each run's cursor;
 	// with a handful of segments a linear minimum scan beats heap upkeep.
 	total := 0
-	for _, ch := range in.parts {
+	for _, ch := range chs {
 		total += ch.length
 	}
 	n := total
@@ -103,7 +97,7 @@ func (e *execEnv) execSort(p SortPlan, start time.Time) (*relation, *OpMetrics, 
 			if heads[seg] >= len(runs[seg]) {
 				continue
 			}
-			ch := in.parts[seg]
+			ch := chs[seg]
 			row := int(runs[seg][heads[seg]])
 			if best < 0 || compareChunkRows(p.Keys, ch, row, bestCh, bestRow) < 0 {
 				best, bestCh, bestRow = seg, ch, row
