@@ -73,8 +73,21 @@ func main() {
 		faultSeed  = flag.Uint64("fault-seed", 1, "seed for the deterministic fault injector")
 		timeout    = flag.Duration("timeout", 0, "per-statement deadline (0 = none)")
 		memBudget  = flag.Int64("mem-budget", 0, "per-statement working-memory budget in bytes; kernels spill to disk beyond it (0 = unbounded)")
+		noBloom    = flag.Bool("no-bloom", false, "disable bloom-join shuffle pruning (results identical; shuffle_bytes grows)")
+		noFusion   = flag.Bool("no-fusion", false, "disable fused scan→filter→project execution")
+		checkMicro = flag.String("check-micro", "", "gate a `go test -bench` output file against -micro-baseline and exit")
+		microBase  = flag.String("micro-baseline", "internal/bench/testdata/microbench_baseline.json", "microbenchmark baseline file for -check-micro")
 	)
 	flag.Parse()
+
+	if *checkMicro != "" {
+		if err := bench.CheckMicroFile(*checkMicro, *microBase); err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "microbenchmark gate passed")
+		return
+	}
 
 	if *pprofAddr != "" {
 		go servePprof(*pprofAddr)
@@ -91,6 +104,9 @@ func main() {
 		FaultSeed:      *faultSeed,
 		QueryTimeout:   *timeout,
 		MemoryBudget:   *memBudget,
+
+		DisableBloomJoin:      *noBloom,
+		DisableOperatorFusion: *noFusion,
 	}
 	progress := func(s string) {
 		if !*quiet {
@@ -219,13 +235,35 @@ func runJSON(cfg bench.Config, outDir, datasetList, baselinePath string, progres
 	for _, p := range paths {
 		fmt.Println(p)
 	}
-	if baselinePath == "" {
-		return
+	var b *bench.Baseline
+	if baselinePath != "" {
+		b, err = bench.LoadBaseline(baselinePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "baseline: %v\n", err)
+			os.Exit(1)
+		}
 	}
-	b, err := bench.LoadBaseline(baselinePath)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "baseline: %v\n", err)
-		os.Exit(1)
+	// One summary line per dataset: the deterministic-RC shuffle traffic,
+	// how much of it the bloom filters pruned, and the delta against the
+	// committed baseline when one is loaded.
+	for _, rep := range reports {
+		for _, a := range rep.Algorithms {
+			if a.Name != "rc-det" {
+				continue
+			}
+			line := fmt.Sprintf("%s: rc-det queries=%d shuffle=%dB saved=%dB",
+				rep.Dataset, a.Queries, a.ShuffleBytes, a.ShuffleSaved)
+			if b != nil {
+				if base, ok := b.RCDetShuffleBytes[rep.Dataset]; ok && base > 0 {
+					delta := 100 * float64(a.ShuffleBytes-base) / float64(base)
+					line += fmt.Sprintf(" (baseline %dB, %+.1f%%)", base, delta)
+				}
+			}
+			fmt.Fprintln(os.Stderr, line)
+		}
+	}
+	if b == nil {
+		return
 	}
 	failed := false
 	for _, rep := range reports {

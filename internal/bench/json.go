@@ -25,7 +25,11 @@ import (
 // Version 3 added the memory-bounded-execution accounting: the campaign's
 // memory_budget and, per algorithm, peak_work_bytes, spilled_bytes,
 // spill_partitions and spill_passes.
-const JSONSchemaVersion = 3
+//
+// Version 4 added the data-movement kernel accounting: the campaign's
+// bloom_join and operator_fusion flags and, per algorithm, the bloom-join
+// pruning counters bloom_checked, bloom_skipped and shuffle_saved_bytes.
+const JSONSchemaVersion = 4
 
 // RoundJSON is one algorithm round in the machine-readable report — the
 // serialised form of ccalg.RoundStats.
@@ -56,10 +60,13 @@ type AlgorithmJSON struct {
 	BytesWritten int64       `json:"bytes_written"`
 	PeakBytes    int64       `json:"peak_bytes"`
 	ShuffleBytes int64       `json:"shuffle_bytes"`
-	PeakWork     int64       `json:"peak_work_bytes"`  // peak accounted working memory
-	Spilled      int64       `json:"spilled_bytes"`    // bytes written to spill partitions
-	SpillParts   int64       `json:"spill_partitions"` // partition files created
-	SpillPasses  int64       `json:"spill_passes"`     // partitioning passes (recursion included)
+	ShuffleSaved int64       `json:"shuffle_saved_bytes"` // shuffle bytes pruned by bloom-join filters
+	BloomChecked int64       `json:"bloom_checked"`       // probe rows tested against build-side bloom filters
+	BloomSkipped int64       `json:"bloom_skipped"`       // probe rows dropped before crossing segments
+	PeakWork     int64       `json:"peak_work_bytes"`     // peak accounted working memory
+	Spilled      int64       `json:"spilled_bytes"`       // bytes written to spill partitions
+	SpillParts   int64       `json:"spill_partitions"`    // partition files created
+	SpillPasses  int64       `json:"spill_passes"`        // partitioning passes (recursion included)
 	MeanSecs     float64     `json:"mean_secs"`
 	Components   int         `json:"components"`
 	RoundLog     []RoundJSON `json:"round_log"`
@@ -68,15 +75,17 @@ type AlgorithmJSON struct {
 // BenchJSON is the per-dataset benchmark report written as
 // BENCH_<dataset>.json by ccbench -json.
 type BenchJSON struct {
-	SchemaVersion int             `json:"schema_version"`
-	Dataset       string          `json:"dataset"`
-	Scale         float64         `json:"scale"`
-	Segments      int             `json:"segments"`
-	Seed          uint64          `json:"seed"`
-	MemoryBudget  int64           `json:"memory_budget"` // bytes per statement; 0 = unbounded
-	Vertices      int64           `json:"vertices"`
-	Edges         int64           `json:"edges"`
-	Algorithms    []AlgorithmJSON `json:"algorithms"`
+	SchemaVersion  int             `json:"schema_version"`
+	Dataset        string          `json:"dataset"`
+	Scale          float64         `json:"scale"`
+	Segments       int             `json:"segments"`
+	Seed           uint64          `json:"seed"`
+	MemoryBudget   int64           `json:"memory_budget"`   // bytes per statement; 0 = unbounded
+	BloomJoin      bool            `json:"bloom_join"`      // bloom-join shuffle pruning enabled
+	OperatorFusion bool            `json:"operator_fusion"` // scan→filter→project fusion enabled
+	Vertices       int64           `json:"vertices"`
+	Edges          int64           `json:"edges"`
+	Algorithms     []AlgorithmJSON `json:"algorithms"`
 }
 
 // jsonAlgorithm is one entry of a JSON report's run list.
@@ -111,14 +120,16 @@ func jsonAlgorithms() []jsonAlgorithm {
 func JSONReport(ds Dataset, cfg Config, capacity int64) *BenchJSON {
 	g := ds.Gen(cfg.Scale, cfg.Seed)
 	rep := &BenchJSON{
-		SchemaVersion: JSONSchemaVersion,
-		Dataset:       ds.Name,
-		Scale:         cfg.Scale,
-		Segments:      cfg.Segments,
-		Seed:          cfg.Seed,
-		MemoryBudget:  cfg.MemoryBudget,
-		Vertices:      int64(g.NumVertices()),
-		Edges:         int64(g.NumEdges()),
+		SchemaVersion:  JSONSchemaVersion,
+		Dataset:        ds.Name,
+		Scale:          cfg.Scale,
+		Segments:       cfg.Segments,
+		Seed:           cfg.Seed,
+		MemoryBudget:   cfg.MemoryBudget,
+		BloomJoin:      !cfg.DisableBloomJoin,
+		OperatorFusion: !cfg.DisableOperatorFusion,
+		Vertices:       int64(g.NumVertices()),
+		Edges:          int64(g.NumEdges()),
 	}
 	for _, a := range jsonAlgorithms() {
 		aj := AlgorithmJSON{Name: a.Name, FullName: a.FullName, RoundLog: []RoundJSON{}}
@@ -157,6 +168,8 @@ func JSONReport(ds Dataset, cfg Config, capacity int64) *BenchJSON {
 		aj.BytesWritten = st.BytesWritten
 		aj.PeakBytes = st.PeakBytes - input
 		aj.ShuffleBytes = st.ShuffleBytes
+		aj.ShuffleSaved = st.ShuffleSavedBytes
+		aj.BloomChecked, aj.BloomSkipped = c.BloomTotals()
 		aj.PeakWork = st.PeakWorkBytes
 		aj.Spilled = st.SpilledBytes
 		aj.SpillParts = st.SpillPartitions
@@ -233,6 +246,13 @@ type Baseline struct {
 	// RCDetQueries maps dataset name to the expected whole-run query count
 	// of the deterministic RC variant.
 	RCDetQueries map[string]int64 `json:"rc_det_queries"`
+	// RCDetShuffleBytes maps dataset name to the expected whole-run shuffle
+	// traffic of the deterministic RC variant with bloom-join pruning
+	// enabled — the envelope that catches a silent regression of the
+	// shuffle pruning (bytes creeping back up) as well as an accounting bug
+	// (bytes collapsing). Datasets absent from the map skip the check, so
+	// pre-pruning baselines stay loadable.
+	RCDetShuffleBytes map[string]int64 `json:"rc_det_shuffle_bytes"`
 }
 
 // LoadBaseline reads a committed baseline file.
@@ -257,7 +277,7 @@ func (b *Baseline) Check(rep *BenchJSON) error {
 	if !ok {
 		return fmt.Errorf("bench: dataset %q has no baseline entry; regenerate the baseline", rep.Dataset)
 	}
-	var actual int64 = -1
+	var actual, shuffle int64 = -1, -1
 	for _, a := range rep.Algorithms {
 		if a.Name == "rc-det" {
 			if a.Error != "" {
@@ -267,6 +287,7 @@ func (b *Baseline) Check(rep *BenchJSON) error {
 				return fmt.Errorf("bench: %s: deterministic RC hit the storage wall", rep.Dataset)
 			}
 			actual = a.Queries
+			shuffle = a.ShuffleBytes
 		}
 	}
 	if actual < 0 {
@@ -280,6 +301,17 @@ func (b *Baseline) Check(rep *BenchJSON) error {
 		return fmt.Errorf("bench: %s: deterministic RC issued %d queries, baseline expects %d (±%.0f%%); "+
 			"if the change is intended, update the baseline file",
 			rep.Dataset, actual, expected, 100*b.Tolerance)
+	}
+	if expectedShuffle, ok := b.RCDetShuffleBytes[rep.Dataset]; ok && rep.BloomJoin {
+		sdev := float64(shuffle-expectedShuffle) / float64(expectedShuffle)
+		if sdev < 0 {
+			sdev = -sdev
+		}
+		if sdev > b.Tolerance {
+			return fmt.Errorf("bench: %s: deterministic RC shuffled %d bytes, baseline expects %d (±%.0f%%); "+
+				"a higher count means bloom-join pruning regressed — if the change is intended, update the baseline file",
+				rep.Dataset, shuffle, expectedShuffle, 100*b.Tolerance)
+		}
 	}
 	return nil
 }

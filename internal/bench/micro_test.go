@@ -1,0 +1,118 @@
+package bench
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// sampleBenchOutput is a realistic `go test -bench -benchmem` transcript:
+// header lines, GOMAXPROCS suffixes, and a trailing PASS.
+const sampleBenchOutput = `goos: linux
+goarch: amd64
+pkg: dbcc/internal/engine
+cpu: Some CPU @ 2.10GHz
+BenchmarkKernelJoinProbe/kernel/n=4096-8         	    3564	    308466 ns/op	  775376 B/op	      90 allocs/op
+BenchmarkKernelJoinProbe/rows/n=4096-8           	    1426	    847269 ns/op	 1205608 B/op	    7075 allocs/op
+BenchmarkKernelRadixPartition/kernel/wide/n=65536-8 	    3385	    344443 ns/op	    2208 B/op	      28 allocs/op
+BenchmarkKernelRadixPartition/counting/wide/n=65536-8 	     934	   1202334 ns/op	 2140288 B/op	      35 allocs/op
+PASS
+ok  	dbcc/internal/engine	28.586s
+`
+
+func TestParseGoBench(t *testing.T) {
+	results := ParseGoBench(sampleBenchOutput)
+	if len(results) != 4 {
+		t.Fatalf("parsed %d results, want 4: %v", len(results), results)
+	}
+	r, ok := results["BenchmarkKernelJoinProbe/kernel/n=4096"]
+	if !ok {
+		t.Fatalf("GOMAXPROCS suffix not stripped: %v", results)
+	}
+	if r.NsPerOp != 308466 || r.BytesPerOp != 775376 || r.AllocsPerOp != 90 {
+		t.Fatalf("parsed %+v", r)
+	}
+}
+
+func TestMicroBaselineCheck(t *testing.T) {
+	results := ParseGoBench(sampleBenchOutput)
+	good := &MicroBaseline{
+		Tolerance: 0.15,
+		AllocsPerOp: map[string]int64{
+			"BenchmarkKernelJoinProbe/kernel/n=4096": 90,
+		},
+		NsRatios: []NsRatioGate{{
+			Name:        "radix vs counting",
+			Numerator:   "BenchmarkKernelRadixPartition/kernel/wide/n=65536",
+			Denominator: "BenchmarkKernelRadixPartition/counting/wide/n=65536",
+			Max:         0.5,
+		}},
+	}
+	if err := good.Check(results); err != nil {
+		t.Fatalf("matching baseline failed: %v", err)
+	}
+
+	// An allocation regression beyond the tolerance fails.
+	tight := &MicroBaseline{
+		Tolerance:   0.15,
+		AllocsPerOp: map[string]int64{"BenchmarkKernelJoinProbe/kernel/n=4096": 70},
+	}
+	if err := tight.Check(results); err == nil || !strings.Contains(err.Error(), "allocs/op") {
+		t.Fatalf("29%% alloc regression passed the 15%% gate: %v", err)
+	}
+
+	// A ratio gate the measured speedup no longer clears fails.
+	slow := &MicroBaseline{
+		Tolerance: 0.15,
+		NsRatios: []NsRatioGate{{
+			Name:        "radix vs counting",
+			Numerator:   "BenchmarkKernelRadixPartition/kernel/wide/n=65536",
+			Denominator: "BenchmarkKernelRadixPartition/counting/wide/n=65536",
+			Max:         0.1,
+		}},
+	}
+	if err := slow.Check(results); err == nil || !strings.Contains(err.Error(), "ratio") {
+		t.Fatalf("a 0.29 ratio passed a 0.1 gate: %v", err)
+	}
+
+	// A gated benchmark missing from the run is itself a failure — renames
+	// must not silently disarm the gate.
+	missing := &MicroBaseline{
+		Tolerance:   0.15,
+		AllocsPerOp: map[string]int64{"BenchmarkKernelRenamed/kernel/n=1": 1},
+	}
+	if err := missing.Check(results); err == nil {
+		t.Fatal("missing benchmark passed the gate")
+	}
+}
+
+// TestLoadCommittedMicroBaseline keeps the committed baseline file well
+// formed: it must load, gate the radix-vs-counting hot loop at ≤0.5 (the
+// shuffle kernel's 2× acceptance bar), and cover the join-probe and
+// group-by alloc counts.
+func TestLoadCommittedMicroBaseline(t *testing.T) {
+	b, err := LoadMicroBaseline(filepath.Join("testdata", "microbench_baseline.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Tolerance <= 0 || len(b.AllocsPerOp) == 0 || len(b.NsRatios) == 0 {
+		t.Fatalf("committed micro baseline is degenerate: %+v", b)
+	}
+	var radix *NsRatioGate
+	for i := range b.NsRatios {
+		if strings.Contains(b.NsRatios[i].Numerator, "RadixPartition/kernel/wide") {
+			radix = &b.NsRatios[i]
+		}
+	}
+	if radix == nil || radix.Max > 0.5 {
+		t.Fatalf("committed baseline does not pin the radix hot loop at 2x: %+v", b.NsRatios)
+	}
+	for _, name := range []string{
+		"BenchmarkKernelJoinProbe/kernel/n=65536",
+		"BenchmarkKernelGroupByMin/kernel/n=65536",
+	} {
+		if _, ok := b.AllocsPerOp[name]; !ok {
+			t.Fatalf("committed baseline does not gate %s allocs", name)
+		}
+	}
+}

@@ -17,22 +17,40 @@ import (
 // Property-based differential suite: every algorithm, on randomly drawn
 // graphs from six structural families, must produce the same canonical
 // labelling as the Union/Find oracle — and the *identical* labelling
-// regardless of memory budget (spilling kernels are bit-identical) and of
-// injected faults (retries are transparent). The budget and fault axes are
-// exactly the conditions the ICDE'20 evaluation never varies: the paper's
-// correctness claims are per-algorithm, so any divergence here is an
-// engine bug, not an algorithm property.
+// regardless of memory budget (spilling kernels are bit-identical), of
+// injected faults (retries are transparent), and of the bloom-join /
+// operator-fusion execution knobs (pruning and fusion are pure
+// optimizations). The budget and fault axes are exactly the conditions the
+// ICDE'20 evaluation never varies: the paper's correctness claims are
+// per-algorithm, so any divergence here is an engine bug, not an algorithm
+// property.
 
-// propertyBudgets are the memory-budget axis: unbounded, tight enough
-// that the per-round joins and folds spill, and pathologically small so
-// every kernel takes its spilling path and recurses.
-var propertyBudgets = []struct {
-	name   string
-	budget int64
+// propertyCells is the execution matrix: each cell is one cluster
+// configuration every algorithm × family pair must label identically
+// under. The budget axis spans unbounded, tight enough that per-round
+// joins and folds spill, and pathologically small so every kernel takes
+// its spilling path; the knob axes disable bloom-join pruning and operator
+// fusion; the fault cells run with injected segment faults and retries.
+// Knob coverage concentrates where the code paths differ most: all four
+// knob combinations on the unbounded cell, and knob-off-under-faults on
+// the spilling cells.
+var propertyCells = []struct {
+	name      string
+	budget    int64
+	faulty    bool
+	bloomOff  bool
+	fusionOff bool
 }{
-	{"unbounded", 0},
-	{"tight", 8 << 10},
-	{"pathological", 1 << 10},
+	{"unbounded", 0, false, false, false},
+	{"unbounded/no-bloom", 0, false, true, false},
+	{"unbounded/no-fusion", 0, false, false, true},
+	{"unbounded/plain", 0, false, true, true},
+	{"tight", 8 << 10, false, false, false},
+	{"tight/faults", 8 << 10, true, false, false},
+	{"tight/plain/faults", 8 << 10, true, true, true},
+	{"pathological", 1 << 10, false, false, false},
+	{"pathological/faults", 1 << 10, true, false, false},
+	{"pathological/no-bloom/faults", 1 << 10, true, true, false},
 }
 
 // randomFamilies draws one graph per structural family from rng. Isolated
@@ -122,9 +140,14 @@ func sameLabelling(t *testing.T, ctxt string, got, want graph.Labelling) {
 	}
 }
 
-// propertyCluster builds a cluster for one (budget, faults) cell.
-func propertyCluster(budget int64, faulty bool) *engine.Cluster {
-	opts := engine.Options{Segments: 4, MemoryBudget: budget}
+// propertyCluster builds a cluster for one (budget, faults, knobs) cell.
+func propertyCluster(budget int64, faulty, bloomOff, fusionOff bool) *engine.Cluster {
+	opts := engine.Options{
+		Segments:              4,
+		MemoryBudget:          budget,
+		DisableBloomJoin:      bloomOff,
+		DisableOperatorFusion: fusionOff,
+	}
 	if faulty {
 		// 5% of task attempts die outright; spill writes fail at a much
 		// lower per-write rate because one spilling kernel can perform
@@ -146,11 +169,11 @@ func propertyCluster(budget int64, faulty bool) *engine.Cluster {
 // TestPropertyAllAlgorithmsBudgetsFaults is the suite driver: per trial it
 // draws one graph per family and checks, for every algorithm, that the
 // labelling (a) canonicalizes to the Union/Find oracle's and (b) is
-// bit-identical across every budget and under injected faults.
+// bit-identical across every cell of the budget × fault × knob matrix.
 func TestPropertyAllAlgorithmsBudgetsFaults(t *testing.T) {
-	// One trial is ~150 algorithm runs (5 algorithms × 6 families × 5
-	// budget/fault cells); DBCC_PROPERTY_TRIALS raises the count for soak
-	// runs without inflating every CI pass.
+	// One trial is ~300 algorithm runs (5 algorithms × 6 families × 10
+	// matrix cells); DBCC_PROPERTY_TRIALS raises the count for soak runs
+	// without inflating every CI pass.
 	trials := 1
 	if n, err := strconv.Atoi(os.Getenv("DBCC_PROPERTY_TRIALS")); err == nil && n > 0 {
 		trials = n
@@ -161,39 +184,34 @@ func TestPropertyAllAlgorithmsBudgetsFaults(t *testing.T) {
 			oracle := canonicalize(unionfind.Components(g))
 			for _, info := range Algorithms() {
 				var ref graph.Labelling
-				for _, b := range propertyBudgets {
-					for _, faulty := range []bool{false, true} {
-						if faulty && b.budget == 0 {
-							continue // fault axis is exercised on the spilling cells
-						}
-						ctxt := fmt.Sprintf("trial %d %s/%s budget=%s faults=%v",
-							trial, info.Name, fam, b.name, faulty)
-						c := propertyCluster(b.budget, faulty)
-						if err := graph.Load(c, "input", g); err != nil {
-							t.Fatal(err)
-						}
-						res, err := info.Run(c, "input", Options{Seed: uint64(trial) + 7})
-						if err != nil {
-							t.Fatalf("%s: %v", ctxt, err)
-						}
-						canon := canonicalize(res.Labels)
-						if len(canon) != len(oracle) {
-							t.Fatalf("%s: labelled %d vertices, oracle has %d",
-								ctxt, len(canon), len(oracle))
-						}
-						for v, rep := range oracle {
-							if canon[v] != rep {
-								t.Fatalf("%s: vertex %d canonical label %d, oracle says %d",
-									ctxt, v, canon[v], rep)
-							}
-						}
-						if ref == nil {
-							ref = res.Labels
-						} else {
-							sameLabelling(t, ctxt+" (vs unbounded run)", res.Labels, ref)
-						}
-						c.Close()
+				for _, cell := range propertyCells {
+					ctxt := fmt.Sprintf("trial %d %s/%s cell=%s faults=%v",
+						trial, info.Name, fam, cell.name, cell.faulty)
+					c := propertyCluster(cell.budget, cell.faulty, cell.bloomOff, cell.fusionOff)
+					if err := graph.Load(c, "input", g); err != nil {
+						t.Fatal(err)
 					}
+					res, err := info.Run(c, "input", Options{Seed: uint64(trial) + 7})
+					if err != nil {
+						t.Fatalf("%s: %v", ctxt, err)
+					}
+					canon := canonicalize(res.Labels)
+					if len(canon) != len(oracle) {
+						t.Fatalf("%s: labelled %d vertices, oracle has %d",
+							ctxt, len(canon), len(oracle))
+					}
+					for v, rep := range oracle {
+						if canon[v] != rep {
+							t.Fatalf("%s: vertex %d canonical label %d, oracle says %d",
+								ctxt, v, canon[v], rep)
+						}
+					}
+					if ref == nil {
+						ref = res.Labels
+					} else {
+						sameLabelling(t, ctxt+" (vs first cell)", res.Labels, ref)
+					}
+					c.Close()
 				}
 			}
 		}
@@ -207,7 +225,7 @@ func TestPropertyBudgetedRunsSpill(t *testing.T) {
 	g := datagen.ErdosRenyi(120, 260, 5)
 	var spilledSomewhere bool
 	for _, info := range Algorithms() {
-		c := propertyCluster(1<<10, false)
+		c := propertyCluster(1<<10, false, false, false)
 		if err := graph.Load(c, "input", g); err != nil {
 			t.Fatal(err)
 		}

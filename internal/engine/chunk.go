@@ -60,6 +60,42 @@ func newChunk(ncols, n int) *Chunk {
 // Len returns the number of rows.
 func (ch *Chunk) Len() int { return ch.length }
 
+// chunksFromFlat carves a set of chunks out of one shared flat backing
+// array: chunk i has ncols columns of counts[i] rows each. The layout is
+// column-major across the whole set — all chunks' column 0 first, then all
+// chunks' column 1, ... — so a caller that knows a row's global slot g
+// (its offset within the concatenated chunk set) addresses column c at
+// flat[c*total+g], independent of which chunk the row landed in. The radix
+// shuffle kernel uses this to back a whole per-destination bucket set with
+// a single pooled allocation and to scatter each column in one pass over a
+// single destination slice. The backing array's contents are NOT cleared —
+// callers must write every slot (see radixPartitionChunk) — and the
+// produced chunks alias flat, so they must not outlive its return to the
+// pool.
+func chunksFromFlat(ncols int, counts []int32, flat []int64) []*Chunk {
+	total := 0
+	for _, cnt := range counts {
+		total += int(cnt)
+	}
+	out := make([]*Chunk, len(counts))
+	start := 0
+	for i, cnt := range counts {
+		n := int(cnt)
+		ch := &Chunk{
+			length: n,
+			cols:   make([][]int64, ncols),
+			nulls:  make([]nullBitmap, ncols),
+		}
+		for c := 0; c < ncols; c++ {
+			off := c*total + start
+			ch.cols[c] = flat[off : off+n : off+n]
+		}
+		out[i] = ch
+		start += n
+	}
+	return out
+}
+
 // datum materialises one value as a Datum. NULL values come back exactly
 // as NullDatum (payload zero), so rows converted out of a chunk compare
 // equal under == to rows that never went through the columnar layer.
@@ -172,6 +208,31 @@ func concatChunks(ncols int, chunks []*Chunk) *Chunk {
 	off := 0
 	for _, ch := range chunks {
 		off = copyChunkInto(out, ch, off)
+	}
+	return out
+}
+
+// padRight extends ch with rw additional all-NULL columns — the
+// unmatched-probe rows of a left outer join. The left columns alias ch and
+// the NULL columns share one zeroed backing and one all-ones bitmap, so
+// the pad costs O(rows/64) regardless of width.
+func padRight(ch *Chunk, rw int) *Chunk {
+	ncols := len(ch.cols)
+	out := &Chunk{
+		length: ch.length,
+		cols:   make([][]int64, ncols+rw),
+		nulls:  make([]nullBitmap, ncols+rw),
+	}
+	copy(out.cols, ch.cols)
+	copy(out.nulls, ch.nulls)
+	zeros := make([]int64, ch.length)
+	allNull := newNullBitmap(ch.length)
+	for i := range allNull {
+		allNull[i] = ^uint64(0)
+	}
+	for c := ncols; c < ncols+rw; c++ {
+		out.cols[c] = zeros
+		out.nulls[c] = allNull
 	}
 	return out
 }

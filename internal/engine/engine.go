@@ -151,13 +151,21 @@ type QueryStat struct {
 // Stats aggregates the execution counters the paper's Tables IV and V are
 // built from.
 type Stats struct {
-	Queries      int64       // number of CreateTableAs queries executed
-	RowsWritten  int64       // total rows written into created tables
-	BytesWritten int64       // total bytes written into created tables (Table V)
-	LiveBytes    int64       // current footprint of all live tables
-	PeakBytes    int64       // maximum LiveBytes observed (Table IV)
-	ShuffleBytes int64       // bytes moved between segments by redistribution
-	Log          []QueryStat // per-query log, in execution order
+	Queries      int64 // number of CreateTableAs queries executed
+	RowsWritten  int64 // total rows written into created tables
+	BytesWritten int64 // total bytes written into created tables (Table V)
+	LiveBytes    int64 // current footprint of all live tables
+	PeakBytes    int64 // maximum LiveBytes observed (Table IV)
+	ShuffleBytes int64 // bytes moved between segments by redistribution
+	// ShuffleSavedBytes counts the counterfactual traffic bloom-join
+	// pruning avoided: the bytes pruned probe rows would have moved had
+	// they crossed segments. Per pruned shuffle, ShuffleBytes + saved
+	// equals what that shuffle would have moved with bloom joins off.
+	// Statement totals may diverge further in pruning's favor: left-outer
+	// bypass rows surface at their source segment, so downstream motions
+	// see different (typically cheaper) placements.
+	ShuffleSavedBytes int64
+	Log               []QueryStat // per-query log, in execution order
 
 	// Memory-bounded execution counters (see memory.go). PeakWorkBytes is
 	// the highest accounted kernel working set of any single statement;
@@ -258,6 +266,17 @@ type Options struct {
 	// external merge sort — see memory.go and spill_kernels.go). 0 means
 	// unbounded, the historical in-memory behaviour.
 	MemoryBudget int64
+	// DisableBloomJoin turns off the build-side bloom filters that prune
+	// an inner join's probe-side shuffle (on by default). Pruning never
+	// changes results — a dropped row could not have matched — it only
+	// reduces shuffle traffic; the knob exists for differential testing
+	// and for measuring the pruning win.
+	DisableBloomJoin bool
+	// DisableOperatorFusion turns off the fused execution of
+	// Filter/Project chains (on by default). Fusion eliminates the
+	// intermediate materialisation between chained filters and a
+	// projection; results and metrics trees are identical either way.
+	DisableOperatorFusion bool
 }
 
 // Cluster is the in-process MPP database: a catalog of distributed tables,
@@ -278,6 +297,8 @@ type Cluster struct {
 	retryBackoff   time.Duration
 	retryBudget    int
 	memBudget      int64
+	bloomOff       bool
+	fusionOff      bool
 	stmtSeq        atomic.Uint64 // statement numbering for fault determinism
 
 	spillMu   sync.Mutex // guards spillRoot
@@ -352,6 +373,8 @@ func NewCluster(opts Options) *Cluster {
 		retryBackoff:   backoff,
 		retryBudget:    budget,
 		memBudget:      opts.MemoryBudget,
+		bloomOff:       opts.DisableBloomJoin,
+		fusionOff:      opts.DisableOperatorFusion,
 		tables:         make(map[string]*Table),
 		udfs:           make(map[string]UDF),
 		traceCap:       traceCap,
@@ -631,6 +654,13 @@ func (c *Cluster) accountWrite(label string, rows, bytes int64) {
 func (c *Cluster) addShuffleBytes(n int64) {
 	c.statsMu.Lock()
 	c.stats.ShuffleBytes += n
+	c.statsMu.Unlock()
+}
+
+// addShuffleSaved records shuffle traffic avoided by bloom-join pruning.
+func (c *Cluster) addShuffleSaved(n int64) {
+	c.statsMu.Lock()
+	c.stats.ShuffleSavedBytes += n
 	c.statsMu.Unlock()
 }
 

@@ -202,11 +202,87 @@ func evalArgVecs(args []Expr, ch *Chunk) ([]colVec, error) {
 	return out, nil
 }
 
+// evalVecSel evaluates e over only the selected rows of ch, producing a
+// dense vector of len(sel) values: output row i corresponds to input row
+// sel[i], and evalVecSel(e, ch, sel) row i equals evalVec(e, ch) row
+// sel[i] exactly (values, NULLs and errors). It is the fused pipeline's
+// evaluator (see execFused): outer filters and projections over an
+// already-filtered chunk compute just the surviving rows instead of
+// gathering them into an intermediate chunk first.
+func evalVecSel(e Expr, ch *Chunk, sel []int32) (colVec, error) {
+	n := len(sel)
+	switch e := e.(type) {
+	case ColRef:
+		src, nb := ch.cols[e.Idx], ch.nulls[e.Idx]
+		out := colVec{vals: make([]int64, n)}
+		if nb == nil {
+			for i, r := range sel {
+				out.vals[i] = src[r]
+			}
+			return out, nil
+		}
+		for i, r := range sel {
+			if nb.get(int(r)) {
+				out.setNull(i, n)
+			} else {
+				out.vals[i] = src[r]
+			}
+		}
+		return out, nil
+
+	case ConstExpr:
+		vals := make([]int64, n)
+		if e.Val.Null {
+			nb := newNullBitmap(n)
+			for i := range nb {
+				nb[i] = ^uint64(0)
+			}
+			return colVec{vals: vals, nulls: nb}, nil
+		}
+		if e.Val.Int != 0 {
+			for i := range vals {
+				vals[i] = e.Val.Int
+			}
+		}
+		return colVec{vals: vals}, nil
+
+	case BinExpr:
+		l, err := evalVecSel(e.Left, ch, sel)
+		if err != nil {
+			return colVec{}, err
+		}
+		r, err := evalVecSel(e.Right, ch, sel)
+		if err != nil {
+			return colVec{}, err
+		}
+		return combineBinVec(e.Op, l, r, n)
+
+	default:
+		// Row-oriented fallback (UDF calls, IS NULL, COALESCE, unknown Expr
+		// implementations): reconstruct each selected row and evaluate the
+		// row interface. Rare in hot filter chains; the semantics match the
+		// scalar evaluator by construction.
+		scratch := make(Row, len(ch.cols))
+		out := colVec{vals: make([]int64, n)}
+		for i, r := range sel {
+			for c := range scratch {
+				scratch[c] = ch.datum(c, int(r))
+			}
+			d := e.Eval(scratch)
+			if d.Null {
+				out.setNull(i, n)
+			} else {
+				out.vals[i] = d.Int
+			}
+		}
+		return out, nil
+	}
+}
+
 // evalBinVec evaluates a binary operator column-at-a-time. Comparisons and
 // arithmetic propagate NULL by bitmap union; AND/OR run a scalar loop for
 // SQL's three-valued logic, mirroring BinExpr.Eval exactly.
 func evalBinVec(e BinExpr, ch *Chunk) (colVec, error) {
-	n := ch.length
 	l, err := evalVec(e.Left, ch)
 	if err != nil {
 		return colVec{}, err
@@ -215,9 +291,15 @@ func evalBinVec(e BinExpr, ch *Chunk) (colVec, error) {
 	if err != nil {
 		return colVec{}, err
 	}
+	return combineBinVec(e.Op, l, r, ch.length)
+}
+
+// combineBinVec combines two evaluated operand vectors of length n under a
+// binary operator — the shared back half of evalBinVec and evalVecSel.
+func combineBinVec(op BinOp, l, r colVec, n int) (colVec, error) {
 	out := colVec{vals: make([]int64, n)}
 
-	switch e.Op {
+	switch op {
 	case OpAnd:
 		for i := 0; i < n; i++ {
 			ln, rn := l.null(i), r.null(i)
@@ -246,7 +328,7 @@ func evalBinVec(e BinExpr, ch *Chunk) (colVec, error) {
 
 	out.nulls = orNulls(l.nulls, r.nulls, n)
 	lv, rv, ov := l.vals, r.vals, out.vals
-	switch e.Op {
+	switch op {
 	case OpAdd:
 		for i := 0; i < n; i++ {
 			ov[i] = lv[i] + rv[i]
@@ -292,7 +374,7 @@ func evalBinVec(e BinExpr, ch *Chunk) (colVec, error) {
 			}
 		}
 	default:
-		return colVec{}, fmt.Errorf("engine: unknown binary operator %d in vectorized eval", e.Op)
+		return colVec{}, fmt.Errorf("engine: unknown binary operator %d in vectorized eval", op)
 	}
 	return out, nil
 }

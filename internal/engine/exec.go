@@ -192,6 +192,8 @@ func (e *execEnv) drainFaultCounters(m *OpMetrics) {
 	m.Spilled += e.opSpilled.Swap(0)
 	m.SpillParts += e.opSpillParts.Swap(0)
 	m.SpillPasses += e.opSpillPasses.Swap(0)
+	m.BloomChecked += e.opBloomChecked.Swap(0)
+	m.BloomSkipped += e.opBloomSkipped.Swap(0)
 }
 
 // finishOp builds the metrics node for one executed operator: output
@@ -254,6 +256,11 @@ func (e *execEnv) exec(p Plan) (*relation, *OpMetrics, error) {
 		return rel, e.finishOp("Values", "", rel, nil, 0, nil, start), nil
 
 	case FilterPlan:
+		if !c.fusionOff {
+			if _, ok := p.Input.(FilterPlan); ok {
+				return e.execFused(nil, p, start)
+			}
+		}
 		in, cm, err := e.exec(p.Input)
 		if err != nil {
 			return nil, nil, err
@@ -284,6 +291,11 @@ func (e *execEnv) exec(p Plan) (*relation, *OpMetrics, error) {
 		return rel, e.finishOp("Filter", p.Pred.String(), rel, []*OpMetrics{cm}, 0, segTimes, start), nil
 
 	case ProjectPlan:
+		if !c.fusionOff {
+			if f, ok := p.Input.(FilterPlan); ok {
+				return e.execFused(&p, f, start)
+			}
+		}
 		in, cm, err := e.exec(p.Input)
 		if err != nil {
 			return nil, nil, err
@@ -389,6 +401,136 @@ func (e *execEnv) exec(p Plan) (*relation, *OpMetrics, error) {
 	return nil, nil, fmt.Errorf("engine: unknown plan node %T", p)
 }
 
+// execFused executes a Project(Filter…(X)) or Filter(Filter…(X)) chain as
+// one fused pipeline: the innermost predicate evaluates over the child's
+// full chunk, every outer predicate evaluates only over the rows still
+// selected (evalVecSel), and the projection (when present) computes its
+// expressions directly over the final selection into dense output vectors.
+// No intermediate filtered chunk is ever materialised — the per-operator
+// gather of the unfused path disappears — yet the produced chunks are
+// bit-identical to the unfused execution, and the metrics tree still
+// carries one faithful node per logical operator (EXPLAIN ANALYZE output
+// keeps its shape; TestQueryAnalyzeMetrics' per-node invariants hold).
+// proj is nil when the chain has no projection on top.
+func (e *execEnv) execFused(proj *ProjectPlan, top FilterPlan, start time.Time) (*relation, *OpMetrics, error) {
+	c := e.c
+	// Collect the filter chain, outermost first.
+	filters := []FilterPlan{top}
+	child := top.Input
+	for {
+		f, ok := child.(FilterPlan)
+		if !ok {
+			break
+		}
+		filters = append(filters, f)
+		child = f.Input
+	}
+	in, cm, err := e.exec(child)
+	if err != nil {
+		return nil, nil, err
+	}
+	schema := in.schema
+	outKey := in.distKey
+	if proj != nil {
+		schema, err = proj.Schema(c)
+		if err != nil {
+			return nil, nil, err
+		}
+		// A projection that passes the current distribution column through
+		// unchanged preserves the distribution (filters never disturb it).
+		outKey = NoDistKey
+		if in.distKey != NoDistKey {
+			for i, col := range proj.Cols {
+				if ref, ok := col.Expr.(ColRef); ok && ref.Idx == in.distKey {
+					outKey = i
+					break
+				}
+			}
+		}
+	}
+	// Surviving rows per segment after each filter, innermost filter last.
+	counts := make([][]int64, len(filters))
+	for i := range counts {
+		counts[i] = make([]int64, c.segments)
+	}
+	out := make([]*Chunk, c.segments)
+	segTimes, err := e.parallelTimed(func(seg int) error {
+		ch := in.parts[seg]
+		kp := getI32(ch.length)
+		sel := (*kp)[:0]
+		last := len(filters) - 1
+		pv, perr := evalVec(filters[last].Pred, ch)
+		if perr != nil {
+			return perr
+		}
+		for r := 0; r < ch.length; r++ {
+			if !pv.null(r) && pv.vals[r] != 0 {
+				sel = append(sel, int32(r))
+			}
+		}
+		counts[last][seg] = int64(len(sel))
+		for fi := last - 1; fi >= 0; fi-- {
+			sv, serr := evalVecSel(filters[fi].Pred, ch, sel)
+			if serr != nil {
+				return serr
+			}
+			kept := sel[:0]
+			for i, r := range sel {
+				if !sv.null(i) && sv.vals[i] != 0 {
+					kept = append(kept, r)
+				}
+			}
+			sel = kept
+			counts[fi][seg] = int64(len(sel))
+		}
+		if proj == nil {
+			out[seg] = gatherChunk(ch, sel)
+		} else {
+			vecs := make([]colVec, len(proj.Cols))
+			for i, col := range proj.Cols {
+				v, verr := evalVecSel(col.Expr, ch, sel)
+				if verr != nil {
+					return verr
+				}
+				vecs[i] = v
+			}
+			out[seg] = chunkFromVecs(vecs, len(sel))
+		}
+		*kp = sel
+		putI32(kp)
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	// Rebuild the per-operator metrics chain from the inside out; every
+	// logical Filter gets its own node with its measured selectivity.
+	inWidth := int64(len(in.schema))
+	node := cm
+	for fi := len(filters) - 1; fi >= 0; fi-- {
+		var rows int64
+		for _, k := range counts[fi] {
+			rows += k
+		}
+		node = &OpMetrics{
+			Op:       "Filter",
+			Detail:   filters[fi].Pred.String(),
+			Rows:     rows,
+			Bytes:    rows * inWidth * DatumSize,
+			Elapsed:  time.Since(start),
+			SegRows:  counts[fi],
+			Children: []*OpMetrics{node},
+		}
+	}
+	rel := &relation{schema: schema, parts: out, distKey: outKey}
+	if proj == nil {
+		// The outermost Filter produced rel; let finishOp build its node (so
+		// the fault counters drain there) on top of the inner chain.
+		return rel, e.finishOp("Filter", filters[0].Pred.String(), rel, node.Children, 0, segTimes, start), nil
+	}
+	return rel, e.finishOp("Project", "", rel, []*OpMetrics{node}, 0, segTimes, start), nil
+}
+
 // newParts allocates a per-segment chunk set of empty chunks.
 func (c *Cluster) newParts(ncols int) []*Chunk {
 	parts := make([]*Chunk, c.segments)
@@ -413,6 +555,89 @@ func (e *execEnv) redistribute(in *relation, key int) (*relation, int64, error) 
 	}, key)
 }
 
+// redistributeBloom hash-shuffles the probe side of an inner join by its
+// join key, dropping rows that cannot have a build-side match — NULL keys
+// (which never match an inner join) and bloom-filter misses — before they
+// cross segments. Returns the relation, the bytes moved, and the
+// counterfactual bytes the pruned rows would have moved.
+func (e *execEnv) redistributeBloom(in *relation, key int, bf *bloomFilter) (*relation, int64, int64, error) {
+	rel, moved, saved, _, err := e.shuffleFiltered(in, bloomDest(e, key), bloomKeep(key, bf), key, false)
+	return rel, moved, saved, err
+}
+
+// redistributeBloomOuter hash-shuffles the probe side of a left outer
+// join, diverting rows that cannot have a build-side match — NULL keys and
+// bloom-filter misses — into per-source bypass chunks instead of moving
+// them: the join emits those rows NULL-padded at their source segment, so
+// they never cross the interconnect at all. The output row multiset is
+// identical to the plain plan's; only row placement differs, so the caller
+// must drop the output relation's distribution claim.
+func (e *execEnv) redistributeBloomOuter(in *relation, key int, bf *bloomFilter) (*relation, int64, []*Chunk, error) {
+	rel, moved, _, bypass, err := e.shuffleFiltered(in, bloomDest(e, key), bloomKeep(key, bf), key, true)
+	return rel, moved, bypass, err
+}
+
+// bloomDest is the plain hash-shuffle destination function for a join key
+// (NULL keys land on segment 0, matching redistribute).
+func bloomDest(e *execEnv, key int) func(ch *Chunk, r int) int {
+	segs := uint64(e.c.segments)
+	return func(ch *Chunk, r int) int {
+		if ch.nulls[key].get(r) {
+			return 0
+		}
+		return int(xrand.Mix64(uint64(ch.cols[key][r])) % segs)
+	}
+}
+
+// bloomKeep keeps the probe rows that may still match: non-NULL keys the
+// build-side bloom filter does not rule out.
+func bloomKeep(key int, bf *bloomFilter) func(ch *Chunk, r int) bool {
+	return func(ch *Chunk, r int) bool {
+		return !ch.nulls[key].get(r) && bf.mayContain(ch.cols[key][r])
+	}
+}
+
+// joinBloomFilter builds the build-side bloom filter of a hash join when
+// pruning can pay: bloom joins enabled, a kind the engine knows how to
+// prune (inner joins drop non-matching probe rows; left outer joins divert
+// them around the shuffle), the probe side actually has to move, and
+// neither side is empty. Each segment fills a partial filter over its
+// share of the build keys (idempotent under task retry — adding a key
+// twice sets the same bits), and the partials OR-merge into the one filter
+// every probe-side source segment tests during the shuffle. Returns nil
+// when pruning does not apply.
+func (e *execEnv) joinBloomFilter(p JoinPlan, left, right *relation) (*bloomFilter, error) {
+	if e.c.bloomOff || (p.Kind != InnerJoin && p.Kind != LeftOuterJoin) || left.distKey == p.LeftKey {
+		return nil, nil
+	}
+	nbuild := right.rows()
+	if nbuild == 0 || left.rows() == 0 {
+		return nil, nil
+	}
+	partials := make([]*bloomFilter, len(right.parts))
+	err := e.parallel(func(seg int) error {
+		ch := right.parts[seg]
+		f := newBloomFilter(nbuild)
+		keys := ch.cols[p.RightKey]
+		nulls := ch.nulls[p.RightKey]
+		for r := 0; r < ch.length; r++ {
+			if !nulls.get(r) {
+				f.add(keys[r])
+			}
+		}
+		partials[seg] = f
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	bf := partials[0]
+	for _, f := range partials[1:] {
+		bf.merge(f)
+	}
+	return bf, nil
+}
+
 // redistributeByRowHash shuffles by a hash of the whole row (for DISTINCT).
 func (e *execEnv) redistributeByRowHash(in *relation) (*relation, int64, error) {
 	ncols := len(in.schema)
@@ -424,82 +649,129 @@ func (e *execEnv) redistributeByRowHash(in *relation) (*relation, int64, error) 
 
 // shuffle moves every row to the segment chosen by dest, recording the
 // network traffic in the statistics and returning it for per-operator
-// accounting. Each source segment first counts its rows per destination,
-// then places them into exact-capacity per-destination chunks — no
-// append-growing — and each destination concatenates its incoming chunks
-// column-at-a-time. Rows that change segments are charged DatumWireSize
-// bytes per value, the width of the canonical row encoding. Each task
-// publishes into its own slot only when it completes, so a retried or
-// cancelled task never leaves partial state behind.
+// accounting.
 func (e *execEnv) shuffle(in *relation, dest func(ch *Chunk, r int) int, newKey int) (*relation, int64, error) {
+	rel, moved, _, _, err := e.shuffleFiltered(in, dest, nil, newKey, false)
+	return rel, moved, err
+}
+
+// shuffleFiltered is the radix-partitioned shuffle kernel behind every
+// redistribution. Each source segment maps its rows to destinations, then
+// radixPartitionChunk scatters them column-at-a-time into per-destination
+// buckets backed by one pooled flat array; each destination concatenates
+// its incoming buckets, after which the pooled backings are released. Rows
+// that change segments are charged DatumWireSize bytes per value, the
+// width of the canonical row encoding; output rows arrive in source-major
+// order, stable within each source — both bit-identical to the historical
+// counting shuffle (pinned by TestShuffleMatchesReference and the radix
+// differential tests). Each task publishes into its own slot only when it
+// completes, so a retried or cancelled task never leaves partial state
+// behind.
+//
+// keep, when non-nil, is the bloom-join prune: rows for which it returns
+// false are dropped before they are placed or charged. The returned
+// pruned count is the exact counterfactual traffic — the bytes the dropped
+// rows would have moved had they shuffled — so for any input,
+// moved(pruned shuffle) + pruned == moved(plain shuffle).
+//
+// collect diverts pruned rows into per-source bypass chunks (the fourth
+// return value, indexed by source segment) instead of discarding them —
+// the left-outer-join bypass, where a pruned probe row still produces an
+// output row, just without crossing the interconnect.
+func (e *execEnv) shuffleFiltered(in *relation, dest func(ch *Chunk, r int) int,
+	keep func(ch *Chunk, r int) bool, newKey int, collect bool) (*relation, int64, int64, []*Chunk, error) {
 	ncols := len(in.schema)
 	segs := e.c.segments
-	// Phase 1: each source segment counts, then places, its rows by
-	// destination.
+	// Phase 1: each source segment maps rows to destinations (dropping or
+	// diverting pruned rows), then radix-partitions them into
+	// per-destination buckets; with collect, bucket segs holds the pruned
+	// rows of that source.
+	nparts := segs
+	if collect {
+		nparts++
+	}
 	buckets := make([][]*Chunk, segs) // [src][dst]
+	flats := make([]*[]int64, segs)   // pooled bucket backings, released after phase 2
 	moved := make([]int64, segs)
+	pruned := make([]int64, segs)
 	err := e.parallel(func(src int) error {
 		ch := in.parts[src]
 		n := ch.length
 		dp := getI32(n)
 		dests := (*dp)[:n]
-		counts := make([]int32, segs)
+		rowBytes := int64(ncols) * DatumWireSize
+		var movedHere, prunedHere int64
 		for r := 0; r < n; r++ {
 			d := dest(ch, r)
-			dests[r] = int32(d)
-			counts[d]++
-		}
-		rowBytes := int64(ncols) * DatumWireSize
-		b := make([]*Chunk, segs)
-		for d := range b {
-			b[d] = newChunk(ncols, int(counts[d]))
-		}
-		cursors := make([]int32, segs)
-		var movedHere int64
-		for r := 0; r < n; r++ {
-			d := dests[r]
-			k := int(cursors[d])
-			cursors[d]++
-			dst := b[d]
-			for col := 0; col < ncols; col++ {
-				if ch.nulls[col].get(r) {
-					dst.ensureNulls(col).set(k)
+			if keep != nil && !keep(ch, r) {
+				if collect {
+					dests[r] = int32(segs)
 				} else {
-					dst.cols[col][k] = ch.cols[col][r]
+					dests[r] = -1
 				}
+				if d != src {
+					prunedHere += rowBytes
+				}
+				continue
 			}
-			if int(d) != src {
+			dests[r] = int32(d)
+			if d != src {
 				movedHere += rowBytes
 			}
 		}
+		b, flat := radixPartitionChunk(ch, dests, nparts)
 		*dp = dests
 		putI32(dp)
 		moved[src] = movedHere
+		pruned[src] = prunedHere
 		buckets[src] = b
+		flats[src] = flat
 		return nil
 	})
-	if err != nil {
-		return nil, 0, err
+	releaseFlats := func() {
+		for _, fp := range flats {
+			if fp != nil {
+				putI64(fp)
+			}
+		}
 	}
-	// Phase 2: each destination concatenates its incoming chunks.
+	if err != nil {
+		releaseFlats()
+		return nil, 0, 0, nil, err
+	}
+	// Phase 2: each destination concatenates its incoming buckets, copying
+	// them out of the pooled backings; with collect, each source also
+	// copies out its own bypass bucket.
 	out := make([]*Chunk, segs)
+	var bypass []*Chunk
+	if collect {
+		bypass = make([]*Chunk, segs)
+	}
 	err = e.parallel(func(dst int) error {
 		pieces := make([]*Chunk, segs)
 		for src := 0; src < segs; src++ {
 			pieces[src] = buckets[src][dst]
 		}
 		out[dst] = concatChunks(ncols, pieces)
+		if collect {
+			bypass[dst] = concatChunks(ncols, buckets[dst][segs:segs+1])
+		}
 		return nil
 	})
+	releaseFlats()
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, 0, nil, err
 	}
-	var total int64
-	for _, m := range moved {
-		total += m
+	var total, saved int64
+	for i := range moved {
+		total += moved[i]
+		saved += pruned[i]
 	}
 	e.c.addShuffleBytes(total)
-	return &relation{schema: in.schema, parts: out, distKey: newKey}, total, nil
+	if saved > 0 {
+		e.c.addShuffleSaved(saved)
+	}
+	return &relation{schema: in.schema, parts: out, distKey: newKey}, total, saved, bypass, nil
 }
 
 // encodeRow appends the canonical byte encoding of a row to buf: one null
@@ -637,6 +909,7 @@ func (e *execEnv) execJoin(p JoinPlan, start time.Time) (*relation, *OpMetrics, 
 	// side is not already placed on its join key, replicate the build side
 	// to every segment instead of shuffling both sides.
 	var moved int64
+	var bypass []*Chunk // per-source LOJ rows that skipped the shuffle
 	outKey := p.LeftKey
 	if c.broadcast > 0 && left.distKey != p.LeftKey && right.rows() <= c.broadcast {
 		var bmoved int64
@@ -644,10 +917,52 @@ func (e *execEnv) execJoin(p JoinPlan, start time.Time) (*relation, *OpMetrics, 
 		moved += bmoved
 		outKey = left.distKey
 	} else {
+		// Bloom pruning: before shuffling the probe side, build a bloom
+		// filter over the build keys and handle probe rows that cannot
+		// match at their source segment, so they never cross the
+		// interconnect. Membership is location-independent, so the filter
+		// is built on the pre-shuffle build side. For an inner join the
+		// pruned rows cannot affect the output and are dropped outright.
+		// For a left outer join they are diverted into per-source bypass
+		// chunks and emitted NULL-padded where they already live; the
+		// output row multiset is identical but placement differs, so the
+		// relation loses its distribution claim. False positives merely
+		// shuffle like before, so the result is the same with pruning on
+		// or off.
+		bf, berr := e.joinBloomFilter(p, left, right)
+		if berr != nil {
+			return nil, nil, berr
+		}
 		var lmoved, rmoved int64
-		left, lmoved, err = e.redistribute(left, p.LeftKey)
-		if err != nil {
-			return nil, nil, err
+		switch {
+		case bf != nil && p.Kind == LeftOuterJoin:
+			checked := left.rows()
+			left, lmoved, bypass, err = e.redistributeBloomOuter(left, p.LeftKey, bf)
+			if err != nil {
+				return nil, nil, err
+			}
+			var diverted int64
+			for _, ch := range bypass {
+				diverted += int64(ch.length)
+			}
+			e.opBloomChecked.Add(checked)
+			e.opBloomSkipped.Add(diverted)
+			if diverted > 0 {
+				outKey = NoDistKey
+			}
+		case bf != nil:
+			checked := left.rows()
+			left, lmoved, _, err = e.redistributeBloom(left, p.LeftKey, bf)
+			if err != nil {
+				return nil, nil, err
+			}
+			e.opBloomChecked.Add(checked)
+			e.opBloomSkipped.Add(checked - left.rows())
+		default:
+			left, lmoved, err = e.redistribute(left, p.LeftKey)
+			if err != nil {
+				return nil, nil, err
+			}
 		}
 		right, rmoved, err = e.redistribute(right, p.RightKey)
 		if err != nil {
@@ -661,6 +976,9 @@ func (e *execEnv) execJoin(p JoinPlan, start time.Time) (*relation, *OpMetrics, 
 		ch, jerr := e.joinSegment(seg, left.parts[seg], right.parts[seg], p.LeftKey, p.RightKey, p.Kind)
 		if jerr != nil {
 			return jerr
+		}
+		if bypass != nil && bypass[seg].length > 0 {
+			ch = concatChunks(len(schema), []*Chunk{ch, padRight(bypass[seg], len(right.schema))})
 		}
 		out[seg] = ch
 		return nil

@@ -7,6 +7,101 @@ package engine
 // against a row-at-a-time reference, and be benchmarked in isolation
 // (see kernels_bench_test.go).
 
+// radixPartitionChunk splits one source chunk into nparts per-destination
+// chunks — the radix step of the partitioned shuffle. dests[r] names row
+// r's destination part; a negative destination drops the row entirely
+// (bloom-join pruning). Rows keep their source order within each
+// destination, so concatenating the per-source buckets downstream
+// reproduces the exact source-major row order of the historical counting
+// shuffle (pinned by TestShuffleMatchesReference and the differential
+// tests).
+//
+// Unlike the counting shuffle's row-at-a-time placement, values move
+// column-at-a-time: per column, one pass over the rows scatters into the
+// destination slices, which keeps a single source column and a handful of
+// destination cursors hot in cache instead of striding across every column
+// of every destination per row. All destination columns share one pooled
+// flat backing array (returned for release via putI64 once the buckets
+// have been consumed); the backing is stale pool memory, so every slot is
+// written exactly once — NULL slots are explicitly zeroed so a bucket is
+// bit-identical to a freshly allocated chunk. Null bitmaps are allocated
+// fresh, never pooled.
+func radixPartitionChunk(ch *Chunk, dests []int32, nparts int) ([]*Chunk, *[]int64) {
+	ncols := len(ch.cols)
+	n := ch.length
+	counts := make([]int32, nparts)
+	kept := 0
+	for _, d := range dests[:n] {
+		if d >= 0 {
+			counts[d]++
+			kept++
+		}
+	}
+	fp := getI64(ncols * kept)
+	flat := *fp
+	parts := chunksFromFlat(ncols, counts, flat)
+
+	// gslot[r] is row r's slot within the concatenated bucket set: buckets
+	// are packed in destination order and rows keep source order within
+	// each bucket, so the slot is the bucket's start plus a running cursor.
+	// Under chunksFromFlat's column-major layout, column c of row r then
+	// lives at flat[c*kept+gslot[r]] — one slice, one index, no per-row
+	// part indirection in the scatter loops below.
+	gp := getI32(n)
+	gslot := (*gp)[:n]
+	starts := make([]int32, nparts)
+	cursors := make([]int32, nparts)
+	at := int32(0)
+	for d, cnt := range counts {
+		starts[d] = at
+		cursors[d] = at
+		at += cnt
+	}
+	for r, d := range dests[:n] {
+		if d >= 0 {
+			gslot[r] = cursors[d]
+			cursors[d]++
+		}
+	}
+
+	for c := 0; c < ncols; c++ {
+		src := ch.cols[c]
+		dst := flat[c*kept : (c+1)*kept : (c+1)*kept]
+		if ch.nulls[c] == nil {
+			if kept == n {
+				// Branch-free hot loop: nothing pruned, no NULLs — the
+				// common shape of a contraction-round shuffle.
+				for r, g := range gslot {
+					dst[g] = src[r]
+				}
+				continue
+			}
+			for r, d := range dests[:n] {
+				if d >= 0 {
+					dst[gslot[r]] = src[r]
+				}
+			}
+			continue
+		}
+		nb := ch.nulls[c]
+		for r, d := range dests[:n] {
+			if d < 0 {
+				continue
+			}
+			g := gslot[r]
+			if nb.get(r) {
+				dst[g] = 0 // pooled backing is stale; NULL payloads must read zero
+				parts[d].ensureNulls(c).set(int(g - starts[d]))
+			} else {
+				dst[g] = src[r]
+			}
+		}
+	}
+	*gp = gslot
+	putI32(gp)
+	return parts, fp
+}
+
 // joinChunks joins one segment's co-located chunks: a hash table is built
 // over the right (build) side keyed on the raw int64 join key, then the
 // left (probe) side streams through it. NULL keys never match; for a left

@@ -236,6 +236,117 @@ func BenchmarkKernelShuffle(b *testing.B) {
 	}
 }
 
+// countingPartitionChunk preserves the replaced counting shuffle's
+// placement loop — count per destination, allocate exact-capacity chunks,
+// then scatter row-at-a-time across all columns — as the benchmark
+// baseline for the radix partition kernel (test code only, like the row
+// variants above).
+func countingPartitionChunk(ch *Chunk, dests []int32, nparts int) []*Chunk {
+	ncols := len(ch.cols)
+	counts := make([]int32, nparts)
+	for r := 0; r < ch.length; r++ {
+		counts[dests[r]]++
+	}
+	b := make([]*Chunk, nparts)
+	for d := range b {
+		b[d] = newChunk(ncols, int(counts[d]))
+	}
+	cursors := make([]int32, nparts)
+	for r := 0; r < ch.length; r++ {
+		d := dests[r]
+		k := int(cursors[d])
+		cursors[d]++
+		dst := b[d]
+		for col := 0; col < ncols; col++ {
+			if ch.nulls[col].get(r) {
+				dst.ensureNulls(col).set(k)
+			} else {
+				dst.cols[col][k] = ch.cols[col][r]
+			}
+		}
+	}
+	return b
+}
+
+// BenchmarkKernelRadixPartition measures the shuffle hot loop: the radix
+// (column-at-a-time, pooled-backing) partition kernel against the counting
+// (row-at-a-time, allocating) placement it replaced, on the wide all-valid
+// chunks RC's contraction rounds shuffle and on narrow chunks with NULLs.
+func BenchmarkKernelRadixPartition(b *testing.B) {
+	run := func(name string, ncols int, withNulls bool) {
+		const n = 1 << 16
+		rng := xrand.New(109)
+		rows := make([]Row, n)
+		for i := range rows {
+			row := make(Row, ncols)
+			for c := range row {
+				if withNulls && rng.Uint64n(10) == 0 {
+					row[c] = NullDatum
+				} else {
+					row[c] = I(int64(rng.Uint64n(1 << 20)))
+				}
+			}
+			rows[i] = row
+		}
+		ch := rowsToChunk(rows, ncols)
+		dests := make([]int32, n)
+		for r := 0; r < n; r++ {
+			if ch.nulls[0].get(r) {
+				dests[r] = 0
+			} else {
+				dests[r] = int32(xrand.Mix64(uint64(ch.cols[0][r])) % 8)
+			}
+		}
+		b.Run(fmt.Sprintf("kernel/%s/n=%d", name, n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				parts, fp := radixPartitionChunk(ch, dests, 8)
+				sinkChunk = parts[0]
+				putI64(fp)
+			}
+		})
+		b.Run(fmt.Sprintf("counting/%s/n=%d", name, n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				parts := countingPartitionChunk(ch, dests, 8)
+				sinkChunk = parts[0]
+			}
+		})
+	}
+	run("wide", 4, false)
+	run("nulls", 2, true)
+}
+
+// BenchmarkKernelBloomFilter measures the bloom probe the pruned shuffle
+// pays per probe-side row (one Mix64 plus two word tests), the cost that
+// must stay far below the DatumWireSize-per-column shuffle it can save.
+func BenchmarkKernelBloomFilter(b *testing.B) {
+	const n = 1 << 16
+	rng := xrand.New(113)
+	keys := make([]int64, n)
+	for i := range keys {
+		keys[i] = int64(rng.Uint64n(n / 4))
+	}
+	bf := newBloomFilter(n / 4)
+	for _, k := range keys[:n/4] {
+		bf.add(k)
+	}
+	var hits int
+	b.Run(fmt.Sprintf("probe/n=%d", n), func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			h := 0
+			for _, k := range keys {
+				if bf.mayContain(k) {
+					h++
+				}
+			}
+			hits = h
+		}
+	})
+	_ = hits
+}
+
 // BenchmarkKernelRCRound measures one round-shaped query of the paper's
 // randomized-contraction algorithm — join the edge list with the current
 // representative mapping, take min per vertex — end to end through the

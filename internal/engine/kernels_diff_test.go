@@ -205,6 +205,204 @@ func TestShuffleMatchesReference(t *testing.T) {
 	}
 }
 
+// referencePartition is the row-at-a-time placement the radix partition
+// kernel replaced: walk the rows once, appending each to its destination
+// (skipping pruned rows). Shared by the differential tests and
+// FuzzRadixPartition as the ground truth for both content and order.
+func referencePartition(ch *Chunk, dests []int32, nparts int) [][]Row {
+	parts := make([][]Row, nparts)
+	rows := chunkToRows(ch)
+	for r := 0; r < ch.length; r++ {
+		if d := dests[r]; d >= 0 {
+			parts[d] = append(parts[d], rows[r])
+		}
+	}
+	return parts
+}
+
+// TestRadixPartitionMatchesReference differential-tests the radix
+// partition kernel against the row-at-a-time reference across random
+// seeds, segment counts, null patterns (none, mixed, all-NULL columns) and
+// skewed destinations, including the negative-destination prune sentinel.
+// Beyond row equality it asserts the pooled backing is bit-identical to a
+// fresh chunk: every NULL slot's payload must read zero, since pooled
+// memory arrives stale.
+func TestRadixPartitionMatchesReference(t *testing.T) {
+	rng := xrand.New(101)
+	for trial := 0; trial < 60; trial++ {
+		nparts := int(rng.Uint64n(7)) + 1
+		ncols := int(rng.Uint64n(3)) + 1
+		n := int(rng.Uint64n(300))
+		rows := skewedRows(rng, n, ncols)
+		switch trial % 4 {
+		case 1: // no NULLs anywhere: the branch-free fast path
+			for _, r := range rows {
+				for c := range r {
+					if r[c].Null {
+						r[c] = I(7)
+					}
+				}
+			}
+		case 2: // an all-NULL column
+			for _, r := range rows {
+				r[0] = NullDatum
+			}
+		}
+		ch := rowsToChunk(rows, ncols)
+		dests := make([]int32, n)
+		for r := range dests {
+			if trial%3 == 0 && rng.Uint64n(4) == 0 {
+				dests[r] = -1 // pruned
+			} else if rng.Uint64n(3) == 0 {
+				dests[r] = int32(rng.Uint64n(uint64(nparts))) // cold spread
+			} else {
+				dests[r] = 0 // hot destination
+			}
+		}
+
+		parts, fp := radixPartitionChunk(ch, dests, nparts)
+		want := referencePartition(ch, dests, nparts)
+		for d := 0; d < nparts; d++ {
+			chunkEqualRows(t, parts[d], want[d])
+			for c := 0; c < ncols; c++ {
+				for r := 0; r < parts[d].length; r++ {
+					if parts[d].nulls[c].get(r) && parts[d].cols[c][r] != 0 {
+						t.Fatalf("trial %d: part %d col %d row %d: NULL slot has stale payload %d",
+							trial, d, c, r, parts[d].cols[c][r])
+					}
+				}
+			}
+		}
+		putI64(fp)
+	}
+}
+
+// TestBloomFilterNoFalseNegatives checks the bloom filter's one hard
+// guarantee directly, including across a partial-filter merge.
+func TestBloomFilterNoFalseNegatives(t *testing.T) {
+	rng := xrand.New(103)
+	keys := make([]int64, 5000)
+	for i := range keys {
+		keys[i] = int64(rng.Uint64())
+	}
+	a, b := newBloomFilter(int64(len(keys))), newBloomFilter(int64(len(keys)))
+	for _, k := range keys[:len(keys)/2] {
+		a.add(k)
+	}
+	for _, k := range keys[len(keys)/2:] {
+		b.add(k)
+	}
+	a.merge(b)
+	for _, k := range keys {
+		if !a.mayContain(k) {
+			t.Fatalf("bloom filter lost key %d", k)
+		}
+	}
+	// The false-positive rate at ~16 bits/key should be low; this is a
+	// sanity bound, not a precise statistical test.
+	fp := 0
+	for i := 0; i < 10000; i++ {
+		if a.mayContain(int64(rng.Uint64())) {
+			fp++
+		}
+	}
+	if fp > 1000 {
+		t.Fatalf("false-positive rate %d/10000 is implausibly high", fp)
+	}
+}
+
+// TestBloomJoinMatchesPlainJoin differential-tests bloom-pruned joins
+// against plain joins at the query level, and exact shuffle accounting —
+// the pruned run's ShuffleBytes plus its ShuffleSavedBytes must equal the
+// plain run's ShuffleBytes. Inner joins promise bit-identical result rows
+// in identical order. Left outer joins promise the identical row multiset:
+// unmatched probe rows bypass the shuffle and surface NULL-padded at their
+// source segment instead of their hash destination, so placement (and
+// hence gather order) may differ, but no row may appear, disappear, or
+// change values.
+func TestBloomJoinMatchesPlainJoin(t *testing.T) {
+	rng := xrand.New(107)
+	for trial := 0; trial < 12; trial++ {
+		probe := skewedRows(rng, int(rng.Uint64n(300))+30, 2)
+		build := skewedRows(rng, int(rng.Uint64n(120))+10, 2)
+		// Reference: probe rows (by column 1) with no build match (column 0).
+		buildKeys := map[int64]bool{}
+		for _, r := range build {
+			if !r[0].Null {
+				buildKeys[r[0].Int] = true
+			}
+		}
+		var nonMatching int64
+		for _, r := range probe {
+			if r[1].Null || !buildKeys[r[1].Int] {
+				nonMatching++
+			}
+		}
+		for _, kind := range []JoinKind{InnerJoin, LeftOuterJoin} {
+			run := func(disable bool) ([]Row, *OpMetrics, Stats) {
+				c := NewCluster(Options{Segments: 4, DisableBloomJoin: disable})
+				mustCreate(t, c, "p", Schema{"k", "x"}, 0, probe)
+				mustCreate(t, c, "b", Schema{"k", "y"}, 0, build)
+				// Joining on probe column 1 forces the probe side to
+				// reshuffle (tables are distributed by column 0).
+				_, rows, root, err := c.QueryAnalyze(JoinPlan{
+					Left: Scan("p"), Right: Scan("b"), LeftKey: 1, RightKey: 0, Kind: kind})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return rows, root, c.Stats()
+			}
+			bRows, bRoot, bStats := run(false)
+			pRows, pRoot, pStats := run(true)
+
+			if len(bRows) != len(pRows) || bRoot.Rows != pRoot.Rows {
+				t.Fatalf("trial %d kind %v: bloom join produced %d rows (metrics %d), plain %d (metrics %d)",
+					trial, kind, len(bRows), bRoot.Rows, len(pRows), pRoot.Rows)
+			}
+			if kind == InnerJoin {
+				for i := range pRows {
+					for c := range pRows[i] {
+						if bRows[i][c] != pRows[i][c] {
+							t.Fatalf("trial %d kind %v row %d: bloom %v, plain %v",
+								trial, kind, i, bRows[i], pRows[i])
+						}
+					}
+				}
+			} else {
+				counts := map[[4]Datum]int{}
+				for _, r := range pRows {
+					counts[[4]Datum{r[0], r[1], r[2], r[3]}]++
+				}
+				for _, r := range bRows {
+					k := [4]Datum{r[0], r[1], r[2], r[3]}
+					counts[k]--
+					if counts[k] < 0 {
+						t.Fatalf("trial %d kind %v: bloom join invented row %v", trial, kind, r)
+					}
+				}
+			}
+			if got := bStats.ShuffleBytes + bStats.ShuffleSavedBytes; got != pStats.ShuffleBytes {
+				t.Fatalf("trial %d kind %v: bloom shuffle %d + saved %d = %d, want plain shuffle %d",
+					trial, kind, bStats.ShuffleBytes, bStats.ShuffleSavedBytes, got, pStats.ShuffleBytes)
+			}
+			if pStats.ShuffleSavedBytes != 0 || pRoot.BloomChecked != 0 {
+				t.Fatalf("trial %d kind %v: disabled bloom still pruned (saved=%d checked=%d)",
+					trial, kind, pStats.ShuffleSavedBytes, pRoot.BloomChecked)
+			}
+			if bRoot.BloomChecked != int64(len(probe)) {
+				t.Fatalf("trial %d kind %v: BloomChecked = %d, want %d probe rows",
+					trial, kind, bRoot.BloomChecked, len(probe))
+			}
+			// Pruning is conservative: it may keep non-matching rows
+			// (false positives) but must never touch a matching one.
+			if bRoot.BloomSkipped > nonMatching {
+				t.Fatalf("trial %d kind %v: BloomSkipped = %d exceeds the %d non-matching probe rows",
+					trial, kind, bRoot.BloomSkipped, nonMatching)
+			}
+		}
+	}
+}
+
 // TestKernelOpMetricsRowCounts runs a query through every rewritten
 // operator and asserts the OpMetrics row counts equal reference
 // cardinalities computed row-at-a-time.

@@ -39,3 +39,34 @@ func getI32(n int) *[]int32 {
 func putI32(p *[]int32) {
 	i32Scratch.Put(p)
 }
+
+// i64Scratch is a pooled []int64 used as the flat column backing of the
+// radix-partitioned shuffle's per-destination buckets. Unlike getI32, the
+// slice is handed out at full length with stale contents: the radix
+// scatter writes every slot exactly once (NULL slots are explicitly
+// zeroed), so clearing here would be a second pass over the hot data for
+// nothing.
+var i64Scratch = sync.Pool{
+	New: func() any {
+		s := make([]int64, 0, 4096)
+		return &s
+	},
+}
+
+// getI64 returns a pooled scratch box whose slice has length n and
+// UNDEFINED contents — the caller must store to every slot before anything
+// reads them. Pass the same pointer back to putI64 when done; buckets
+// backed by the slice must not be referenced after that.
+func getI64(n int) *[]int64 {
+	p := i64Scratch.Get().(*[]int64)
+	if cap(*p) < n {
+		*p = make([]int64, n)
+	}
+	*p = (*p)[:n]
+	return p
+}
+
+// putI64 recycles a scratch box obtained from getI64.
+func putI64(p *[]int64) {
+	i64Scratch.Put(p)
+}
