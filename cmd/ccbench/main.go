@@ -34,6 +34,13 @@
 // count against a committed baseline file, exiting non-zero on deviation —
 // the CI bench-smoke contract.
 //
+// -loadgen ADDR drives mixed SQL + connected-components traffic at a
+// running ccserverd over the wire protocol (-connections clients spread
+// over -tenants tenant catalogs for -load-duration) and writes a schema-v5
+// BENCH_server-soak.json with latency percentiles and the server's
+// admission accounting into -out. -require-zero-shed makes any shed or
+// failed operation exit non-zero — the CI server-soak contract.
+//
 // -pprof addr serves net/http/pprof under /debug/pprof/ and a plain-text
 // runtime/metrics dump under /metrics for profiling long campaigns.
 package main
@@ -46,6 +53,7 @@ import (
 	"os"
 	"runtime/metrics"
 	"strings"
+	"time"
 
 	"dbcc/internal/bench"
 )
@@ -77,6 +85,13 @@ func main() {
 		noFusion   = flag.Bool("no-fusion", false, "disable fused scan→filter→project execution")
 		checkMicro = flag.String("check-micro", "", "gate a `go test -bench` output file against -micro-baseline and exit")
 		microBase  = flag.String("micro-baseline", "internal/bench/testdata/microbench_baseline.json", "microbenchmark baseline file for -check-micro")
+
+		loadgen      = flag.String("loadgen", "", "drive wire-protocol load at a running ccserverd on this address and write BENCH_server-soak.json into -out")
+		connections  = flag.Int("connections", 8, "concurrent client connections for -loadgen")
+		tenants      = flag.Int("tenants", 2, "tenant catalogs the -loadgen connections are spread over")
+		loadDuration = flag.Duration("load-duration", 10*time.Second, "measurement window for -loadgen")
+		loadToken    = flag.String("load-token", "", "auth token for -loadgen connections")
+		zeroShed     = flag.Bool("require-zero-shed", false, "exit non-zero if the -loadgen run shed or failed any operation")
 	)
 	flag.Parse()
 
@@ -205,6 +220,17 @@ func main() {
 		ran = true
 		runJSON(cfg, *outDir, *datasets, *baseline, progress)
 	}
+	if *loadgen != "" {
+		ran = true
+		runLoadgen(cfg, *outDir, bench.LoadgenConfig{
+			Addr:        *loadgen,
+			Connections: *connections,
+			Tenants:     *tenants,
+			Duration:    *loadDuration,
+			Seed:        *seed,
+			AuthToken:   *loadToken,
+		}, *zeroShed, progress)
+	}
 	if !ran {
 		flag.Usage()
 		os.Exit(2)
@@ -276,6 +302,30 @@ func runJSON(cfg bench.Config, outDir, datasetList, baselinePath string, progres
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "baseline check passed for %d dataset(s)\n", len(reports))
+}
+
+// runLoadgen drives the server-soak load generator and writes the
+// schema-v5 BENCH_server-soak.json report. With requireZeroShed, any shed
+// or failed operation — client- or server-counted — exits non-zero: the CI
+// server-soak contract.
+func runLoadgen(cfg bench.Config, outDir string, lg bench.LoadgenConfig, requireZeroShed bool, progress func(string)) {
+	rep, path, err := bench.WriteLoadgenReport(outDir, cfg, lg, progress)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(path)
+	srv := rep.Server
+	fmt.Fprintf(os.Stderr, "loadgen: %d ops (%d sql, %d cc) over %d conns/%d tenants in %.0fs; "+
+		"p50=%.2fms p95=%.2fms p99=%.2fms max=%.2fms; shed=%d failed=%d peak_queue=%d queue_ms=%.1f\n",
+		srv.Ops, srv.SQLOps, srv.CCOps, srv.Connections, srv.Tenants, srv.DurationSecs,
+		srv.P50Millis, srv.P95Millis, srv.P99Millis, srv.MaxMillis,
+		srv.Shed, srv.Failed, srv.PeakQueueDepth, srv.QueueMillis)
+	if requireZeroShed && (srv.Shed != 0 || srv.Failed != 0 || srv.ServerShed != 0 || srv.ServerFailed != 0) {
+		fmt.Fprintf(os.Stderr, "loadgen: shed/failure budget exceeded: client shed=%d failed=%d, server shed=%d failed=%d\n",
+			srv.Shed, srv.Failed, srv.ServerShed, srv.ServerFailed)
+		os.Exit(1)
+	}
 }
 
 // servePprof serves the stdlib pprof handlers (registered by the

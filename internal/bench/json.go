@@ -29,7 +29,12 @@ import (
 // Version 4 added the data-movement kernel accounting: the campaign's
 // bloom_join and operator_fusion flags and, per algorithm, the bloom-join
 // pruning counters bloom_checked, bloom_skipped and shuffle_saved_bytes.
-const JSONSchemaVersion = 4
+//
+// Version 5 added the optional server section: wire-protocol load-generator
+// results against a running ccserverd — client-observed latency percentiles
+// (p50/p95/p99), shed and failure counts, and the server's admission-queue
+// accounting. Reports without a server run omit the section.
+const JSONSchemaVersion = 5
 
 // RoundJSON is one algorithm round in the machine-readable report — the
 // serialised form of ccalg.RoundStats.
@@ -86,6 +91,9 @@ type BenchJSON struct {
 	Vertices       int64           `json:"vertices"`
 	Edges          int64           `json:"edges"`
 	Algorithms     []AlgorithmJSON `json:"algorithms"`
+	// Server holds server-soak load-generator results (ccbench -loadgen);
+	// nil for ordinary dataset reports.
+	Server *ServerJSON `json:"server,omitempty"`
 }
 
 // jsonAlgorithm is one entry of a JSON report's run list.

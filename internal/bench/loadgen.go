@@ -1,0 +1,329 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"dbcc/internal/client"
+)
+
+// LoadgenConfig drives mixed SQL + connected-components traffic at a
+// running ccserverd over the wire protocol — the server-soak workload.
+// Connections are spread round-robin across Tenants tenant catalogs, so
+// the run exercises both the shared worker pool and the per-tenant
+// admission gates.
+type LoadgenConfig struct {
+	Addr        string        // ccserverd address
+	Connections int           // concurrent client connections (default 8)
+	Tenants     int           // tenant catalogs to spread connections over (default 2)
+	Duration    time.Duration // measurement window (default 10s)
+	Seed        uint64        // workload seed (op mix and edge values)
+	AuthToken   string        // shared secret, if the server requires one
+	SetupEdges  int           // edges loaded into each tenant's graph (default 400)
+	CCEvery     int           // every CCEvery-th op is a connected-components run (default 8)
+}
+
+// ServerJSON is the server-soak section of a BENCH report (schema v5):
+// client-observed latency percentiles over the whole op mix plus the
+// server's own admission accounting at the end of the run. The CI
+// server-soak lane asserts ops > 0 and failed == shed == 0.
+type ServerJSON struct {
+	Addr         string  `json:"addr"`
+	Connections  int     `json:"connections"`
+	Tenants      int     `json:"tenants"`
+	DurationSecs float64 `json:"duration_secs"`
+
+	Ops    int64 `json:"ops"`     // completed operations across all connections
+	SQLOps int64 `json:"sql_ops"` // Exec/Query operations
+	CCOps  int64 `json:"cc_ops"`  // connected-components runs
+	Failed int64 `json:"failed"`  // operations that returned a non-admission error
+	Shed   int64 `json:"shed"`    // 429-style admission rejections observed by clients
+
+	P50Millis float64 `json:"p50_ms"`
+	P95Millis float64 `json:"p95_ms"`
+	P99Millis float64 `json:"p99_ms"`
+	MaxMillis float64 `json:"max_ms"`
+
+	// Final server snapshot, taken after every connection finished.
+	ServerStatements int64   `json:"server_statements"`
+	ServerFailed     int64   `json:"server_failed"`
+	ServerShed       int64   `json:"server_shed"`
+	QueueDepth       int64   `json:"queue_depth"`
+	PeakQueueDepth   int64   `json:"peak_queue_depth"`
+	QueueMillis      float64 `json:"queue_ms_total"` // total admission-queue wait across tenants
+}
+
+func (cfg *LoadgenConfig) defaults() {
+	if cfg.Connections <= 0 {
+		cfg.Connections = 8
+	}
+	if cfg.Tenants <= 0 {
+		cfg.Tenants = 2
+	}
+	if cfg.Tenants > cfg.Connections {
+		cfg.Tenants = cfg.Connections
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 10 * time.Second
+	}
+	if cfg.SetupEdges <= 0 {
+		cfg.SetupEdges = 400
+	}
+	if cfg.CCEvery <= 0 {
+		cfg.CCEvery = 8
+	}
+}
+
+// loadgenTenant names tenant i of a run.
+func loadgenTenant(i int) string { return fmt.Sprintf("soak%d", i) }
+
+// createFresh creates an empty table, replacing a leftover from an earlier
+// run against the same server. CREATE is tried first so a fresh server —
+// the CI soak lane, which asserts a zero server-side failure count — sees
+// no failing statements at all; only the reuse path pays a DROP.
+func createFresh(c *client.Client, name, createStmt string) error {
+	if _, _, err := c.Exec(createStmt); err == nil {
+		return nil
+	}
+	if _, _, err := c.Exec("DROP TABLE " + name); err != nil {
+		return err
+	}
+	_, _, err := c.Exec(createStmt)
+	return err
+}
+
+// setupTenant creates and fills one tenant's edges table: a ring per
+// expected component plus seeded chords, so connected-components runs have
+// real (and deterministic, per seed) work to do.
+func setupTenant(cfg *LoadgenConfig, tenant string, seed uint64) error {
+	c, err := client.Dial(cfg.Addr, tenant, cfg.AuthToken)
+	if err != nil {
+		return fmt.Errorf("loadgen: setup dial %s: %w", tenant, err)
+	}
+	defer c.Close()
+	if err := createFresh(c, "edges", "CREATE TABLE edges (v1, v2) DISTRIBUTED BY (v1)"); err != nil {
+		return fmt.Errorf("loadgen: setup %s: %w", tenant, err)
+	}
+	rng := rand.New(rand.NewSource(int64(seed)))
+	n := int64(cfg.SetupEdges) // ring of SetupEdges vertices => one giant component
+	var b strings.Builder
+	for i := int64(0); i < n; i++ {
+		v, w := i, (i+1)%n
+		if rng.Intn(8) == 0 { // chord: reconnects inside the ring, keeps one component
+			w = rng.Int63n(n)
+		}
+		if b.Len() == 0 {
+			b.WriteString("INSERT INTO edges VALUES ")
+		} else {
+			b.WriteString(",")
+		}
+		fmt.Fprintf(&b, "(%d,%d)", v, w)
+		if (i+1)%100 == 0 || i == n-1 {
+			if _, _, err := c.Exec(b.String()); err != nil {
+				return fmt.Errorf("loadgen: setup %s: %w", tenant, err)
+			}
+			b.Reset()
+		}
+	}
+	return nil
+}
+
+// connStats is one connection's tally, merged after the run.
+type connStats struct {
+	ops, sqlOps, ccOps, failed, shed int64
+	latencies                        []time.Duration
+}
+
+// runConn drives one connection's op mix until deadline: SELECTs and
+// INSERTs against the tenant catalog with a connected-components run every
+// CCEvery-th op. Admission rejections (429) count as shed, not failures;
+// the scratch table is dropped and recreated periodically so the workload
+// doesn't slow down over long soaks.
+func runConn(cfg *LoadgenConfig, id int, deadline time.Time, st *connStats) error {
+	tenant := loadgenTenant(id % cfg.Tenants)
+	c, err := client.Dial(cfg.Addr, tenant, cfg.AuthToken)
+	if err != nil {
+		return fmt.Errorf("loadgen: conn %d dial: %w", id, err)
+	}
+	defer c.Close()
+	scratch := fmt.Sprintf("scratch_%d", id)
+	if err := createFresh(c, scratch, fmt.Sprintf("CREATE TABLE %s (k, x) DISTRIBUTED BY (k)", scratch)); err != nil {
+		return fmt.Errorf("loadgen: conn %d scratch: %w", id, err)
+	}
+	rng := rand.New(rand.NewSource(int64(cfg.Seed) + int64(id)*7919))
+	for op := 0; time.Now().Before(deadline); op++ {
+		start := time.Now()
+		var err error
+		cc := op%cfg.CCEvery == cfg.CCEvery-1
+		if cc {
+			_, err = c.ConnectedComponents("edges", "", cfg.Seed+uint64(op))
+		} else {
+			switch op % 3 {
+			case 0:
+				_, _, err = c.Exec(fmt.Sprintf("INSERT INTO %s VALUES (%d,%d),(%d,%d)",
+					scratch, rng.Intn(64), rng.Intn(1000), rng.Intn(64), rng.Intn(1000)))
+			case 1:
+				_, _, err = c.Query("SELECT count(*) AS n FROM edges")
+			default:
+				_, _, err = c.Query(fmt.Sprintf("SELECT count(*) AS n FROM %s", scratch))
+			}
+		}
+		switch {
+		case err == nil:
+			st.ops++
+			if cc {
+				st.ccOps++
+			} else {
+				st.sqlOps++
+			}
+			st.latencies = append(st.latencies, time.Since(start))
+		case client.IsOverloaded(err):
+			st.shed++
+			time.Sleep(5 * time.Millisecond) // back off as a real client would
+		default:
+			st.failed++
+		}
+		if op > 0 && op%256 == 0 {
+			// Bound scratch growth so op latency stays flat over the soak.
+			if _, _, err := c.Exec(fmt.Sprintf("DROP TABLE %s; CREATE TABLE %s (k, x) DISTRIBUTED BY (k)", scratch, scratch)); err != nil {
+				st.failed++
+			}
+		}
+	}
+	return nil
+}
+
+// percentile returns the p-quantile (0 < p <= 1) of sorted durations in
+// milliseconds.
+func percentile(sorted []time.Duration, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p*float64(len(sorted))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return float64(sorted[i]) / float64(time.Millisecond)
+}
+
+// RunLoadgen loads each tenant's graph, drives Connections concurrent
+// clients against the server for Duration, and reports client-observed
+// latency percentiles together with the server's final admission stats.
+// Operation errors are counted (failed/shed), not returned; the error
+// return covers setup and the final stats fetch only.
+func RunLoadgen(cfg LoadgenConfig, progress func(string)) (*ServerJSON, error) {
+	cfg.defaults()
+	for i := 0; i < cfg.Tenants; i++ {
+		if err := setupTenant(&cfg, loadgenTenant(i), cfg.Seed+uint64(i)); err != nil {
+			return nil, err
+		}
+	}
+	if progress != nil {
+		progress(fmt.Sprintf("loadgen: %d connections over %d tenants for %s", cfg.Connections, cfg.Tenants, cfg.Duration))
+	}
+
+	deadline := time.Now().Add(cfg.Duration)
+	stats := make([]connStats, cfg.Connections)
+	errs := make([]error, cfg.Connections)
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Connections; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = runConn(&cfg, i, deadline, &stats[i])
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	out := &ServerJSON{
+		Addr:         cfg.Addr,
+		Connections:  cfg.Connections,
+		Tenants:      cfg.Tenants,
+		DurationSecs: cfg.Duration.Seconds(),
+	}
+	var all []time.Duration
+	for i := range stats {
+		out.Ops += stats[i].ops
+		out.SQLOps += stats[i].sqlOps
+		out.CCOps += stats[i].ccOps
+		out.Failed += stats[i].failed
+		out.Shed += stats[i].shed
+		all = append(all, stats[i].latencies...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	out.P50Millis = percentile(all, 0.50)
+	out.P95Millis = percentile(all, 0.95)
+	out.P99Millis = percentile(all, 0.99)
+	out.MaxMillis = percentile(all, 1)
+
+	c, err := client.Dial(cfg.Addr, loadgenTenant(0), cfg.AuthToken)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: stats dial: %w", err)
+	}
+	defer c.Close()
+	st, err := c.ServerStats()
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: stats: %w", err)
+	}
+	out.ServerStatements = st.Statements
+	out.ServerFailed = st.Failed
+	out.ServerShed = st.Shed
+	out.QueueDepth = st.QueueDepth
+	out.PeakQueueDepth = st.PeakQueueDepth
+	var queueNanos int64
+	for _, ts := range st.Tenants {
+		queueNanos += ts.QueueNanos
+	}
+	out.QueueMillis = float64(queueNanos) / float64(time.Millisecond)
+	return out, nil
+}
+
+// LoadgenDataset is the Dataset name of server-soak reports:
+// BENCH_server-soak.json.
+const LoadgenDataset = "server-soak"
+
+// WriteLoadgenReport runs the load generator and writes its result as a
+// schema-v5 BENCH report (dataset "server-soak", no algorithm table, the
+// server section populated) into dir, returning the report and its path.
+func WriteLoadgenReport(dir string, benchCfg Config, cfg LoadgenConfig, progress func(string)) (*BenchJSON, string, error) {
+	srv, err := RunLoadgen(cfg, progress)
+	if err != nil {
+		return nil, "", err
+	}
+	rep := &BenchJSON{
+		SchemaVersion: JSONSchemaVersion,
+		Dataset:       LoadgenDataset,
+		Scale:         benchCfg.Scale,
+		Segments:      benchCfg.Segments,
+		Seed:          cfg.Seed,
+		Algorithms:    []AlgorithmJSON{},
+		Server:        srv,
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, "", err
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return nil, "", err
+	}
+	path := filepath.Join(dir, JSONFileName(LoadgenDataset))
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return nil, "", err
+	}
+	return rep, path, nil
+}

@@ -1,0 +1,139 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+
+	"dbcc"
+	"dbcc/internal/server"
+)
+
+// startSoakServer boots an in-process ccserverd on a free port and tears
+// it down (graceful drain) with the test.
+func startSoakServer(t *testing.T) *server.Server {
+	t.Helper()
+	srv := server.New(server.Config{
+		Addr: "127.0.0.1:0",
+		DB:   dbcc.Config{Segments: 2},
+		// Generous admission limits: the short soak asserts zero shed.
+		Admission: server.AdmissionConfig{TenantStatements: 8, TenantQueue: 64, QueueTimeout: time.Minute},
+	})
+	if err := srv.Listen(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve() }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+		if err := <-done; err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	})
+	return srv
+}
+
+// TestLoadgenSoak is the server-soak contract in miniature: a short mixed
+// SQL + CC run over the wire must complete with zero failures, zero sheds
+// (admission limits are generous) and sane latency percentiles.
+func TestLoadgenSoak(t *testing.T) {
+	srv := startSoakServer(t)
+	rep, err := RunLoadgen(LoadgenConfig{
+		Addr:        srv.Addr(),
+		Connections: 4,
+		Tenants:     2,
+		Duration:    2 * time.Second,
+		Seed:        2019,
+		SetupEdges:  120,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ops == 0 || rep.SQLOps == 0 || rep.CCOps == 0 {
+		t.Fatalf("soak did no work: %+v", rep)
+	}
+	if rep.Failed != 0 || rep.Shed != 0 {
+		t.Fatalf("soak failed=%d shed=%d: %+v", rep.Failed, rep.Shed, rep)
+	}
+	if rep.P50Millis <= 0 || rep.P99Millis < rep.P50Millis || rep.MaxMillis < rep.P99Millis {
+		t.Fatalf("latency percentiles out of order: p50=%.2f p95=%.2f p99=%.2f max=%.2f",
+			rep.P50Millis, rep.P95Millis, rep.P99Millis, rep.MaxMillis)
+	}
+	if rep.ServerStatements == 0 {
+		t.Fatalf("server counted no statements: %+v", rep)
+	}
+	if rep.ServerShed != 0 || rep.ServerFailed != 0 {
+		t.Fatalf("server-side shed=%d failed=%d", rep.ServerShed, rep.ServerFailed)
+	}
+}
+
+// TestLoadgenSetupIdempotent re-runs the tenant setup against the same
+// server: the second pass must replace the first tenant graph, not fail on
+// the existing table.
+func TestLoadgenSetupIdempotent(t *testing.T) {
+	srv := startSoakServer(t)
+	cfg := LoadgenConfig{Addr: srv.Addr(), SetupEdges: 50}
+	cfg.defaults()
+	for i := 0; i < 2; i++ {
+		if err := setupTenant(&cfg, "reuse", 7); err != nil {
+			t.Fatalf("setup pass %d: %v", i, err)
+		}
+	}
+}
+
+// TestWriteLoadgenReport checks the schema-v5 report file: dataset
+// "server-soak", the server section populated, and a round-trip decode.
+func TestWriteLoadgenReport(t *testing.T) {
+	srv := startSoakServer(t)
+	dir := t.TempDir()
+	rep, path, err := WriteLoadgenReport(dir, Config{Scale: 1, Segments: 2}, LoadgenConfig{
+		Addr:        srv.Addr(),
+		Connections: 2,
+		Tenants:     1,
+		Duration:    time.Second,
+		Seed:        2019,
+		SetupEdges:  60,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SchemaVersion != JSONSchemaVersion || rep.Dataset != LoadgenDataset || rep.Server == nil {
+		t.Fatalf("report header: %+v", rep)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rt BenchJSON
+	if err := json.Unmarshal(data, &rt); err != nil {
+		t.Fatalf("report does not round-trip: %v", err)
+	}
+	if rt.Server == nil || rt.Server.Ops != rep.Server.Ops {
+		t.Fatalf("round-tripped server section: %+v", rt.Server)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	var ds []time.Duration
+	for i := 1; i <= 100; i++ {
+		ds = append(ds, time.Duration(i)*time.Millisecond)
+	}
+	if got := percentile(ds, 0.50); got != 50 {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := percentile(ds, 0.99); got != 99 {
+		t.Fatalf("p99 = %v", got)
+	}
+	if got := percentile(ds, 1); got != 100 {
+		t.Fatalf("p100 = %v", got)
+	}
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Fatalf("empty percentile = %v", got)
+	}
+}

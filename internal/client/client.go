@@ -1,0 +1,236 @@
+// Package client is the Go client for ccserverd's wire protocol: dial,
+// select a tenant, then issue SQL statements, streamed SELECTs and
+// connected-components runs over one TCP connection.
+//
+// A Client carries one statement at a time (the protocol is strictly
+// request/reply); open one Client per goroutine for concurrency, exactly
+// as the bench load generator does. Admission rejections surface as
+// *wire.WireError with code 429 — test with IsOverloaded — so callers
+// can tell "server is protecting itself, back off" apart from "my
+// statement is wrong".
+package client
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"dbcc/internal/engine"
+	"dbcc/internal/wire"
+)
+
+// Client is one authenticated connection to a ccserverd.
+type Client struct {
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+}
+
+// CCResult is the reply to a ConnectedComponents run over the wire.
+type CCResult struct {
+	Components int64
+	Rounds     int64
+	Vertices   int64
+	// Queued is how long the statement waited in the server's admission
+	// queue before executing.
+	Queued time.Duration
+}
+
+// IsOverloaded reports whether err is the server's 429-style admission
+// rejection (tenant statement cap reached with a full queue, or the
+// queue wait timed out) — the signal to back off and retry.
+func IsOverloaded(err error) bool {
+	var we *wire.WireError
+	return errors.As(err, &we) && we.Overloaded()
+}
+
+// IsUnavailable reports whether err is the server's 503: draining for
+// shutdown, or the statement was cancelled by it.
+func IsUnavailable(err error) bool {
+	var we *wire.WireError
+	return errors.As(err, &we) && we.Code == wire.CodeUnavailable
+}
+
+// Dial connects and authenticates: tenant selects the catalog this
+// connection operates in, token must match the server's configured
+// secret (empty when the server runs without auth).
+func Dial(addr, tenant, token string) (*Client, error) {
+	return DialTimeout(addr, tenant, token, 10*time.Second)
+}
+
+// DialTimeout is Dial with a connect timeout.
+func DialTimeout(addr, tenant, token string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{conn: conn, br: bufio.NewReader(conn), bw: bufio.NewWriter(conn)}
+	hello := wire.EncodeHello(wire.Hello{Version: wire.ProtocolVersion, Tenant: tenant, Token: token})
+	if err := c.send(wire.Frame{Type: wire.TypeHello, Payload: hello}); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	f, err := c.recv()
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if f.Type != wire.TypeHelloOK {
+		conn.Close()
+		return nil, fmt.Errorf("client: handshake answered with frame 0x%02x", f.Type)
+	}
+	if _, err := wire.DecodeHelloOK(f.Payload); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) send(f wire.Frame) error {
+	if err := wire.WriteFrame(c.bw, f); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+// recv reads one frame, turning Error frames into *wire.WireError.
+func (c *Client) recv() (wire.Frame, error) {
+	f, err := wire.ReadFrame(c.br)
+	if err != nil {
+		return wire.Frame{}, err
+	}
+	if f.Type == wire.TypeError {
+		we, derr := wire.DecodeError(f.Payload)
+		if derr != nil {
+			return wire.Frame{}, derr
+		}
+		return wire.Frame{}, &we
+	}
+	return f, nil
+}
+
+// Exec runs a statement script, returning the last statement's row count
+// and the time the script waited in the admission queue.
+func (c *Client) Exec(src string) (rows int64, queued time.Duration, err error) {
+	if err := c.send(wire.Frame{Type: wire.TypeExec, Payload: []byte(src)}); err != nil {
+		return 0, 0, err
+	}
+	f, err := c.recv()
+	if err != nil {
+		return 0, 0, err
+	}
+	if f.Type != wire.TypeDone {
+		return 0, 0, fmt.Errorf("client: Exec answered with frame 0x%02x", f.Type)
+	}
+	d, err := wire.DecodeDone(f.Payload)
+	if err != nil {
+		return 0, 0, err
+	}
+	return d.Rows, time.Duration(d.QueueNanos), nil
+}
+
+// Query runs a SELECT and returns the full result set (streamed from the
+// server in bounded chunks, reassembled here).
+func (c *Client) Query(src string) (engine.Schema, []engine.Row, error) {
+	if err := c.send(wire.Frame{Type: wire.TypeQuery, Payload: []byte(src)}); err != nil {
+		return nil, nil, err
+	}
+	f, err := c.recv()
+	if err != nil {
+		return nil, nil, err
+	}
+	if f.Type != wire.TypeSchema {
+		return nil, nil, fmt.Errorf("client: Query answered with frame 0x%02x, want Schema", f.Type)
+	}
+	sch, err := wire.DecodeSchema(f.Payload)
+	if err != nil {
+		return nil, nil, err
+	}
+	schema := engine.Schema(sch.Cols)
+	var rows []engine.Row
+	for {
+		f, err := c.recv()
+		if err != nil {
+			return nil, nil, err
+		}
+		switch f.Type {
+		case wire.TypeRows:
+			chunk, err := wire.DecodeRows(f.Payload)
+			if err != nil {
+				return nil, nil, err
+			}
+			if chunk.NCols != len(schema) {
+				return nil, nil, fmt.Errorf("client: rows chunk has %d columns, schema has %d", chunk.NCols, len(schema))
+			}
+			for r := 0; r < chunk.NRows(); r++ {
+				row := make(engine.Row, chunk.NCols)
+				for col := 0; col < chunk.NCols; col++ {
+					i := r*chunk.NCols + col
+					if chunk.Tags[i] == 1 {
+						row[col] = engine.NullDatum
+					} else {
+						row[col] = engine.I(chunk.Vals[i])
+					}
+				}
+				rows = append(rows, row)
+			}
+		case wire.TypeDone:
+			return schema, rows, nil
+		default:
+			return nil, nil, fmt.Errorf("client: unexpected frame 0x%02x in result stream", f.Type)
+		}
+	}
+}
+
+// ConnectedComponents runs the named algorithm ("" selects Randomised
+// Contraction) over a table in the connection's tenant catalog.
+func (c *Client) ConnectedComponents(table, algorithm string, seed uint64) (*CCResult, error) {
+	req := wire.EncodeCC(wire.CC{Table: table, Algorithm: algorithm, Seed: seed})
+	if err := c.send(wire.Frame{Type: wire.TypeCC, Payload: req}); err != nil {
+		return nil, err
+	}
+	f, err := c.recv()
+	if err != nil {
+		return nil, err
+	}
+	if f.Type != wire.TypeCCDone {
+		return nil, fmt.Errorf("client: CC answered with frame 0x%02x", f.Type)
+	}
+	d, err := wire.DecodeCCDone(f.Payload)
+	if err != nil {
+		return nil, err
+	}
+	return &CCResult{
+		Components: d.Components,
+		Rounds:     d.Rounds,
+		Vertices:   d.Vertices,
+		Queued:     time.Duration(d.QueueNanos),
+	}, nil
+}
+
+// ServerStats fetches the server's observability snapshot: connection
+// and statement totals, per-tenant admission accounting (queue depth,
+// queue time, shed counts) and the drain flag.
+func (c *Client) ServerStats() (*wire.ServerStats, error) {
+	if err := c.send(wire.Frame{Type: wire.TypeStats}); err != nil {
+		return nil, err
+	}
+	f, err := c.recv()
+	if err != nil {
+		return nil, err
+	}
+	if f.Type != wire.TypeStatsReply {
+		return nil, fmt.Errorf("client: Stats answered with frame 0x%02x", f.Type)
+	}
+	var st wire.ServerStats
+	if err := json.Unmarshal(f.Payload, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}

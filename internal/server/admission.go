@@ -1,0 +1,234 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"dbcc/internal/wire"
+)
+
+// AdmissionConfig bounds how much statement concurrency each tenant may
+// claim from the shared worker pool and memory budget underneath.
+//
+// The engine already bounds physical resources (Options.Workers caps
+// running segment tasks, Options.MemoryBudget caps per-statement working
+// memory); admission control bounds the *logical* load on top of them —
+// how many statements may hold those resources at once per tenant, and
+// how many more may wait. Beyond that the server sheds with the typed
+// 429-style overload error instead of letting queues grow without bound.
+type AdmissionConfig struct {
+	// TenantStatements is the number of statements one tenant may have
+	// executing simultaneously; 0 selects the default of 4.
+	TenantStatements int
+	// TenantQueue is how many statements beyond the cap may wait in the
+	// tenant's admission queue; 0 selects the default of 16, negative
+	// disables queueing (immediate shed at the cap).
+	TenantQueue int
+	// QueueTimeout bounds how long a queued statement waits for a slot
+	// before it is shed with an overload error; 0 selects the default of
+	// 5s.
+	QueueTimeout time.Duration
+}
+
+func (c AdmissionConfig) withDefaults() AdmissionConfig {
+	if c.TenantStatements <= 0 {
+		c.TenantStatements = 4
+	}
+	if c.TenantQueue == 0 {
+		c.TenantQueue = 16
+	}
+	if c.TenantQueue < 0 {
+		c.TenantQueue = 0
+	}
+	if c.QueueTimeout <= 0 {
+		c.QueueTimeout = 5 * time.Second
+	}
+	return c
+}
+
+// OverloadError is the typed admission rejection — the wire protocol's
+// CodeOverloaded (429) as a Go error. Timeout distinguishes a statement
+// shed after waiting out the queue timeout from one shed immediately
+// because the queue itself was full.
+type OverloadError struct {
+	Tenant  string
+	Timeout bool
+}
+
+// Error implements the error interface.
+func (e *OverloadError) Error() string {
+	if e.Timeout {
+		return fmt.Sprintf("server: tenant %q overloaded: statement waited out the admission queue timeout", e.Tenant)
+	}
+	return fmt.Sprintf("server: tenant %q overloaded: statement cap reached and admission queue full", e.Tenant)
+}
+
+// ErrDraining rejects statements arriving after graceful drain began.
+var ErrDraining = errors.New("server: draining; no new statements accepted")
+
+// admission is the controller: one gate per tenant, so one tenant's
+// flood can only fill its own queue — it cannot consume another tenant's
+// statement slots or queue positions.
+type admission struct {
+	cfg     AdmissionConfig
+	drainCh <-chan struct{}
+
+	mu      sync.Mutex
+	tenants map[string]*tenantGate
+	queued  int64 // statements waiting right now, all tenants
+	peak    int64 // highest simultaneous queued, all tenants
+}
+
+// tenantGate is one tenant's slot semaphore plus its accounting. The
+// counters are guarded by mu; sem carries the slot ownership.
+type tenantGate struct {
+	sem chan struct{}
+
+	mu          sync.Mutex
+	active      int64
+	admitted    int64
+	queued      int64
+	peakQueued  int64
+	queuedTotal int64
+	queueNanos  int64
+	shedFull    int64
+	shedTimeout int64
+}
+
+func newAdmission(cfg AdmissionConfig, drainCh <-chan struct{}) *admission {
+	return &admission{
+		cfg:     cfg.withDefaults(),
+		drainCh: drainCh,
+		tenants: make(map[string]*tenantGate),
+	}
+}
+
+// gate returns (creating if needed) the named tenant's gate.
+func (a *admission) gate(tenant string) *tenantGate {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	g, ok := a.tenants[tenant]
+	if !ok {
+		g = &tenantGate{sem: make(chan struct{}, a.cfg.TenantStatements)}
+		a.tenants[tenant] = g
+	}
+	return g
+}
+
+// acquire admits one statement for the tenant, blocking in the bounded
+// queue when the tenant is at its cap. It returns the time spent queued
+// and a release function, or the typed rejection: *OverloadError when the
+// queue is full or the wait times out, ErrDraining when graceful drain
+// began, ctx.Err() when the caller's context ends first.
+func (a *admission) acquire(ctx context.Context, tenant string) (time.Duration, func(), error) {
+	g := a.gate(tenant)
+
+	// Fast path: a slot is free, no queueing.
+	select {
+	case g.sem <- struct{}{}:
+		g.mu.Lock()
+		g.active++
+		g.admitted++
+		g.mu.Unlock()
+		return 0, func() { a.release(g) }, nil
+	default:
+	}
+
+	// Queue path: claim a bounded queue position or shed immediately.
+	g.mu.Lock()
+	if g.queued >= int64(a.cfg.TenantQueue) {
+		g.shedFull++
+		g.mu.Unlock()
+		return 0, nil, &OverloadError{Tenant: tenant}
+	}
+	g.queued++
+	g.queuedTotal++
+	if g.queued > g.peakQueued {
+		g.peakQueued = g.queued
+	}
+	g.mu.Unlock()
+	a.noteQueued(+1)
+
+	start := time.Now()
+	timer := time.NewTimer(a.cfg.QueueTimeout)
+	defer timer.Stop()
+	leaveQueue := func() {
+		g.mu.Lock()
+		g.queued--
+		g.mu.Unlock()
+		a.noteQueued(-1)
+	}
+
+	select {
+	case g.sem <- struct{}{}:
+		wait := time.Since(start)
+		leaveQueue()
+		g.mu.Lock()
+		g.active++
+		g.admitted++
+		g.queueNanos += wait.Nanoseconds()
+		g.mu.Unlock()
+		return wait, func() { a.release(g) }, nil
+	case <-timer.C:
+		leaveQueue()
+		g.mu.Lock()
+		g.shedTimeout++
+		g.mu.Unlock()
+		return 0, nil, &OverloadError{Tenant: tenant, Timeout: true}
+	case <-a.drainCh:
+		leaveQueue()
+		return 0, nil, ErrDraining
+	case <-ctx.Done():
+		leaveQueue()
+		return 0, nil, ctx.Err()
+	}
+}
+
+func (a *admission) release(g *tenantGate) {
+	<-g.sem
+	g.mu.Lock()
+	g.active--
+	g.mu.Unlock()
+}
+
+func (a *admission) noteQueued(delta int64) {
+	a.mu.Lock()
+	a.queued += delta
+	if a.queued > a.peak {
+		a.peak = a.queued
+	}
+	a.mu.Unlock()
+}
+
+// snapshot fills the admission slice of a ServerStats.
+func (a *admission) snapshot(st *wire.ServerStats) {
+	a.mu.Lock()
+	st.QueueDepth = a.queued
+	st.PeakQueueDepth = a.peak
+	gates := make(map[string]*tenantGate, len(a.tenants))
+	for name, g := range a.tenants {
+		gates[name] = g
+	}
+	a.mu.Unlock()
+
+	st.Tenants = make(map[string]wire.TenantStats, len(gates))
+	for name, g := range gates {
+		g.mu.Lock()
+		ts := wire.TenantStats{
+			Admitted:      g.admitted,
+			Active:        g.active,
+			Queued:        g.queued,
+			QueuedTotal:   g.queuedTotal,
+			PeakQueued:    g.peakQueued,
+			QueueNanos:    g.queueNanos,
+			ShedQueueFull: g.shedFull,
+			ShedTimeout:   g.shedTimeout,
+		}
+		g.mu.Unlock()
+		st.Tenants[name] = ts
+		st.Shed += ts.ShedQueueFull + ts.ShedTimeout
+	}
+}

@@ -1,0 +1,230 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"dbcc/internal/wire"
+)
+
+// mustAcquire admits immediately or fails the test.
+func mustAcquire(t *testing.T, a *admission, tenant string) func() {
+	t.Helper()
+	wait, release, err := a.acquire(context.Background(), tenant)
+	if err != nil {
+		t.Fatalf("acquire(%s): %v", tenant, err)
+	}
+	if wait != 0 {
+		t.Fatalf("acquire(%s) queued for %s, want the fast path", tenant, wait)
+	}
+	return release
+}
+
+func TestAdmissionCapAndQueue(t *testing.T) {
+	drain := make(chan struct{})
+	a := newAdmission(AdmissionConfig{TenantStatements: 2, TenantQueue: 1, QueueTimeout: time.Hour}, drain)
+
+	r1 := mustAcquire(t, a, "acme")
+	r2 := mustAcquire(t, a, "acme")
+
+	// Third statement queues; it must report a non-zero queue wait once a
+	// slot frees up.
+	admitted := make(chan time.Duration, 1)
+	go func() {
+		wait, release, err := a.acquire(context.Background(), "acme")
+		if err != nil {
+			admitted <- -1
+			return
+		}
+		defer release()
+		admitted <- wait
+	}()
+	// Wait for it to reach the queue.
+	for i := 0; ; i++ {
+		var st wire.ServerStats
+		a.snapshot(&st)
+		if st.QueueDepth == 1 {
+			break
+		}
+		if i > 2000 {
+			t.Fatal("third statement never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Fourth overflows the single queue slot: immediate typed shed.
+	_, _, err := a.acquire(context.Background(), "acme")
+	var oe *OverloadError
+	if !errors.As(err, &oe) || oe.Timeout || oe.Tenant != "acme" {
+		t.Fatalf("queue-full rejection: %v", err)
+	}
+
+	r1()
+	wait := <-admitted
+	if wait <= 0 {
+		t.Fatalf("queued statement reported wait %v", wait)
+	}
+	r2()
+
+	var st wire.ServerStats
+	a.snapshot(&st)
+	ts := st.Tenants["acme"]
+	if ts.Admitted != 3 || ts.QueuedTotal != 1 || ts.ShedQueueFull != 1 || ts.QueueNanos <= 0 {
+		t.Fatalf("tenant stats: %+v", ts)
+	}
+	if st.Shed != 1 || st.PeakQueueDepth != 1 {
+		t.Fatalf("global stats: %+v", st)
+	}
+}
+
+// TestAdmissionQueueTimeout is the satellite contract: a statement that
+// waits out the queue timeout gets the typed overload error, not a
+// generic failure.
+func TestAdmissionQueueTimeout(t *testing.T) {
+	drain := make(chan struct{})
+	a := newAdmission(AdmissionConfig{TenantStatements: 1, TenantQueue: 4, QueueTimeout: 30 * time.Millisecond}, drain)
+
+	release := mustAcquire(t, a, "acme")
+	defer release()
+
+	start := time.Now()
+	_, _, err := a.acquire(context.Background(), "acme")
+	var oe *OverloadError
+	if !errors.As(err, &oe) {
+		t.Fatalf("queue timeout returned %T (%v), want *OverloadError", err, err)
+	}
+	if !oe.Timeout {
+		t.Fatalf("overload error not marked as timeout: %+v", oe)
+	}
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Fatalf("shed after %s, before the queue timeout", elapsed)
+	}
+
+	var st wire.ServerStats
+	a.snapshot(&st)
+	if st.Tenants["acme"].ShedTimeout != 1 {
+		t.Fatalf("stats: %+v", st.Tenants["acme"])
+	}
+}
+
+// TestAdmissionTenantIsolation is the satellite contract: one tenant
+// flooding its cap and queue cannot starve another tenant's admission.
+func TestAdmissionTenantIsolation(t *testing.T) {
+	drain := make(chan struct{})
+	a := newAdmission(AdmissionConfig{TenantStatements: 1, TenantQueue: 2, QueueTimeout: time.Hour}, drain)
+
+	// Flood tenant A: one active, two queued, further statements shed.
+	holdA := mustAcquire(t, a, "flood")
+	for i := 0; i < 2; i++ {
+		go a.acquire(context.Background(), "flood")
+	}
+	for i := 0; ; i++ {
+		var st wire.ServerStats
+		a.snapshot(&st)
+		if st.QueueDepth == 2 {
+			break
+		}
+		if i > 2000 {
+			t.Fatal("flood never filled the queue")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, _, err := a.acquire(context.Background(), "flood"); err == nil {
+		t.Fatal("flooded tenant admitted beyond cap+queue")
+	}
+
+	// Tenant B admits instantly despite A's flood.
+	start := time.Now()
+	releaseB := mustAcquire(t, a, "quiet")
+	if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
+		t.Fatalf("quiet tenant waited %s behind another tenant's flood", elapsed)
+	}
+	releaseB()
+
+	var st wire.ServerStats
+	a.snapshot(&st)
+	if st.Tenants["quiet"].Admitted != 1 || st.Tenants["quiet"].Queued != 0 {
+		t.Fatalf("quiet tenant stats: %+v", st.Tenants["quiet"])
+	}
+	holdA() // release the flood so its queued goroutines drain
+}
+
+func TestAdmissionDrainRejectsQueued(t *testing.T) {
+	drain := make(chan struct{})
+	a := newAdmission(AdmissionConfig{TenantStatements: 1, TenantQueue: 4, QueueTimeout: time.Hour}, drain)
+
+	release := mustAcquire(t, a, "acme")
+	defer release()
+
+	got := make(chan error, 1)
+	go func() {
+		_, _, err := a.acquire(context.Background(), "acme")
+		got <- err
+	}()
+	for i := 0; ; i++ {
+		var st wire.ServerStats
+		a.snapshot(&st)
+		if st.QueueDepth == 1 {
+			break
+		}
+		if i > 2000 {
+			t.Fatal("statement never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(drain)
+	if err := <-got; !errors.Is(err, ErrDraining) {
+		t.Fatalf("queued statement got %v during drain, want ErrDraining", err)
+	}
+}
+
+func TestAdmissionContextCancel(t *testing.T) {
+	drain := make(chan struct{})
+	a := newAdmission(AdmissionConfig{TenantStatements: 1, TenantQueue: 4, QueueTimeout: time.Hour}, drain)
+
+	release := mustAcquire(t, a, "acme")
+	defer release()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	got := make(chan error, 1)
+	go func() {
+		_, _, err := a.acquire(ctx, "acme")
+		got <- err
+	}()
+	for i := 0; ; i++ {
+		var st wire.ServerStats
+		a.snapshot(&st)
+		if st.QueueDepth == 1 {
+			break
+		}
+		if i > 2000 {
+			t.Fatal("statement never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-got; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled queue wait got %v", err)
+	}
+	// The queue position was returned.
+	var st wire.ServerStats
+	a.snapshot(&st)
+	if st.QueueDepth != 0 {
+		t.Fatalf("queue depth %d after cancel", st.QueueDepth)
+	}
+}
+
+func TestValidTenant(t *testing.T) {
+	for _, ok := range []string{"a", "acme", "Tenant_42", "x_y_z"} {
+		if !validTenant(ok) {
+			t.Errorf("validTenant(%q) = false", ok)
+		}
+	}
+	for _, bad := range []string{"", "has space", "dash-ed", "dot.ted", "über", string(make([]byte, 33))} {
+		if validTenant(bad) {
+			t.Errorf("validTenant(%q) = true", bad)
+		}
+	}
+}

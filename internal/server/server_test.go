@@ -1,0 +1,386 @@
+package server_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"dbcc"
+	"dbcc/internal/client"
+	"dbcc/internal/datagen"
+	"dbcc/internal/server"
+	"dbcc/internal/wire"
+)
+
+// startServer boots a server on a free loopback port and returns it with
+// a cleanup that drains it unless the test already did.
+func startServer(t *testing.T, cfg server.Config) *server.Server {
+	t.Helper()
+	cfg.Addr = "127.0.0.1:0"
+	srv := server.New(cfg)
+	if err := srv.Listen(); err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve() }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx) // "already draining" from a test's own drain is fine
+		if err := <-serveDone; err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	})
+	return srv
+}
+
+func dial(t *testing.T, srv *server.Server, tenant string) *client.Client {
+	t.Helper()
+	c, err := client.Dial(srv.Addr(), tenant, "")
+	if err != nil {
+		t.Fatalf("dial %s: %v", tenant, err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// loadEdges creates table name in the connection's tenant catalog and
+// inserts the edges of a path graph over the wire.
+func loadEdges(t *testing.T, c *client.Client, name string, n int) {
+	t.Helper()
+	if _, _, err := c.Exec(fmt.Sprintf("CREATE TABLE %s (v1, v2) DISTRIBUTED BY (v1)", name)); err != nil {
+		t.Fatalf("create %s: %v", name, err)
+	}
+	const batch = 200
+	for lo := 0; lo < n; lo += batch {
+		var b strings.Builder
+		fmt.Fprintf(&b, "INSERT INTO %s VALUES ", name)
+		for i := lo; i < lo+batch && i < n; i++ {
+			if i > lo {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "(%d, %d)", i, i+1)
+		}
+		if _, _, err := c.Exec(b.String()); err != nil {
+			t.Fatalf("insert into %s: %v", name, err)
+		}
+	}
+}
+
+func TestServerExecQueryCC(t *testing.T) {
+	srv := startServer(t, server.Config{DB: dbcc.Config{Segments: 4}})
+	c := dial(t, srv, "acme")
+
+	loadEdges(t, c, "edges", 100) // path 0-1-...-100: one component
+	schema, rows, err := c.Query("SELECT count(*) AS n, min(v1) AS lo, max(v2) AS hi FROM edges")
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	if len(schema) != 3 || schema[0] != "n" {
+		t.Fatalf("schema: %v", schema)
+	}
+	if len(rows) != 1 || rows[0][0].Int != 100 || rows[0][1].Int != 0 || rows[0][2].Int != 100 {
+		t.Fatalf("rows: %v", rows)
+	}
+
+	res, err := c.ConnectedComponents("edges", "rc", 2019)
+	if err != nil {
+		t.Fatalf("cc: %v", err)
+	}
+	if res.Components != 1 || res.Vertices != 101 {
+		t.Fatalf("cc result: %+v", res)
+	}
+	if res.Rounds < 1 {
+		t.Fatalf("cc rounds: %+v", res)
+	}
+
+	// A streamed result wider than one chunk (512 rows) reassembles intact.
+	_, all, err := c.Query("SELECT v1, v2 FROM edges")
+	if err != nil {
+		t.Fatalf("full scan: %v", err)
+	}
+	if len(all) != 100 {
+		t.Fatalf("full scan returned %d rows", len(all))
+	}
+
+	st, err := c.ServerStats()
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if st.Statements == 0 || st.Conns < 1 || st.Tenants["acme"].Admitted == 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.Shed != 0 || st.Failed != 0 {
+		t.Fatalf("unexpected shed/failed: %+v", st)
+	}
+}
+
+func TestTenantCatalogIsolation(t *testing.T) {
+	srv := startServer(t, server.Config{DB: dbcc.Config{Segments: 4}})
+	a := dial(t, srv, "tenant_a")
+	b := dial(t, srv, "tenant_b")
+
+	loadEdges(t, a, "edges", 30)
+	loadEdges(t, b, "edges", 10)
+
+	_, arows, err := a.Query("SELECT count(*) AS n FROM edges")
+	if err != nil {
+		t.Fatalf("a query: %v", err)
+	}
+	_, brows, err := b.Query("SELECT count(*) AS n FROM edges")
+	if err != nil {
+		t.Fatalf("b query: %v", err)
+	}
+	if arows[0][0].Int != 30 || brows[0][0].Int != 10 {
+		t.Fatalf("tenant tables bled: a=%d b=%d", arows[0][0].Int, brows[0][0].Int)
+	}
+
+	// Naming another tenant's physical table must not resolve.
+	if _, _, err := b.Query("SELECT count(*) AS n FROM tn_tenant_a_edges"); err == nil {
+		t.Fatal("cross-tenant SELECT resolved")
+	}
+	if _, err := b.ConnectedComponents("tn_tenant_a_edges", "rc", 1); err == nil {
+		t.Fatal("cross-tenant CC resolved")
+	}
+
+	// Shared global tables stay reachable from any tenant.
+	if err := srv.DB().LoadGraph("shared_input", dbcc.GeneratePath(20)); err != nil {
+		t.Fatalf("load shared: %v", err)
+	}
+	res, err := b.ConnectedComponents("shared_input", "", 7)
+	if err != nil {
+		t.Fatalf("cc on shared table: %v", err)
+	}
+	if res.Components != 1 {
+		t.Fatalf("shared cc: %+v", res)
+	}
+}
+
+func TestAuthAndHandshakeErrors(t *testing.T) {
+	srv := startServer(t, server.Config{DB: dbcc.Config{Segments: 2}, AuthToken: "hunter2"})
+
+	if _, err := client.Dial(srv.Addr(), "acme", "wrong"); err == nil {
+		t.Fatal("bad token accepted")
+	} else {
+		var we *wire.WireError
+		if !errors.As(err, &we) || we.Code != wire.CodeAuth {
+			t.Fatalf("bad token error: %v", err)
+		}
+	}
+	if _, err := client.Dial(srv.Addr(), "no spaces allowed", "hunter2"); err == nil {
+		t.Fatal("invalid tenant name accepted")
+	}
+	c, err := client.Dial(srv.Addr(), "acme", "hunter2")
+	if err != nil {
+		t.Fatalf("good token rejected: %v", err)
+	}
+	c.Close()
+}
+
+func TestStatementErrors(t *testing.T) {
+	srv := startServer(t, server.Config{DB: dbcc.Config{Segments: 2}})
+	c := dial(t, srv, "acme")
+
+	var we *wire.WireError
+	if _, _, err := c.Exec("THIS IS NOT SQL"); !errors.As(err, &we) || we.Code != wire.CodeParse {
+		t.Fatalf("parse error: %v", err)
+	}
+	if _, _, err := c.Query("SELECT v1 FROM missing"); err == nil {
+		t.Fatal("query on missing table succeeded")
+	}
+	if _, err := c.ConnectedComponents("missing", "rc", 1); !errors.As(err, &we) || we.Code != wire.CodeNotFound {
+		t.Fatalf("cc on missing table: %v", err)
+	}
+	if _, err := c.ConnectedComponents("missing", "nope", 1); !errors.As(err, &we) || we.Code != wire.CodeNotFound {
+		t.Fatalf("cc with unknown algorithm: %v", err)
+	}
+	// The connection survives statement errors.
+	if _, _, err := c.Exec("CREATE TABLE ok (a, b)"); err != nil {
+		t.Fatalf("exec after errors: %v", err)
+	}
+}
+
+// slowCC starts a connected-components run that takes long enough to
+// still be in flight when the test acts, and reports its completion.
+func slowCC(t *testing.T, srv *server.Server, c *client.Client) chan error {
+	t.Helper()
+	if err := srv.DB().LoadGraph("big_input", dbcc.GenerateBitcoin(4000, 7)); err != nil {
+		t.Fatalf("load big graph: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.ConnectedComponents("big_input", "hm", 1)
+		done <- err
+	}()
+	// Wait until the run is issuing queries so it is genuinely in flight.
+	for i := 0; srv.DB().Cluster().Stats().Queries < 3; i++ {
+		if i > 2000 {
+			t.Error("cc run never started issuing queries")
+			return done
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return done
+}
+
+func TestDrainFinishesInflightAndRejectsNew(t *testing.T) {
+	srv := startServer(t, server.Config{DB: dbcc.Config{Segments: 4}})
+	busy := dial(t, srv, "acme")
+	other := dial(t, srv, "acme")
+
+	ccDone := slowCC(t, srv, busy)
+
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		shutdownDone <- srv.Shutdown(ctx)
+	}()
+	// Drain has begun once stats report it; the in-flight CC holds it open.
+	for i := 0; !srv.Stats().Draining; i++ {
+		if i > 2000 {
+			t.Fatal("server never started draining")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// A statement arriving mid-drain is rejected with 503.
+	_, _, err := other.Exec("CREATE TABLE late (a, b)")
+	if !client.IsUnavailable(err) {
+		t.Fatalf("mid-drain statement: %v, want 503 unavailable", err)
+	}
+
+	// The in-flight run still completes cleanly.
+	if err := <-ccDone; err != nil {
+		t.Fatalf("in-flight cc failed during drain: %v", err)
+	}
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
+// waitNoExtraGoroutines mirrors the engine chaos suite's no-leak bound:
+// after a drain, the goroutine count must return to the pre-server
+// baseline.
+func waitNoExtraGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= base+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("%d goroutines still running (baseline %d):\n%s",
+				n, base, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestDrainLeavesNoGoroutines(t *testing.T) {
+	base := runtime.NumGoroutine()
+
+	srv := server.New(server.Config{Addr: "127.0.0.1:0", DB: dbcc.Config{Segments: 4}})
+	if err := srv.Listen(); err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve() }()
+
+	// A few tenants do real work, then the server drains.
+	for i := 0; i < 3; i++ {
+		c, err := client.Dial(srv.Addr(), fmt.Sprintf("t%d", i), "")
+		if err != nil {
+			t.Fatalf("dial: %v", err)
+		}
+		loadEdges(t, c, "edges", 50)
+		if _, err := c.ConnectedComponents("edges", "rc", uint64(i)); err != nil {
+			t.Fatalf("cc: %v", err)
+		}
+		c.Close()
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if err := <-serveDone; err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	waitNoExtraGoroutines(t, base)
+}
+
+// TestDrainRemovesSpillDirs is the server-path Cluster.Close contract: a
+// drained server whose sessions spilled must leave no spill directory
+// behind.
+func TestDrainRemovesSpillDirs(t *testing.T) {
+	srv := startServer(t, server.Config{
+		// The spill suite's squeeze: 4 KiB budget over 4 segments = 1 KiB
+		// per task share, so a 2000-row group-by must spill partitions.
+		DB: dbcc.Config{Segments: 4, MemoryBudget: 4 << 10},
+	})
+	c := dial(t, srv, "acme")
+
+	// Load a table with enough duplicate keys to build real hash state.
+	g := datagen.RMAT(11, 2000, 0.57, 0.19, 0.19, 0.05, 11)
+	if _, _, err := c.Exec("CREATE TABLE t (k, x) DISTRIBUTED BY (k)"); err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	var b strings.Builder
+	n := 0
+	for _, e := range g.Edges {
+		if b.Len() == 0 {
+			b.WriteString("INSERT INTO t VALUES ")
+		} else {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "(%d, %d)", e.V%256, e.W)
+		n++
+		if n%200 == 0 {
+			if _, _, err := c.Exec(b.String()); err != nil {
+				t.Fatalf("insert: %v", err)
+			}
+			b.Reset()
+		}
+	}
+	if b.Len() > 0 {
+		if _, _, err := c.Exec(b.String()); err != nil {
+			t.Fatalf("insert: %v", err)
+		}
+	}
+	if _, _, err := c.Exec("CREATE TABLE agg AS SELECT k, min(x) AS m, max(x) AS h FROM t GROUP BY k"); err != nil {
+		t.Fatalf("group-by: %v", err)
+	}
+
+	cl := srv.DB().Cluster()
+	if cl.Stats().SpilledBytes == 0 {
+		t.Fatal("workload did not spill; the test no longer exercises the spill path")
+	}
+	root := cl.SpillRoot()
+	if root == "" {
+		t.Fatal("no spill root after a spilling statement")
+	}
+	if _, err := os.Stat(root); err != nil {
+		t.Fatalf("spill root missing before drain: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if got := cl.SpillRoot(); got != "" {
+		t.Fatalf("spill root still registered after drain: %q", got)
+	}
+	if _, err := os.Stat(root); !os.IsNotExist(err) {
+		t.Fatalf("spill dir %s survived the drain: %v", root, err)
+	}
+}

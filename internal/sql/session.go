@@ -3,6 +3,7 @@ package sql
 import (
 	"context"
 	"fmt"
+	"strings"
 	"sync/atomic"
 
 	"dbcc/internal/engine"
@@ -24,9 +25,10 @@ var sessionSeq atomic.Uint64
 // concurrent runs of the paper's algorithms never collide on intermediate
 // table names.
 type Session struct {
-	c   *engine.Cluster
-	ns  string          // temp-table namespace prefix; "" shares the global namespace
-	ctx context.Context // statement execution context; nil means Background
+	c    *engine.Cluster
+	ns   string          // temp-table namespace prefix; "" shares the global namespace
+	deny string          // bare names with this prefix never resolve globally; "" disables
+	ctx  context.Context // statement execution context; nil means Background
 }
 
 // NewSession creates a session on the cluster using the shared global
@@ -46,6 +48,20 @@ func NewIsolatedSession(c *engine.Cluster) *Session {
 // so the two views agree on physical names.
 func SessionWithNamespace(c *engine.Cluster, ns string) *Session {
 	return &Session{c: c, ns: ns}
+}
+
+// RestrictPrefix returns a copy of the session whose Resolve refuses to
+// fall back to global-namespace tables whose names carry the given
+// prefix: such references resolve into the session's own namespace and
+// therefore fail with "does not exist" unless the session created them.
+// The multi-tenant server uses this to stop one tenant from naming
+// another tenant's physical tables (all of which share one catalog
+// prefix) while keeping genuinely shared global tables reachable. The
+// receiver is unchanged.
+func (s *Session) RestrictPrefix(prefix string) *Session {
+	out := *s
+	out.deny = prefix
+	return &out
 }
 
 // WithContext returns a copy of the session whose statements execute
@@ -82,6 +98,12 @@ func (s *Session) Resolve(name string) string {
 	}
 	phys := s.ns + name
 	if _, ok := s.c.Table(phys); ok {
+		return phys
+	}
+	if s.deny != "" && strings.HasPrefix(name, s.deny) {
+		// Restricted prefix: never escape to the global namespace. The
+		// in-namespace name (which does not exist) keeps the failure mode a
+		// plain "table does not exist".
 		return phys
 	}
 	return name

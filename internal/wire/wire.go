@@ -1,0 +1,493 @@
+// Package wire defines the length-prefixed protocol ccserverd speaks on
+// the network and the message payload codecs shared by the server
+// (internal/server) and the Go client (internal/client).
+//
+// # Frame grammar
+//
+// Every message travels in one frame:
+//
+//	frame   := type:byte length:uint32be payload:length*byte
+//
+// The type byte selects a message; the big-endian uint32 is the payload
+// length in bytes. Frames larger than MaxFrameLen are rejected before any
+// allocation, so a corrupt or hostile peer cannot make the server reserve
+// gigabytes from four bytes of header. The frame layer carries no
+// checksums or compression — the protocol is designed for trusted
+// datacenter links, like the segment interconnect it sits on top of.
+//
+// Payload encodings are fixed-width little-endian integers and uint32
+// length-prefixed strings. Every message has exactly one encoding: the
+// decoder consumes the whole payload and rejects trailing garbage, so
+// decode∘encode is the identity and FuzzFrameCodec can assert exact
+// round-trips on anything the decoder accepts.
+//
+// # Message flow
+//
+// Clients speak first: a Hello carrying the protocol version, the tenant
+// name and an optional auth token. The server answers HelloOK (or Error
+// with CodeAuth) and the connection becomes a statement loop — each
+// Exec/Query/CC/Stats request is answered by exactly one terminal frame
+// (Done, CCDone, StatsReply or Error), with Schema and Rows frames
+// streamed before Done for Query. A connection carries one statement at a
+// time; concurrency comes from opening more connections.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ProtocolVersion is negotiated in Hello; the server rejects clients
+// whose major version differs.
+const ProtocolVersion = 1
+
+// MaxFrameLen bounds a frame payload (16 MiB). Result sets larger than
+// this stream as multiple Rows frames, so the cap is never a limit on
+// query size — only on single-frame allocation.
+const MaxFrameLen = 16 << 20
+
+// Frame types. Requests (client→server) sit below 0x80, responses above.
+const (
+	TypeHello      byte = 0x01 // auth + tenant select
+	TypeExec       byte = 0x02 // statement script; reply: Done | Error
+	TypeQuery      byte = 0x03 // SELECT; reply: Schema, Rows*, Done | Error
+	TypeCC         byte = 0x04 // connected-components run; reply: CCDone | Error
+	TypeStats      byte = 0x05 // server stats probe; reply: StatsReply
+	TypeHelloOK    byte = 0x81
+	TypeSchema     byte = 0x82
+	TypeRows       byte = 0x83
+	TypeDone       byte = 0x84
+	TypeError      byte = 0x85
+	TypeCCDone     byte = 0x86
+	TypeStatsReply byte = 0x87 // payload: JSON-encoded ServerStats
+)
+
+// Error codes carried by Error frames, HTTP-flavoured so overload reads
+// as the 429 it is.
+const (
+	CodeParse       uint16 = 400 // statement failed to parse or plan
+	CodeAuth        uint16 = 401 // bad token or malformed tenant name
+	CodeNotFound    uint16 = 404 // unknown table / algorithm
+	CodeOverloaded  uint16 = 429 // admission queue full or queue wait timed out
+	CodeInternal    uint16 = 500 // execution error
+	CodeUnavailable uint16 = 503 // server draining; retry elsewhere/later
+)
+
+// frameHeaderLen is the type byte plus the uint32 payload length.
+const frameHeaderLen = 5
+
+// Frame is one wire frame.
+type Frame struct {
+	Type    byte
+	Payload []byte
+}
+
+// ErrFrameTooLarge rejects frames whose header announces more than
+// MaxFrameLen payload bytes.
+var ErrFrameTooLarge = errors.New("wire: frame exceeds MaxFrameLen")
+
+// AppendFrame appends f's encoding to dst and returns the result.
+func AppendFrame(dst []byte, f Frame) []byte {
+	dst = append(dst, f.Type)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(f.Payload)))
+	return append(dst, f.Payload...)
+}
+
+// DecodeFrame decodes one frame from the head of data, returning the
+// frame and the number of bytes consumed. An incomplete header or payload
+// is an error (the stream reader never presents partial buffers; the
+// fuzzer does).
+func DecodeFrame(data []byte) (Frame, int, error) {
+	if len(data) < frameHeaderLen {
+		return Frame{}, 0, fmt.Errorf("wire: short frame header: %d bytes", len(data))
+	}
+	n := binary.BigEndian.Uint32(data[1:frameHeaderLen])
+	if n > MaxFrameLen {
+		return Frame{}, 0, ErrFrameTooLarge
+	}
+	end := frameHeaderLen + int(n)
+	if len(data) < end {
+		return Frame{}, 0, fmt.Errorf("wire: frame payload truncated: have %d of %d bytes", len(data)-frameHeaderLen, n)
+	}
+	return Frame{Type: data[0], Payload: data[frameHeaderLen:end]}, end, nil
+}
+
+// WriteFrame writes one frame to w.
+func WriteFrame(w io.Writer, f Frame) error {
+	if len(f.Payload) > MaxFrameLen {
+		return ErrFrameTooLarge
+	}
+	var hdr [frameHeaderLen]byte
+	hdr[0] = f.Type
+	binary.BigEndian.PutUint32(hdr[1:], uint32(len(f.Payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(f.Payload)
+	return err
+}
+
+// ReadFrame reads one frame from r, rejecting oversized payloads before
+// allocating them.
+func ReadFrame(r io.Reader) (Frame, error) {
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Frame{}, err
+	}
+	n := binary.BigEndian.Uint32(hdr[1:])
+	if n > MaxFrameLen {
+		return Frame{}, ErrFrameTooLarge
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return Frame{}, fmt.Errorf("wire: reading %d-byte payload: %w", n, err)
+	}
+	return Frame{Type: hdr[0], Payload: payload}, nil
+}
+
+// payload cursor helpers ----------------------------------------------------
+
+// errTruncated is the shared "payload ended early" decode error.
+var errTruncated = errors.New("wire: truncated payload")
+
+type reader struct {
+	data []byte
+	off  int
+	err  error
+}
+
+func (r *reader) u8() byte {
+	if r.err != nil || r.off+1 > len(r.data) {
+		r.fail()
+		return 0
+	}
+	v := r.data[r.off]
+	r.off++
+	return v
+}
+
+func (r *reader) u16() uint16 {
+	if r.err != nil || r.off+2 > len(r.data) {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(r.data[r.off:])
+	r.off += 2
+	return v
+}
+
+func (r *reader) u32() uint32 {
+	if r.err != nil || r.off+4 > len(r.data) {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.data[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *reader) i64() int64 {
+	if r.err != nil || r.off+8 > len(r.data) {
+		r.fail()
+		return 0
+	}
+	v := int64(binary.LittleEndian.Uint64(r.data[r.off:]))
+	r.off += 8
+	return v
+}
+
+func (r *reader) str() string {
+	n := r.u32()
+	if r.err != nil || r.off+int(n) > len(r.data) || int(n) < 0 {
+		r.fail()
+		return ""
+	}
+	v := string(r.data[r.off : r.off+int(n)])
+	r.off += int(n)
+	return v
+}
+
+func (r *reader) fail() {
+	if r.err == nil {
+		r.err = errTruncated
+	}
+}
+
+// done requires the cursor to have consumed the payload exactly: trailing
+// bytes would give one message two encodings and break round-tripping.
+func (r *reader) done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.data) {
+		return fmt.Errorf("wire: %d trailing payload bytes", len(r.data)-r.off)
+	}
+	return nil
+}
+
+func appendStr(dst []byte, s string) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(s)))
+	return append(dst, s...)
+}
+
+// messages ------------------------------------------------------------------
+
+// Hello opens a connection: protocol version, tenant selection and an
+// optional shared-secret token.
+type Hello struct {
+	Version byte
+	Tenant  string
+	Token   string
+}
+
+// EncodeHello encodes h as a TypeHello frame payload.
+func EncodeHello(h Hello) []byte {
+	out := []byte{h.Version}
+	out = appendStr(out, h.Tenant)
+	out = appendStr(out, h.Token)
+	return out
+}
+
+// DecodeHello decodes a TypeHello payload.
+func DecodeHello(p []byte) (Hello, error) {
+	r := &reader{data: p}
+	h := Hello{Version: r.u8(), Tenant: r.str(), Token: r.str()}
+	return h, r.done()
+}
+
+// HelloOK acknowledges a handshake.
+type HelloOK struct {
+	Version byte
+	// Namespace is the tenant's physical catalog prefix, surfaced so
+	// clients can log which catalog they landed in.
+	Namespace string
+}
+
+// EncodeHelloOK encodes h as a TypeHelloOK frame payload.
+func EncodeHelloOK(h HelloOK) []byte {
+	out := []byte{h.Version}
+	return appendStr(out, h.Namespace)
+}
+
+// DecodeHelloOK decodes a TypeHelloOK payload.
+func DecodeHelloOK(p []byte) (HelloOK, error) {
+	r := &reader{data: p}
+	h := HelloOK{Version: r.u8(), Namespace: r.str()}
+	return h, r.done()
+}
+
+// Exec and Query payloads are the raw statement text; no further framing.
+
+// CC requests a connected-components run over a tenant table.
+type CC struct {
+	Table     string
+	Algorithm string // "", "rc", "hm", "tp", "cr", "bfs"
+	Seed      uint64
+}
+
+// EncodeCC encodes c as a TypeCC frame payload.
+func EncodeCC(c CC) []byte {
+	out := appendStr(nil, c.Table)
+	out = appendStr(out, c.Algorithm)
+	return binary.LittleEndian.AppendUint64(out, c.Seed)
+}
+
+// DecodeCC decodes a TypeCC payload.
+func DecodeCC(p []byte) (CC, error) {
+	r := &reader{data: p}
+	c := CC{Table: r.str(), Algorithm: r.str(), Seed: uint64(r.i64())}
+	return c, r.done()
+}
+
+// Done terminates a successful Exec or Query: the row count the statement
+// produced and the time the statement waited in the admission queue.
+type Done struct {
+	Rows       int64
+	QueueNanos int64
+}
+
+// EncodeDone encodes d as a TypeDone frame payload.
+func EncodeDone(d Done) []byte {
+	out := binary.LittleEndian.AppendUint64(nil, uint64(d.Rows))
+	return binary.LittleEndian.AppendUint64(out, uint64(d.QueueNanos))
+}
+
+// DecodeDone decodes a TypeDone payload.
+func DecodeDone(p []byte) (Done, error) {
+	r := &reader{data: p}
+	d := Done{Rows: r.i64(), QueueNanos: r.i64()}
+	return d, r.done()
+}
+
+// CCDone terminates a successful connected-components run.
+type CCDone struct {
+	Components int64
+	Rounds     int64
+	Vertices   int64
+	QueueNanos int64
+}
+
+// EncodeCCDone encodes d as a TypeCCDone frame payload.
+func EncodeCCDone(d CCDone) []byte {
+	out := binary.LittleEndian.AppendUint64(nil, uint64(d.Components))
+	out = binary.LittleEndian.AppendUint64(out, uint64(d.Rounds))
+	out = binary.LittleEndian.AppendUint64(out, uint64(d.Vertices))
+	return binary.LittleEndian.AppendUint64(out, uint64(d.QueueNanos))
+}
+
+// DecodeCCDone decodes a TypeCCDone payload.
+func DecodeCCDone(p []byte) (CCDone, error) {
+	r := &reader{data: p}
+	d := CCDone{Components: r.i64(), Rounds: r.i64(), Vertices: r.i64(), QueueNanos: r.i64()}
+	return d, r.done()
+}
+
+// WireError is the typed failure a server sends instead of a result.
+type WireError struct {
+	Code    uint16
+	Message string
+}
+
+// Error implements the error interface.
+func (e *WireError) Error() string {
+	return fmt.Sprintf("server error %d: %s", e.Code, e.Message)
+}
+
+// Overloaded reports whether the error is the 429-style admission
+// rejection (queue full or queue-wait timeout).
+func (e *WireError) Overloaded() bool { return e.Code == CodeOverloaded }
+
+// EncodeError encodes e as a TypeError frame payload.
+func EncodeError(e WireError) []byte {
+	out := binary.LittleEndian.AppendUint16(nil, e.Code)
+	return appendStr(out, e.Message)
+}
+
+// DecodeError decodes a TypeError payload.
+func DecodeError(p []byte) (WireError, error) {
+	r := &reader{data: p}
+	e := WireError{Code: r.u16(), Message: r.str()}
+	return e, r.done()
+}
+
+// Schema carries a result set's column names.
+type Schema struct {
+	Cols []string
+}
+
+// EncodeSchema encodes s as a TypeSchema frame payload.
+func EncodeSchema(s Schema) []byte {
+	out := binary.LittleEndian.AppendUint16(nil, uint16(len(s.Cols)))
+	for _, c := range s.Cols {
+		out = appendStr(out, c)
+	}
+	return out
+}
+
+// DecodeSchema decodes a TypeSchema payload.
+func DecodeSchema(p []byte) (Schema, error) {
+	r := &reader{data: p}
+	n := int(r.u16())
+	s := Schema{}
+	for i := 0; i < n && r.err == nil; i++ {
+		s.Cols = append(s.Cols, r.str())
+	}
+	return s, r.done()
+}
+
+// Rows is one chunk of a streamed result set: row-major values, each a
+// null-tag byte plus a little-endian int64 payload — the same 9-byte
+// value width the engine charges on its segment interconnect
+// (engine.DatumWireSize).
+type Rows struct {
+	NCols int
+	// Tags[i] is 1 when value i is SQL NULL, 0 otherwise; Vals[i] is the
+	// integer payload (0 for NULL).
+	Tags []byte
+	Vals []int64
+}
+
+// NRows returns the number of rows in the chunk.
+func (r Rows) NRows() int {
+	if r.NCols == 0 {
+		return 0
+	}
+	return len(r.Vals) / r.NCols
+}
+
+// EncodeRows encodes r as a TypeRows frame payload.
+func EncodeRows(rs Rows) []byte {
+	out := binary.LittleEndian.AppendUint16(nil, uint16(rs.NCols))
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(rs.Vals)))
+	for i, v := range rs.Vals {
+		out = append(out, rs.Tags[i])
+		out = binary.LittleEndian.AppendUint64(out, uint64(v))
+	}
+	return out
+}
+
+// DecodeRows decodes a TypeRows payload.
+func DecodeRows(p []byte) (Rows, error) {
+	r := &reader{data: p}
+	rs := Rows{NCols: int(r.u16())}
+	n := r.u32()
+	if r.err == nil {
+		// Each value is 9 bytes; reject impossible counts before allocating.
+		if rem := len(p) - r.off; int(n) < 0 || int(n)*9 != rem {
+			return Rows{}, fmt.Errorf("wire: rows chunk declares %d values with %d payload bytes", n, rem)
+		}
+		// A chunk's values must tile into whole rows.
+		if rs.NCols == 0 && n > 0 {
+			return Rows{}, errors.New("wire: rows chunk has values but zero columns")
+		}
+		if rs.NCols > 0 && int(n)%rs.NCols != 0 {
+			return Rows{}, fmt.Errorf("wire: %d values do not tile into %d columns", n, rs.NCols)
+		}
+		rs.Tags = make([]byte, n)
+		rs.Vals = make([]int64, n)
+		for i := 0; i < int(n); i++ {
+			tag := r.u8()
+			if tag > 1 {
+				return Rows{}, fmt.Errorf("wire: invalid null tag %d", tag)
+			}
+			rs.Tags[i] = tag
+			rs.Vals[i] = r.i64()
+			if rs.Tags[i] == 1 && rs.Vals[i] != 0 {
+				return Rows{}, errors.New("wire: NULL value carries a non-zero payload")
+			}
+		}
+	}
+	if err := r.done(); err != nil {
+		return Rows{}, err
+	}
+	return rs, nil
+}
+
+// TenantStats is the admission accounting of one tenant, part of
+// ServerStats.
+type TenantStats struct {
+	Admitted      int64 `json:"admitted"`        // statements that acquired a slot
+	Active        int64 `json:"active"`          // statements executing now
+	Queued        int64 `json:"queued"`          // statements waiting now
+	QueuedTotal   int64 `json:"queued_total"`    // statements that ever waited
+	PeakQueued    int64 `json:"peak_queued"`     // highest simultaneous queue depth
+	QueueNanos    int64 `json:"queue_nanos"`     // total time spent waiting
+	ShedQueueFull int64 `json:"shed_queue_full"` // rejected: queue at capacity
+	ShedTimeout   int64 `json:"shed_timeout"`    // rejected: queue wait exceeded the timeout
+}
+
+// ServerStats is the payload of a StatsReply, JSON-encoded for
+// extensibility (it is an observability surface, not a hot path).
+type ServerStats struct {
+	Draining       bool                   `json:"draining"`
+	Conns          int64                  `json:"conns"`
+	ConnsTotal     int64                  `json:"conns_total"`
+	Statements     int64                  `json:"statements"`
+	Failed         int64                  `json:"failed"`      // statements that returned Error (overload included)
+	Shed           int64                  `json:"shed"`        // admission rejections across tenants
+	QueueDepth     int64                  `json:"queue_depth"` // statements waiting right now, all tenants
+	PeakQueueDepth int64                  `json:"peak_queue_depth"`
+	Tenants        map[string]TenantStats `json:"tenants"`
+}

@@ -1,0 +1,142 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	frames := []Frame{
+		{Type: TypeHello, Payload: EncodeHello(Hello{Version: 1, Tenant: "acme", Token: "s3cret"})},
+		{Type: TypeExec, Payload: []byte("CREATE TABLE t (v1, v2)")},
+		{Type: TypeQuery, Payload: []byte("SELECT v1, v2 FROM t")},
+		{Type: TypeDone, Payload: EncodeDone(Done{Rows: 42, QueueNanos: 1234})},
+		{Type: TypeError, Payload: EncodeError(WireError{Code: CodeOverloaded, Message: "q full"})},
+		{Type: TypeRows, Payload: EncodeRows(Rows{NCols: 2, Tags: []byte{0, 1, 0, 0}, Vals: []int64{7, 0, -1, 9}})},
+		{Type: TypeStats, Payload: nil},
+	}
+	var buf bytes.Buffer
+	for _, f := range frames {
+		if err := WriteFrame(&buf, f); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+	}
+	for _, want := range frames {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		if got.Type != want.Type || !bytes.Equal(got.Payload, want.Payload) {
+			t.Fatalf("frame round-trip: got %v want %v", got, want)
+		}
+	}
+	if _, err := ReadFrame(&buf); err != io.EOF {
+		t.Fatalf("trailing read: %v, want EOF", err)
+	}
+}
+
+func TestReadFrameRejectsOversized(t *testing.T) {
+	raw := []byte{TypeExec, 0xff, 0xff, 0xff, 0xff}
+	if _, err := ReadFrame(bytes.NewReader(raw)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized frame: %v, want ErrFrameTooLarge", err)
+	}
+	if _, _, err := DecodeFrame(raw); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized decode: %v, want ErrFrameTooLarge", err)
+	}
+	if err := WriteFrame(io.Discard, Frame{Type: TypeRows, Payload: make([]byte, MaxFrameLen+1)}); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized write: %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestMessageRoundTrips(t *testing.T) {
+	hello := Hello{Version: ProtocolVersion, Tenant: "tenant_a", Token: "tok"}
+	if got, err := DecodeHello(EncodeHello(hello)); err != nil || got != hello {
+		t.Fatalf("hello: %+v %v", got, err)
+	}
+	ok := HelloOK{Version: ProtocolVersion, Namespace: "tenant_a_"}
+	if got, err := DecodeHelloOK(EncodeHelloOK(ok)); err != nil || got != ok {
+		t.Fatalf("hello-ok: %+v %v", got, err)
+	}
+	cc := CC{Table: "edges", Algorithm: "rc", Seed: 2019}
+	if got, err := DecodeCC(EncodeCC(cc)); err != nil || got != cc {
+		t.Fatalf("cc: %+v %v", got, err)
+	}
+	done := Done{Rows: -1, QueueNanos: 7}
+	if got, err := DecodeDone(EncodeDone(done)); err != nil || got != done {
+		t.Fatalf("done: %+v %v", got, err)
+	}
+	ccd := CCDone{Components: 3, Rounds: 5, Vertices: 100, QueueNanos: 9}
+	if got, err := DecodeCCDone(EncodeCCDone(ccd)); err != nil || got != ccd {
+		t.Fatalf("ccdone: %+v %v", got, err)
+	}
+	we := WireError{Code: CodeUnavailable, Message: "draining"}
+	if got, err := DecodeError(EncodeError(we)); err != nil || got != we {
+		t.Fatalf("error: %+v %v", got, err)
+	}
+	if !(&WireError{Code: CodeOverloaded}).Overloaded() || (&WireError{Code: CodeInternal}).Overloaded() {
+		t.Fatal("Overloaded misclassifies codes")
+	}
+	sch := Schema{Cols: []string{"v1", "v2", "n"}}
+	got, err := DecodeSchema(EncodeSchema(sch))
+	if err != nil || strings.Join(got.Cols, ",") != "v1,v2,n" {
+		t.Fatalf("schema: %+v %v", got, err)
+	}
+}
+
+func TestRowsCodec(t *testing.T) {
+	rs := Rows{NCols: 3, Tags: []byte{0, 0, 1, 0, 1, 0}, Vals: []int64{1, -2, 0, 4, 0, 6}}
+	got, err := DecodeRows(EncodeRows(rs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NRows() != 2 || got.NCols != 3 {
+		t.Fatalf("shape: %d rows x %d cols", got.NRows(), got.NCols)
+	}
+	for i := range rs.Vals {
+		if got.Tags[i] != rs.Tags[i] || got.Vals[i] != rs.Vals[i] {
+			t.Fatalf("value %d: tag=%d val=%d", i, got.Tags[i], got.Vals[i])
+		}
+	}
+	// Empty chunk round-trips too.
+	if got, err := DecodeRows(EncodeRows(Rows{NCols: 2})); err != nil || got.NRows() != 0 {
+		t.Fatalf("empty chunk: %+v %v", got, err)
+	}
+}
+
+func TestDecodersRejectGarbage(t *testing.T) {
+	// Truncations and trailing bytes must be rejected, never panic.
+	cases := [][]byte{
+		nil,
+		{1},
+		{1, 2, 3},
+		append(EncodeHello(Hello{Tenant: "x"}), 0xee),
+		append(EncodeDone(Done{}), 0x00),
+		{0xff, 0xff, 0xff, 0xff, 0xff},
+	}
+	for i, p := range cases {
+		if _, err := DecodeHello(p); err == nil && i != 0 {
+			t.Errorf("case %d: DecodeHello accepted garbage", i)
+		}
+		if _, err := DecodeDone(p); err == nil {
+			t.Errorf("case %d: DecodeDone accepted garbage", i)
+		}
+		if _, err := DecodeRows(p); err == nil {
+			t.Errorf("case %d: DecodeRows accepted garbage", i)
+		}
+	}
+	// A rows chunk whose value count disagrees with its byte length.
+	bad := EncodeRows(Rows{NCols: 1, Tags: []byte{0}, Vals: []int64{5}})
+	bad[2]++ // bump the declared value count
+	if _, err := DecodeRows(bad); err == nil {
+		t.Fatal("DecodeRows accepted an inconsistent value count")
+	}
+	// A NULL with a non-zero payload has no canonical encoding.
+	nz := EncodeRows(Rows{NCols: 1, Tags: []byte{0}, Vals: []int64{5}})
+	nz[6] = 1 // flip the tag to NULL, keep the payload
+	if _, err := DecodeRows(nz); err == nil {
+		t.Fatal("DecodeRows accepted a non-canonical NULL")
+	}
+}
