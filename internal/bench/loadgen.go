@@ -192,7 +192,14 @@ func runConn(cfg *LoadgenConfig, id int, deadline time.Time, st *connStats) erro
 		}
 		if op > 0 && op%256 == 0 {
 			// Bound scratch growth so op latency stays flat over the soak.
-			if _, _, err := c.Exec(fmt.Sprintf("DROP TABLE %s; CREATE TABLE %s (k, x) DISTRIBUTED BY (k)", scratch, scratch)); err != nil {
+			// An admission rejection here is a shed like any other op —
+			// the statement never ran, the scratch table is untouched.
+			switch _, _, err := c.Exec(fmt.Sprintf("DROP TABLE %s; CREATE TABLE %s (k, x) DISTRIBUTED BY (k)", scratch, scratch)); {
+			case err == nil:
+			case client.IsOverloaded(err):
+				st.shed++
+				time.Sleep(5 * time.Millisecond)
+			default:
 				st.failed++
 			}
 		}

@@ -217,12 +217,14 @@ func TestAdmissionContextCancel(t *testing.T) {
 }
 
 func TestValidTenant(t *testing.T) {
-	for _, ok := range []string{"a", "acme", "Tenant_42", "x_y_z"} {
+	for _, ok := range []string{"a", "acme", "Tenant42", "x9z"} {
 		if !validTenant(ok) {
 			t.Errorf("validTenant(%q) = false", ok)
 		}
 	}
-	for _, bad := range []string{"", "has space", "dash-ed", "dot.ted", "über", string(make([]byte, 33))} {
+	// Underscores make one tenant's physical prefix a prefix of
+	// another's (tn_a_ vs tn_a_b_), so they are rejected outright.
+	for _, bad := range []string{"", "a_b", "x_y_z", "_", "has space", "dash-ed", "dot.ted", "über", string(make([]byte, 33))} {
 		if validTenant(bad) {
 			t.Errorf("validTenant(%q) = true", bad)
 		}

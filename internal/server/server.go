@@ -22,6 +22,7 @@ package server
 import (
 	"bufio"
 	"context"
+	"crypto/subtle"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -140,6 +141,16 @@ func (s *Server) Serve() error {
 			}
 		}
 		s.connMu.Lock()
+		select {
+		case <-s.drainCh:
+			// Accept raced Shutdown: the close loop over s.conns may
+			// already have run, so registering now would leave a
+			// connection nobody closes and hang connWG.Wait forever.
+			s.connMu.Unlock()
+			conn.Close()
+			continue
+		default:
+		}
 		s.conns[conn] = struct{}{}
 		s.connMu.Unlock()
 		s.connsTotal.Add(1)
@@ -228,15 +239,20 @@ func (s *Server) beginStmt() bool {
 	return true
 }
 
-// validTenant accepts short identifier-shaped tenant names, keeping the
-// physical prefix tn_<tenant>_ unambiguous in the shared catalog.
+// validTenant accepts short alphanumeric tenant names. Underscores are
+// rejected because the physical prefix is the textual concatenation
+// tn_<tenant>_: if tenant "a_b" existed, tenant "a" naming "b_edges"
+// would resolve to tn_a_b_edges — tenant "a_b"'s "edges" table — so one
+// tenant's namespace must never be a prefix of another's. Restricting
+// names to [A-Za-z0-9] makes '_' a reserved separator and every
+// namespace prefix-free.
 func validTenant(name string) bool {
 	if len(name) == 0 || len(name) > 32 {
 		return false
 	}
 	for _, r := range name {
 		switch {
-		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
 		default:
 			return false
 		}
@@ -284,7 +300,7 @@ func (s *Server) handleConn(conn net.Conn) {
 		cs.sendError(wire.CodeParse, fmt.Sprintf("protocol version %d unsupported (server speaks %d)", h.Version, wire.ProtocolVersion))
 		return
 	}
-	if s.cfg.AuthToken != "" && h.Token != s.cfg.AuthToken {
+	if s.cfg.AuthToken != "" && subtle.ConstantTimeCompare([]byte(h.Token), []byte(s.cfg.AuthToken)) != 1 {
 		cs.sendError(wire.CodeAuth, "bad token")
 		return
 	}
@@ -418,6 +434,10 @@ func (cs *connState) serveQuery(src string, queued time.Duration) {
 	schema, rows, err := cs.sess.WithContext(cs.s.baseCtx).Query(src)
 	if err != nil {
 		cs.sendError(errorCode(err), err.Error())
+		return
+	}
+	if len(schema) > wire.MaxCols {
+		cs.sendError(wire.CodeInternal, fmt.Sprintf("result set has %d columns, wire max is %d", len(schema), wire.MaxCols))
 		return
 	}
 	if !cs.send(wire.Frame{Type: wire.TypeSchema, Payload: wire.EncodeSchema(wire.Schema{Cols: schema})}) {

@@ -122,8 +122,8 @@ func TestServerExecQueryCC(t *testing.T) {
 
 func TestTenantCatalogIsolation(t *testing.T) {
 	srv := startServer(t, server.Config{DB: dbcc.Config{Segments: 4}})
-	a := dial(t, srv, "tenant_a")
-	b := dial(t, srv, "tenant_b")
+	a := dial(t, srv, "tenanta")
+	b := dial(t, srv, "tenantb")
 
 	loadEdges(t, a, "edges", 30)
 	loadEdges(t, b, "edges", 10)
@@ -141,10 +141,10 @@ func TestTenantCatalogIsolation(t *testing.T) {
 	}
 
 	// Naming another tenant's physical table must not resolve.
-	if _, _, err := b.Query("SELECT count(*) AS n FROM tn_tenant_a_edges"); err == nil {
+	if _, _, err := b.Query("SELECT count(*) AS n FROM tn_tenanta_edges"); err == nil {
 		t.Fatal("cross-tenant SELECT resolved")
 	}
-	if _, err := b.ConnectedComponents("tn_tenant_a_edges", "rc", 1); err == nil {
+	if _, err := b.ConnectedComponents("tn_tenanta_edges", "rc", 1); err == nil {
 		t.Fatal("cross-tenant CC resolved")
 	}
 
@@ -174,6 +174,12 @@ func TestAuthAndHandshakeErrors(t *testing.T) {
 	}
 	if _, err := client.Dial(srv.Addr(), "no spaces allowed", "hunter2"); err == nil {
 		t.Fatal("invalid tenant name accepted")
+	}
+	// Underscores are rejected: tenant "acme_x" would make tenant
+	// "acme"'s namespace a prefix of its own, letting "acme" reach its
+	// tables by naming "x_<table>".
+	if _, err := client.Dial(srv.Addr(), "acme_x", "hunter2"); err == nil {
+		t.Fatal("underscored tenant name accepted")
 	}
 	c, err := client.Dial(srv.Addr(), "acme", "hunter2")
 	if err != nil {

@@ -377,8 +377,19 @@ type Schema struct {
 	Cols []string
 }
 
-// EncodeSchema encodes s as a TypeSchema frame payload.
+// MaxCols bounds the column count of one Schema or Rows frame: the wire
+// carries it as a uint16, so wider shapes are unrepresentable. Encoders
+// panic rather than silently truncate; servers should reject wider
+// results before encoding.
+const MaxCols = 1<<16 - 1
+
+// EncodeSchema encodes s as a TypeSchema frame payload. It panics when
+// the schema is wider than MaxCols — truncating the count would encode
+// a frame that decodes to the wrong shape.
 func EncodeSchema(s Schema) []byte {
+	if len(s.Cols) > MaxCols {
+		panic(fmt.Sprintf("wire: schema has %d columns, max %d", len(s.Cols), MaxCols))
+	}
 	out := binary.LittleEndian.AppendUint16(nil, uint16(len(s.Cols)))
 	for _, c := range s.Cols {
 		out = appendStr(out, c)
@@ -417,8 +428,16 @@ func (r Rows) NRows() int {
 	return len(r.Vals) / r.NCols
 }
 
-// EncodeRows encodes r as a TypeRows frame payload.
+// EncodeRows encodes r as a TypeRows frame payload. It panics when
+// NCols exceeds MaxCols or the value count overflows the wire's uint32
+// — truncating either count would encode a corrupt frame.
 func EncodeRows(rs Rows) []byte {
+	if rs.NCols > MaxCols {
+		panic(fmt.Sprintf("wire: rows chunk has %d columns, max %d", rs.NCols, MaxCols))
+	}
+	if uint64(len(rs.Vals)) > 1<<32-1 {
+		panic(fmt.Sprintf("wire: rows chunk has %d values, max %d", len(rs.Vals), uint32(1<<32-1)))
+	}
 	out := binary.LittleEndian.AppendUint16(nil, uint16(rs.NCols))
 	out = binary.LittleEndian.AppendUint32(out, uint32(len(rs.Vals)))
 	for i, v := range rs.Vals {

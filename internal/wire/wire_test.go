@@ -106,6 +106,22 @@ func TestRowsCodec(t *testing.T) {
 	}
 }
 
+func TestEncodersRefuseUnrepresentableCounts(t *testing.T) {
+	// A count that overflows its wire width must panic, not truncate
+	// into a frame that decodes to the wrong shape.
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: wide encode did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("EncodeSchema", func() { EncodeSchema(Schema{Cols: make([]string, MaxCols+1)}) })
+	mustPanic("EncodeRows", func() { EncodeRows(Rows{NCols: MaxCols + 1}) })
+}
+
 func TestDecodersRejectGarbage(t *testing.T) {
 	// Truncations and trailing bytes must be rejected, never panic.
 	cases := [][]byte{
