@@ -92,6 +92,8 @@ func main() {
 		loadDuration = flag.Duration("load-duration", 10*time.Second, "measurement window for -loadgen")
 		loadToken    = flag.String("load-token", "", "auth token for -loadgen connections")
 		zeroShed     = flag.Bool("require-zero-shed", false, "exit non-zero if the -loadgen run shed or failed any operation")
+		noPrepare    = flag.Bool("no-prepare", false, "send -loadgen ops as statement text instead of prepared statements (ablation)")
+		reqHitRate   = flag.Float64("require-hit-rate", 0, "exit non-zero if the -loadgen plan-cache hit rate falls below this fraction")
 	)
 	flag.Parse()
 
@@ -229,7 +231,8 @@ func main() {
 			Duration:    *loadDuration,
 			Seed:        *seed,
 			AuthToken:   *loadToken,
-		}, *zeroShed, progress)
+			NoPrepare:   *noPrepare,
+		}, *zeroShed, *reqHitRate, progress)
 	}
 	if !ran {
 		flag.Usage()
@@ -305,10 +308,11 @@ func runJSON(cfg bench.Config, outDir, datasetList, baselinePath string, progres
 }
 
 // runLoadgen drives the server-soak load generator and writes the
-// schema-v5 BENCH_server-soak.json report. With requireZeroShed, any shed
-// or failed operation — client- or server-counted — exits non-zero: the CI
-// server-soak contract.
-func runLoadgen(cfg bench.Config, outDir string, lg bench.LoadgenConfig, requireZeroShed bool, progress func(string)) {
+// schema-v6 BENCH_server-soak.json report. With requireZeroShed, any shed
+// or failed operation — client- or server-counted — exits non-zero; with
+// requireHitRate > 0, so does a plan-cache hit rate below the threshold:
+// the CI server-soak contract.
+func runLoadgen(cfg bench.Config, outDir string, lg bench.LoadgenConfig, requireZeroShed bool, requireHitRate float64, progress func(string)) {
 	rep, path, err := bench.WriteLoadgenReport(outDir, cfg, lg, progress)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
@@ -317,13 +321,20 @@ func runLoadgen(cfg bench.Config, outDir string, lg bench.LoadgenConfig, require
 	fmt.Println(path)
 	srv := rep.Server
 	fmt.Fprintf(os.Stderr, "loadgen: %d ops (%d sql, %d cc) over %d conns/%d tenants in %.0fs; "+
-		"p50=%.2fms p95=%.2fms p99=%.2fms max=%.2fms; shed=%d failed=%d peak_queue=%d queue_ms=%.1f\n",
+		"p50=%.2fms p95=%.2fms p99=%.2fms max=%.2fms; shed=%d failed=%d peak_queue=%d queue_ms=%.1f; "+
+		"plan cache hits=%d misses=%d rate=%.3f parses=%d\n",
 		srv.Ops, srv.SQLOps, srv.CCOps, srv.Connections, srv.Tenants, srv.DurationSecs,
 		srv.P50Millis, srv.P95Millis, srv.P99Millis, srv.MaxMillis,
-		srv.Shed, srv.Failed, srv.PeakQueueDepth, srv.QueueMillis)
+		srv.Shed, srv.Failed, srv.PeakQueueDepth, srv.QueueMillis,
+		srv.PlanCacheHits, srv.PlanCacheMisses, srv.PlanCacheHitRate, srv.Parses)
 	if requireZeroShed && (srv.Shed != 0 || srv.Failed != 0 || srv.ServerShed != 0 || srv.ServerFailed != 0) {
 		fmt.Fprintf(os.Stderr, "loadgen: shed/failure budget exceeded: client shed=%d failed=%d, server shed=%d failed=%d\n",
 			srv.Shed, srv.Failed, srv.ServerShed, srv.ServerFailed)
+		os.Exit(1)
+	}
+	if requireHitRate > 0 && srv.PlanCacheHitRate < requireHitRate {
+		fmt.Fprintf(os.Stderr, "loadgen: plan-cache hit rate %.3f below required %.3f (hits=%d misses=%d)\n",
+			srv.PlanCacheHitRate, requireHitRate, srv.PlanCacheHits, srv.PlanCacheMisses)
 		os.Exit(1)
 	}
 }

@@ -3,8 +3,11 @@
 // user-defined functions (axplusb, axbp, enc, hrand) are pre-registered,
 // so the queries of Appendix A can be typed directly.
 //
-// Meta-commands: \d lists tables, \stats prints engine counters,
-// \load NAME FILE bulk-loads an edge list, \timing toggles per-statement
+// Meta-commands: \d lists tables, \stats prints engine counters
+// (including the plan-cache line), \load NAME FILE bulk-loads an edge
+// list, \prepare NAME SQL parses a $N statement once under a shell-local
+// name, \bind NAME ARG... executes it with bound arguments (integers,
+// "null", or bare words as table names), \timing toggles per-statement
 // elapsed-time reporting, \trace [N] prints the last N records of the
 // cluster's query-trace ring, \q quits.
 //
@@ -35,6 +38,7 @@ import (
 
 	"dbcc"
 	"dbcc/internal/engine"
+	"dbcc/internal/sql"
 )
 
 func main() {
@@ -67,6 +71,7 @@ func main() {
 	var buf strings.Builder
 	prompt := "sql> "
 	timing := false
+	prepared := make(map[string]*sql.Prepared)
 	for {
 		fmt.Print(prompt)
 		if !in.Scan() {
@@ -75,7 +80,7 @@ func main() {
 		}
 		line := strings.TrimSpace(in.Text())
 		if buf.Len() == 0 && strings.HasPrefix(line, "\\") {
-			if meta(db, line, &timing) {
+			if meta(db, sess, line, &timing, prepared) {
 				return
 			}
 			continue
@@ -152,7 +157,7 @@ func execute(db *dbcc.DB, sess interface {
 }
 
 // meta handles backslash commands; it returns true on quit.
-func meta(db *dbcc.DB, line string, timing *bool) bool {
+func meta(db *dbcc.DB, sess *sql.Session, line string, timing *bool, prepared map[string]*sql.Prepared) bool {
 	fields := strings.Fields(line)
 	switch fields[0] {
 	case "\\q", "\\quit":
@@ -194,6 +199,47 @@ func meta(db *dbcc.DB, line string, timing *bool) bool {
 				float64(s.PeakWorkBytes)/(1<<20), float64(s.SpilledBytes)/(1<<20),
 				s.SpillPartitions, s.SpillPasses)
 		}
+		fmt.Printf("planCache: hits=%d misses=%d invalidations=%d entries=%d parses=%d\n",
+			s.PlanCacheHits, s.PlanCacheMisses, s.PlanCacheInvalidations,
+			db.Cluster().PlanCacheLen(), s.Parses)
+	case "\\prepare":
+		if len(fields) < 3 {
+			fmt.Println("usage: \\prepare NAME SQL")
+			return false
+		}
+		name := fields[1]
+		src := strings.TrimSpace(strings.TrimPrefix(strings.TrimPrefix(line, fields[0]), " "+name))
+		p, err := sess.Prepare(strings.TrimSuffix(src, ";"))
+		if err != nil {
+			fmt.Println("error:", err)
+			return false
+		}
+		prepared[name] = p
+		fmt.Printf("prepared %s: %d parameter(s)\n", name, p.NumParams())
+	case "\\bind":
+		if len(fields) < 2 {
+			fmt.Println("usage: \\bind NAME [ARG...]  (integers, null, or table names)")
+			return false
+		}
+		p, ok := prepared[fields[1]]
+		if !ok {
+			fmt.Printf("no prepared statement %q (use \\prepare)\n", fields[1])
+			return false
+		}
+		args := make([]sql.Arg, 0, len(fields)-2)
+		for i, raw := range fields[2:] {
+			switch {
+			case strings.EqualFold(raw, "null"):
+				args = append(args, sql.Null())
+			default:
+				if v, err := strconv.ParseInt(raw, 10, 64); err == nil && !p.ParamIsTable(i+1) {
+					args = append(args, sql.Int(v))
+				} else {
+					args = append(args, sql.Table(raw))
+				}
+			}
+		}
+		runPrepared(p, args)
 	case "\\load":
 		if len(fields) != 3 {
 			fmt.Println("usage: \\load TABLENAME FILE")
@@ -216,9 +262,46 @@ func meta(db *dbcc.DB, line string, timing *bool) bool {
 		}
 		fmt.Printf("loaded %d edges into %s(v1, v2)\n", g.NumEdges(), fields[1])
 	default:
-		fmt.Println("meta commands: \\d  \\stats  \\load NAME FILE  \\timing  \\trace [N]  \\q")
+		fmt.Println("meta commands: \\d  \\stats  \\load NAME FILE  \\prepare NAME SQL  \\bind NAME ARG...  \\timing  \\trace [N]  \\q")
 	}
 	return false
+}
+
+// runPrepared executes a bound prepared statement, printing rows for a
+// SELECT and a row count otherwise.
+func runPrepared(p *sql.Prepared, args []sql.Arg) {
+	if p.IsQuery() {
+		schema, rows, err := p.Query(args...)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Println(strings.Join(schema, "\t"))
+		const maxShow = 50
+		for i, row := range rows {
+			if i == maxShow {
+				fmt.Printf("... (%d more rows)\n", len(rows)-maxShow)
+				break
+			}
+			parts := make([]string, len(row))
+			for j, d := range row {
+				if d.Null {
+					parts[j] = "NULL"
+				} else {
+					parts[j] = fmt.Sprintf("%d", d.Int)
+				}
+			}
+			fmt.Println(strings.Join(parts, "\t"))
+		}
+		fmt.Printf("(%d rows)\n", len(rows))
+		return
+	}
+	n, err := p.Exec(args...)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("ok (%d rows)\n", n)
 }
 
 // printTrace prints the newest n records of the cluster's query-trace

@@ -152,6 +152,14 @@ type Params struct {
 	// Deterministic disables randomisation (h = identity), recovering the
 	// Sec. V-A "basic idea" with its Fig. 2(a) path worst case.
 	Deterministic bool
+	// KeepStats skips the engine-counter reset at the start of the run.
+	// Solo callers want per-run accounting (the default); a multi-tenant
+	// server runs many algorithms against one shared cluster whose
+	// counters are a monotonic observability surface — resetting them
+	// mid-soak would corrupt every window delta (plan-cache hit rates,
+	// parse counts) computed from stats snapshots. Result.Stats is then
+	// cumulative, not per-run.
+	KeepStats bool
 }
 
 // Result is the outcome of a run.
@@ -274,7 +282,9 @@ func (db *DB) ConnectedComponentsOfCtx(ctx context.Context, table string, p Para
 	if !ok {
 		return nil, fmt.Errorf("dbcc: unknown algorithm %q", name)
 	}
-	db.c.ResetStats()
+	if !p.KeepStats {
+		db.c.ResetStats()
+	}
 	opts := ccalg.Options{
 		Context:      ctx,
 		Seed:         p.Seed,

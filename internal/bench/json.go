@@ -34,7 +34,12 @@ import (
 // results against a running ccserverd — client-observed latency percentiles
 // (p50/p95/p99), shed and failure counts, and the server's admission-queue
 // accounting. Reports without a server run omit the section.
-const JSONSchemaVersion = 5
+//
+// Version 6 added the prepared-statement accounting: per algorithm and per
+// round, parses / plan_hits / plan_misses expose how much planning work the
+// plan cache amortised; the server section gained the no_prepare ablation
+// flag, window parse counts and the plan-cache hit rate.
+const JSONSchemaVersion = 6
 
 // RoundJSON is one algorithm round in the machine-readable report — the
 // serialised form of ccalg.RoundStats.
@@ -45,6 +50,9 @@ type RoundJSON struct {
 	Queries      int64 `json:"queries"`
 	RowsWritten  int64 `json:"rows_written"`
 	BytesWritten int64 `json:"bytes_written"`
+	Parses       int64 `json:"parses"`      // statements parsed during the round
+	PlanHits     int64 `json:"plan_hits"`   // plan-cache hits during the round
+	PlanMisses   int64 `json:"plan_misses"` // plan-cache misses during the round
 }
 
 // AlgorithmJSON is one algorithm's run on one dataset: the whole-run
@@ -72,6 +80,9 @@ type AlgorithmJSON struct {
 	Spilled      int64       `json:"spilled_bytes"`       // bytes written to spill partitions
 	SpillParts   int64       `json:"spill_partitions"`    // partition files created
 	SpillPasses  int64       `json:"spill_passes"`        // partitioning passes (recursion included)
+	Parses       int64       `json:"parses"`              // SQL statements parsed over the run
+	PlanHits     int64       `json:"plan_hits"`           // plan-cache hits over the run
+	PlanMisses   int64       `json:"plan_misses"`         // plan-cache misses over the run
 	MeanSecs     float64     `json:"mean_secs"`
 	Components   int         `json:"components"`
 	RoundLog     []RoundJSON `json:"round_log"`
@@ -164,6 +175,9 @@ func JSONReport(ds Dataset, cfg Config, capacity int64) *BenchJSON {
 					Queries:      rs.Queries,
 					RowsWritten:  rs.RowsWritten,
 					BytesWritten: rs.BytesWritten,
+					Parses:       rs.Parses,
+					PlanHits:     rs.PlanHits,
+					PlanMisses:   rs.PlanMisses,
 				})
 			},
 		}
@@ -182,6 +196,9 @@ func JSONReport(ds Dataset, cfg Config, capacity int64) *BenchJSON {
 		aj.Spilled = st.SpilledBytes
 		aj.SpillParts = st.SpillPartitions
 		aj.SpillPasses = st.SpillPasses
+		aj.Parses = st.Parses
+		aj.PlanHits = st.PlanCacheHits
+		aj.PlanMisses = st.PlanCacheMisses
 		aj.Retries, aj.Faults, _ = c.FaultTotals()
 		var re *ccalg.RoundError
 		if errors.As(err, &re) {

@@ -187,6 +187,15 @@ func TestBaselineCheck(t *testing.T) {
 // baseline file) must be updated deliberately.
 const tinyRCDetQueries = 28
 
+// tinyRCDetParses pins the SQL parse count of the same run. The driver
+// prepares each of its distinct statement shapes exactly once — setup,
+// representative selection, the two contraction steps, relabeling, and the
+// constant hash probe — so a whole run costs six parses regardless of how
+// many rounds it takes; every round-loop execution is a plan-cache hit.
+// A higher number here means a statement stopped being prepared (or a
+// shape was duplicated) and the prepare-once economics regressed.
+const tinyRCDetParses = 6
+
 func TestRCDetQueryCountPinned(t *testing.T) {
 	rep := JSONReport(tinyDataset(), tinyConfig(), 0)
 	for _, a := range rep.Algorithms {
@@ -199,6 +208,13 @@ func TestRCDetQueryCountPinned(t *testing.T) {
 		if a.Queries != tinyRCDetQueries {
 			t.Fatalf("deterministic RC issued %d queries, pinned at %d; update the constant only for intended planning changes",
 				a.Queries, tinyRCDetQueries)
+		}
+		if a.Parses != tinyRCDetParses {
+			t.Fatalf("deterministic RC parsed %d times, pinned at %d (one parse per distinct statement shape)",
+				a.Parses, tinyRCDetParses)
+		}
+		if a.PlanHits == 0 {
+			t.Fatal("deterministic RC recorded no plan-cache hits; round loops are replanning")
 		}
 		return
 	}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"dbcc/internal/client"
+	"dbcc/internal/wire"
 )
 
 // LoadgenConfig drives mixed SQL + connected-components traffic at a
@@ -28,17 +29,23 @@ type LoadgenConfig struct {
 	AuthToken   string        // shared secret, if the server requires one
 	SetupEdges  int           // edges loaded into each tenant's graph (default 400)
 	CCEvery     int           // every CCEvery-th op is a connected-components run (default 8)
+	// NoPrepare disables the prepared-statement wire path: every op is
+	// sent as statement text and re-parsed server-side. Ablation knob for
+	// measuring what prepare-once/execute-many buys.
+	NoPrepare bool
 }
 
-// ServerJSON is the server-soak section of a BENCH report (schema v5):
+// ServerJSON is the server-soak section of a BENCH report (schema v6):
 // client-observed latency percentiles over the whole op mix plus the
 // server's own admission accounting at the end of the run. The CI
-// server-soak lane asserts ops > 0 and failed == shed == 0.
+// server-soak lane asserts ops > 0, failed == shed == 0 and (on the
+// prepared path) a warm plan-cache hit rate.
 type ServerJSON struct {
 	Addr         string  `json:"addr"`
 	Connections  int     `json:"connections"`
 	Tenants      int     `json:"tenants"`
 	DurationSecs float64 `json:"duration_secs"`
+	NoPrepare    bool    `json:"no_prepare"` // text-only ablation; false = prepared wire path
 
 	Ops    int64 `json:"ops"`     // completed operations across all connections
 	SQLOps int64 `json:"sql_ops"` // Exec/Query operations
@@ -58,6 +65,15 @@ type ServerJSON struct {
 	QueueDepth       int64   `json:"queue_depth"`
 	PeakQueueDepth   int64   `json:"peak_queue_depth"`
 	QueueMillis      float64 `json:"queue_ms_total"` // total admission-queue wait across tenants
+
+	// Plan-cache accounting over the measurement window (deltas between
+	// the pre- and post-run server snapshots, so setup traffic and earlier
+	// runs against the same server don't dilute the rate).
+	ServerPrepared   int64   `json:"server_prepared"`   // Prepare frames served, lifetime
+	Parses           int64   `json:"parses"`            // statements parsed in the window
+	PlanCacheHits    int64   `json:"plan_cache_hits"`   // window delta
+	PlanCacheMisses  int64   `json:"plan_cache_misses"` // window delta
+	PlanCacheHitRate float64 `json:"plan_cache_hit_rate"`
 }
 
 func (cfg *LoadgenConfig) defaults() {
@@ -157,6 +173,27 @@ func runConn(cfg *LoadgenConfig, id int, deadline time.Time, st *connStats) erro
 	if err := createFresh(c, scratch, fmt.Sprintf("CREATE TABLE %s (k, x) DISTRIBUTED BY (k)", scratch)); err != nil {
 		return fmt.Errorf("loadgen: conn %d scratch: %w", id, err)
 	}
+	// The prepared path parses each op shape exactly once per connection.
+	// The two count shapes carry distinct aliases on purpose: the plan
+	// cache keys table-parameterised statements by normalized text alone
+	// and validates the bound table's schema on every hit, so one shape
+	// alternating between edges (v1, v2) and scratch (k, x) would fail
+	// validation — and replan — every other execution.
+	var insStmt, qEdges, qScratch *client.Stmt
+	if !cfg.NoPrepare {
+		for _, p := range []struct {
+			dst **client.Stmt
+			src string
+		}{
+			{&insStmt, "INSERT INTO $1 VALUES ($2,$3),($4,$5)"},
+			{&qEdges, "SELECT count(*) AS n FROM $1 AS e"},
+			{&qScratch, "SELECT count(*) AS n FROM $1 AS s"},
+		} {
+			if *p.dst, err = c.Prepare(p.src); err != nil {
+				return fmt.Errorf("loadgen: conn %d prepare: %w", id, err)
+			}
+		}
+	}
 	rng := rand.New(rand.NewSource(int64(cfg.Seed) + int64(id)*7919))
 	for op := 0; time.Now().Before(deadline); op++ {
 		start := time.Now()
@@ -164,7 +201,7 @@ func runConn(cfg *LoadgenConfig, id int, deadline time.Time, st *connStats) erro
 		cc := op%cfg.CCEvery == cfg.CCEvery-1
 		if cc {
 			_, err = c.ConnectedComponents("edges", "", cfg.Seed+uint64(op))
-		} else {
+		} else if cfg.NoPrepare {
 			switch op % 3 {
 			case 0:
 				_, _, err = c.Exec(fmt.Sprintf("INSERT INTO %s VALUES (%d,%d),(%d,%d)",
@@ -173,6 +210,17 @@ func runConn(cfg *LoadgenConfig, id int, deadline time.Time, st *connStats) erro
 				_, _, err = c.Query("SELECT count(*) AS n FROM edges")
 			default:
 				_, _, err = c.Query(fmt.Sprintf("SELECT count(*) AS n FROM %s", scratch))
+			}
+		} else {
+			switch op % 3 {
+			case 0:
+				_, _, err = insStmt.Exec(client.Table(scratch),
+					client.Int(int64(rng.Intn(64))), client.Int(int64(rng.Intn(1000))),
+					client.Int(int64(rng.Intn(64))), client.Int(int64(rng.Intn(1000))))
+			case 1:
+				_, _, err = qEdges.Query(client.Table("edges"))
+			default:
+				_, _, err = qScratch.Query(client.Table(scratch))
 			}
 		}
 		switch {
@@ -236,7 +284,14 @@ func RunLoadgen(cfg LoadgenConfig, progress func(string)) (*ServerJSON, error) {
 		}
 	}
 	if progress != nil {
-		progress(fmt.Sprintf("loadgen: %d connections over %d tenants for %s", cfg.Connections, cfg.Tenants, cfg.Duration))
+		progress(fmt.Sprintf("loadgen: %d connections over %d tenants for %s (prepared=%v)", cfg.Connections, cfg.Tenants, cfg.Duration, !cfg.NoPrepare))
+	}
+
+	// Pre-run snapshot: the hit rate is computed over the measurement
+	// window only, so setup inserts and prior runs don't dilute it.
+	before, err := fetchServerStats(&cfg)
+	if err != nil {
+		return nil, err
 	}
 
 	deadline := time.Now().Add(cfg.Duration)
@@ -262,6 +317,7 @@ func RunLoadgen(cfg LoadgenConfig, progress func(string)) (*ServerJSON, error) {
 		Connections:  cfg.Connections,
 		Tenants:      cfg.Tenants,
 		DurationSecs: cfg.Duration.Seconds(),
+		NoPrepare:    cfg.NoPrepare,
 	}
 	var all []time.Duration
 	for i := range stats {
@@ -278,14 +334,9 @@ func RunLoadgen(cfg LoadgenConfig, progress func(string)) (*ServerJSON, error) {
 	out.P99Millis = percentile(all, 0.99)
 	out.MaxMillis = percentile(all, 1)
 
-	c, err := client.Dial(cfg.Addr, loadgenTenant(0), cfg.AuthToken)
+	st, err := fetchServerStats(&cfg)
 	if err != nil {
-		return nil, fmt.Errorf("loadgen: stats dial: %w", err)
-	}
-	defer c.Close()
-	st, err := c.ServerStats()
-	if err != nil {
-		return nil, fmt.Errorf("loadgen: stats: %w", err)
+		return nil, err
 	}
 	out.ServerStatements = st.Statements
 	out.ServerFailed = st.Failed
@@ -297,7 +348,29 @@ func RunLoadgen(cfg LoadgenConfig, progress func(string)) (*ServerJSON, error) {
 		queueNanos += ts.QueueNanos
 	}
 	out.QueueMillis = float64(queueNanos) / float64(time.Millisecond)
+
+	out.ServerPrepared = st.Prepared
+	out.Parses = st.Parses - before.Parses
+	out.PlanCacheHits = st.PlanCacheHits - before.PlanCacheHits
+	out.PlanCacheMisses = st.PlanCacheMisses - before.PlanCacheMisses
+	if looked := out.PlanCacheHits + out.PlanCacheMisses; looked > 0 {
+		out.PlanCacheHitRate = float64(out.PlanCacheHits) / float64(looked)
+	}
 	return out, nil
+}
+
+// fetchServerStats dials the server for one stats snapshot.
+func fetchServerStats(cfg *LoadgenConfig) (*wire.ServerStats, error) {
+	c, err := client.Dial(cfg.Addr, loadgenTenant(0), cfg.AuthToken)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: stats dial: %w", err)
+	}
+	defer c.Close()
+	st, err := c.ServerStats()
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: stats: %w", err)
+	}
+	return st, nil
 }
 
 // LoadgenDataset is the Dataset name of server-soak reports:
@@ -305,7 +378,7 @@ func RunLoadgen(cfg LoadgenConfig, progress func(string)) (*ServerJSON, error) {
 const LoadgenDataset = "server-soak"
 
 // WriteLoadgenReport runs the load generator and writes its result as a
-// schema-v5 BENCH report (dataset "server-soak", no algorithm table, the
+// schema-v6 BENCH report (dataset "server-soak", no algorithm table, the
 // server section populated) into dir, returning the report and its path.
 func WriteLoadgenReport(dir string, benchCfg Config, cfg LoadgenConfig, progress func(string)) (*BenchJSON, string, error) {
 	srv, err := RunLoadgen(cfg, progress)

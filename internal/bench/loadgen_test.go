@@ -71,6 +71,48 @@ func TestLoadgenSoak(t *testing.T) {
 	if rep.ServerShed != 0 || rep.ServerFailed != 0 {
 		t.Fatalf("server-side shed=%d failed=%d", rep.ServerShed, rep.ServerFailed)
 	}
+	if rep.NoPrepare {
+		t.Fatalf("default soak should use the prepared path: %+v", rep)
+	}
+	if rep.ServerPrepared == 0 {
+		t.Fatalf("prepared path served no Prepare frames: %+v", rep)
+	}
+	// The CI soak lane requires ≥ 0.90 after warmup; even this 2-second
+	// run clears it, since only first executions and CC-template builds
+	// miss.
+	if rep.PlanCacheHitRate < 0.90 {
+		t.Fatalf("plan-cache hit rate %.3f < 0.90 (hits=%d misses=%d)",
+			rep.PlanCacheHitRate, rep.PlanCacheHits, rep.PlanCacheMisses)
+	}
+}
+
+// TestLoadgenNoPrepare is the ablation leg: the text-only path must still
+// complete cleanly and must re-parse per statement — the INSERTs carry
+// fresh literals every op, so the parse count scales with the op count
+// instead of the shape count.
+func TestLoadgenNoPrepare(t *testing.T) {
+	srv := startSoakServer(t)
+	rep, err := RunLoadgen(LoadgenConfig{
+		Addr:        srv.Addr(),
+		Connections: 2,
+		Tenants:     1,
+		Duration:    time.Second,
+		Seed:        2019,
+		SetupEdges:  60,
+		NoPrepare:   true,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.NoPrepare {
+		t.Fatalf("ablation flag not recorded: %+v", rep)
+	}
+	if rep.Failed != 0 || rep.Shed != 0 {
+		t.Fatalf("ablation failed=%d shed=%d", rep.Failed, rep.Shed)
+	}
+	if rep.Parses < rep.SQLOps {
+		t.Fatalf("text path parsed %d < %d sql ops", rep.Parses, rep.SQLOps)
+	}
 }
 
 // TestLoadgenSetupIdempotent re-runs the tenant setup against the same
@@ -87,7 +129,7 @@ func TestLoadgenSetupIdempotent(t *testing.T) {
 	}
 }
 
-// TestWriteLoadgenReport checks the schema-v5 report file: dataset
+// TestWriteLoadgenReport checks the schema-v6 report file: dataset
 // "server-soak", the server section populated, and a round-trip decode.
 func TestWriteLoadgenReport(t *testing.T) {
 	srv := startSoakServer(t)

@@ -46,6 +46,28 @@ func runBFS(r *run, c *engine.Cluster, input string) (*Result, error) {
 		return nil, err
 	}
 
+	// The round-loop plans are built once, outside the loop — the engine
+	// analogue of a prepared statement. The rename dance keeps the table
+	// names stable (bfs_l2 is always created fresh and renamed to bfs_l),
+	// so the same immutable plan values execute every round.
+	//
+	// Neighbour labels: for each edge (v, w), the label of w.
+	// Columns after join: v, w, lv(v), lv(r).
+	nbr := engine.Join(r.scan("bfs_e"), r.scan("bfs_l"), 1, 0)
+	nbrMin := engine.GroupBy(nbr, []int{0},
+		engine.Agg{Op: engine.AggMin, Arg: engine.Col(3), Name: "mr"})
+	// Improved label: min(own label, best neighbour label).
+	joined := engine.LeftJoin(r.scan("bfs_l"), nbrMin, 0, 0)
+	improved := engine.Project(joined,
+		engine.ProjCol{Expr: engine.Col(0), Name: "v"},
+		engine.ProjCol{Expr: engine.Least(engine.Col(1), engine.Col(3)), Name: "r"},
+	)
+	// Converged when no vertex changed its representative.
+	changedPlan := engine.Filter(
+		engine.Join(r.scan("bfs_l"), r.scan("bfs_l2"), 0, 0),
+		engine.Bin(engine.OpNe, engine.Col(1), engine.Col(3)),
+	)
+
 	rounds := 0
 	for {
 		rounds++
@@ -53,26 +75,11 @@ func runBFS(r *run, c *engine.Cluster, input string) (*Result, error) {
 			return nil, fmt.Errorf("ccalg: BFS exceeded %d rounds", maxRounds)
 		}
 		r.beginRound()
-		// Neighbour labels: for each edge (v, w), the label of w.
-		// Columns after join: v, w, lv(v), lv(r).
-		nbr := engine.Join(r.scan("bfs_e"), r.scan("bfs_l"), 1, 0)
-		nbrMin := engine.GroupBy(nbr, []int{0},
-			engine.Agg{Op: engine.AggMin, Arg: engine.Col(3), Name: "mr"})
-		// Improved label: min(own label, best neighbour label).
-		joined := engine.LeftJoin(r.scan("bfs_l"), nbrMin, 0, 0)
-		improved := engine.Project(joined,
-			engine.ProjCol{Expr: engine.Col(0), Name: "v"},
-			engine.ProjCol{Expr: engine.Least(engine.Col(1), engine.Col(3)), Name: "r"},
-		)
 		liveV, err := r.create("bfs_l2", improved, 0)
 		if err != nil {
 			return nil, err
 		}
-		// Converged when no vertex changed its representative.
-		changed, err := countRows(r.ctx, c, engine.Filter(
-			engine.Join(r.scan("bfs_l"), r.scan("bfs_l2"), 0, 0),
-			engine.Bin(engine.OpNe, engine.Col(1), engine.Col(3)),
-		))
+		changed, err := countRows(r.ctx, c, changedPlan)
 		if err != nil {
 			return nil, err
 		}

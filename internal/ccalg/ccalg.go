@@ -80,6 +80,11 @@ type Options struct {
 	// OnRound, when non-nil, streams every completed round's statistics as
 	// it finishes — the live form of Result.RoundLog.
 	OnRound func(RoundStats)
+	// NoPrepare disables the prepared-statement round loop of the SQL-driven
+	// algorithms: every statement is rendered to literal SQL and re-parsed
+	// and re-planned each round, the paper-style driver. Ablation knob for
+	// measuring what preparation saves.
+	NoPrepare bool
 	// RC holds the Randomised Contraction specific knobs; ignored by the
 	// other algorithms.
 	RC RCOptions
@@ -107,6 +112,13 @@ type RoundStats struct {
 	// RowsWritten and BytesWritten are the write volume of the round.
 	RowsWritten  int64
 	BytesWritten int64
+	// Parses, PlanHits and PlanMisses are the round's deltas of the SQL
+	// layer's parse and plan-cache counters: with prepared round loops,
+	// Parses stays zero after round one and PlanHits tracks Queries; the
+	// NoPrepare ablation shows a parse per statement instead.
+	Parses     int64
+	PlanHits   int64
+	PlanMisses int64
 }
 
 // Result is the outcome of an algorithm run.
@@ -182,6 +194,8 @@ type run struct {
 	roundLog []RoundStats
 	// Counter snapshot at the start of the current round, for the deltas.
 	q0, w0, b0 int64
+	// Plan-counter snapshot (parses, plan-cache hits and misses).
+	p0, h0, m0 int64
 }
 
 func newRun(c *engine.Cluster, opts Options) *run {
@@ -222,12 +236,14 @@ func (r *run) roundError(alg string, err error) error {
 // round's query count and write volume as deltas.
 func (r *run) beginRound() {
 	r.q0, r.w0, r.b0 = r.c.Counters()
+	r.p0, r.h0, r.m0 = r.c.PlanCounters()
 }
 
 // endRound closes the current round: it records the round's statistics in
 // the run log and streams them to the OnRound callback if set.
 func (r *run) endRound(liveVertices, liveEdges int64) {
 	q, w, b := r.c.Counters()
+	p, h, m := r.c.PlanCounters()
 	rs := RoundStats{
 		Round:        len(r.roundLog) + 1,
 		LiveVertices: liveVertices,
@@ -235,6 +251,9 @@ func (r *run) endRound(liveVertices, liveEdges int64) {
 		Queries:      q - r.q0,
 		RowsWritten:  w - r.w0,
 		BytesWritten: b - r.b0,
+		Parses:       p - r.p0,
+		PlanHits:     h - r.h0,
+		PlanMisses:   m - r.m0,
 	}
 	r.roundLog = append(r.roundLog, rs)
 	if r.onRound != nil {

@@ -55,9 +55,10 @@ func runCracker(r *run, c *engine.Cluster, input string) (*Result, error) {
 	}
 	r.temps[r.t("cr_tree")] = struct{}{}
 
+	plans := newCRPlans(r)
 	rounds := 0
 	for {
-		n, err := countRows(r.ctx, c, r.scan("cr_e"))
+		n, err := countRows(r.ctx, c, plans.eCount)
 		if err != nil {
 			return nil, err
 		}
@@ -69,7 +70,7 @@ func runCracker(r *run, c *engine.Cluster, input string) (*Result, error) {
 			return nil, fmt.Errorf("ccalg: Cracker exceeded %d rounds", maxRounds)
 		}
 		r.beginRound()
-		liveV, liveE, err := crackerRound(r)
+		liveV, liveE, err := crackerRound(r, plans)
 		if err != nil {
 			return nil, err
 		}
@@ -87,9 +88,20 @@ func runCracker(r *run, c *engine.Cluster, input string) (*Result, error) {
 	if _, err := r.create("cr_lab", roots, 0); err != nil {
 		return nil, err
 	}
+	// Children of labelled parents inherit the label; union with the
+	// existing labels and deduplicate (each child has one parent, so
+	// no conflicts arise). Built once: the rename dance keeps the names
+	// stable across propagation rounds.
+	children := engine.Project(
+		engine.Join(r.scan("cr_tree"), r.scan("cr_lab"), 0, 0),
+		engine.ProjCol{Expr: engine.Col(1), Name: "v"},
+		engine.ProjCol{Expr: engine.Col(3), Name: "r"},
+	)
+	propagate := engine.Distinct(engine.UnionAll(r.scan("cr_lab"), children))
+	labCount := r.scan("cr_lab")
 	prev := int64(-1)
 	for {
-		n, err := countRows(r.ctx, c, r.scan("cr_lab"))
+		n, err := countRows(r.ctx, c, labCount)
 		if err != nil {
 			return nil, err
 		}
@@ -99,16 +111,7 @@ func runCracker(r *run, c *engine.Cluster, input string) (*Result, error) {
 		prev = n
 		rounds++
 		r.beginRound()
-		// Children of labelled parents inherit the label; union with the
-		// existing labels and deduplicate (each child has one parent, so
-		// no conflicts arise).
-		children := engine.Project(
-			engine.Join(r.scan("cr_tree"), r.scan("cr_lab"), 0, 0),
-			engine.ProjCol{Expr: engine.Col(1), Name: "v"},
-			engine.ProjCol{Expr: engine.Col(3), Name: "r"},
-		)
-		labelled, err := r.create("cr_lab2",
-			engine.Distinct(engine.UnionAll(r.scan("cr_lab"), children)), 0)
+		labelled, err := r.create("cr_lab2", propagate, 0)
 		if err != nil {
 			return nil, err
 		}
@@ -143,21 +146,29 @@ func runCracker(r *run, c *engine.Cluster, input string) (*Result, error) {
 	return &Result{Labels: labels, Rounds: rounds, RoundLog: r.roundLog}, nil
 }
 
-// crackerRound performs one min-selection + pruning round, replacing cr_e
-// and appending to cr_tree. It returns the surviving (unpruned) vertex
-// count and the edge count of the next graph.
-func crackerRound(r *run) (int64, int64, error) {
-	c := r.c
-	// Min of the closed neighbourhood per vertex.
-	mPlan := engine.Project(
+// crPlans holds the round loop's plans, built once per run
+// (prepared-statement style): the rename dance keeps the cr_* names
+// stable, so the same immutable plan values execute every round.
+type crPlans struct {
+	eCount     engine.Plan
+	m          engine.Plan // min of the closed neighbourhood per vertex
+	candidates engine.Plan // min-selection proposals (receiver, candidate)
+	vmin       engine.Plan // vmin(v) = min C(v)
+	live       engine.Plan // surviving vertices (somebody's minimum)
+	prunedTree engine.Plan // tree rows for pruned vertices
+	nextGraph  engine.Plan // re-linked, re-symmetrised next edge set
+	nextV      engine.Plan // vertices of the next graph
+	rootRows   engine.Plan // tree rows for this round's roots
+}
+
+func newCRPlans(r *run) *crPlans {
+	p := &crPlans{eCount: r.scan("cr_e")}
+	p.m = engine.Project(
 		engine.GroupBy(r.scan("cr_e"), []int{0},
 			engine.Agg{Op: engine.AggMin, Arg: engine.Col(1), Name: "mn"}),
 		engine.ProjCol{Expr: engine.Col(0), Name: "v"},
 		engine.ProjCol{Expr: engine.Least(engine.Col(0), engine.Col(1)), Name: "m"},
 	)
-	if _, err := r.create("cr_m", mPlan, 0); err != nil {
-		return 0, 0, err
-	}
 	// Min selection: candidate proposals (receiver, candidate). Each edge
 	// row (u, v) sends u's minimum to v; each vertex also proposes its
 	// minimum to itself.
@@ -169,43 +180,25 @@ func crackerRound(r *run) (int64, int64, error) {
 	toSelf := engine.Project(r.scan("cr_m"),
 		engine.ProjCol{Expr: engine.Col(0), Name: "v"},
 		engine.ProjCol{Expr: engine.Col(1), Name: "c"})
-	if _, err := r.create("cr_g",
-		engine.Distinct(engine.UnionAll(toNeighbours, toSelf)), 0); err != nil {
-		return 0, 0, err
-	}
-	// The previous graph is no longer needed once the candidate table
-	// exists (a Spark port would unpersist the parent RDD here).
-	if err := r.drop("cr_m", "cr_e"); err != nil {
-		return 0, 0, err
-	}
-	// vmin(v) = min C(v).
-	if _, err := r.create("cr_vmin",
-		engine.GroupBy(r.scan("cr_g"), []int{0},
-			engine.Agg{Op: engine.AggMin, Arg: engine.Col(1), Name: "vmin"}), 0); err != nil {
-		return 0, 0, err
-	}
+	p.candidates = engine.Distinct(engine.UnionAll(toNeighbours, toSelf))
+	p.vmin = engine.GroupBy(r.scan("cr_g"), []int{0},
+		engine.Agg{Op: engine.AggMin, Arg: engine.Col(1), Name: "vmin"})
 	// Survivors: vertices that are somebody's minimum (v ∈ C(v)).
 	survivors := engine.Project(
 		engine.Filter(r.scan("cr_g"),
 			engine.Bin(engine.OpEq, engine.Col(0), engine.Col(1))),
 		engine.ProjCol{Expr: engine.Col(0), Name: "v"},
 	)
-	liveV, err := r.create("cr_live", engine.Distinct(survivors), 0)
-	if err != nil {
-		return 0, 0, err
-	}
+	p.live = engine.Distinct(survivors)
 	// Pruned vertices attach to their candidate minimum in the tree.
 	// Columns after left join: v, vmin, v(live).
-	prunedTree := engine.Project(
+	p.prunedTree = engine.Project(
 		engine.Filter(
 			engine.LeftJoin(r.scan("cr_vmin"), r.scan("cr_live"), 0, 0),
 			engine.IsNull(engine.Col(2))),
 		engine.ProjCol{Expr: engine.Col(1), Name: "parent"},
 		engine.ProjCol{Expr: engine.Col(0), Name: "child"},
 	)
-	if _, err := r.create("cr_prune", prunedTree, 1); err != nil {
-		return 0, 0, err
-	}
 	// Next graph: every candidate re-linked to its receiver's minimum,
 	// re-symmetrised, loops dropped. Join columns: v, c, v, vmin.
 	relinked := engine.Project(
@@ -216,32 +209,61 @@ func crackerRound(r *run) (int64, int64, error) {
 	rev := engine.Project(relinked,
 		engine.ProjCol{Expr: engine.Col(1), Name: "v"},
 		engine.ProjCol{Expr: engine.Col(0), Name: "w"})
-	sym := engine.Distinct(engine.Filter(engine.UnionAll(relinked, rev),
+	p.nextGraph = engine.Distinct(engine.Filter(engine.UnionAll(relinked, rev),
 		engine.Bin(engine.OpNe, engine.Col(0), engine.Col(1))))
-	liveE, err := r.create("cr_e2", sym, 0)
-	if err != nil {
-		return 0, 0, err
-	}
+	p.nextV = engine.Distinct(engine.Project(
+		engine.GroupBy(r.scan("cr_e2"), []int{0}),
+		engine.ProjCol{Expr: engine.Col(0), Name: "v"}))
 	// Roots: surviving vertices that no longer touch any edge and were not
 	// pruned — they seed their component. Columns after the two left
 	// joins: v, v(pruned child), v(next-graph vertex).
-	nextV := engine.Project(
-		engine.GroupBy(r.scan("cr_e2"), []int{0}),
-		engine.ProjCol{Expr: engine.Col(0), Name: "v"})
-	if _, err := r.create("cr_nextv", engine.Distinct(nextV), 0); err != nil {
-		return 0, 0, err
-	}
 	prunedChildren := engine.Project(r.scan("cr_prune"),
 		engine.ProjCol{Expr: engine.Col(1), Name: "v"})
 	lj1 := engine.LeftJoin(r.scan("cr_live"), engine.Distinct(prunedChildren), 0, 0)
 	lj2 := engine.LeftJoin(lj1, r.scan("cr_nextv"), 0, 0)
-	rootRows := engine.Project(
+	p.rootRows = engine.Project(
 		engine.Filter(lj2, engine.Bin(engine.OpAnd,
 			engine.IsNull(engine.Col(1)), engine.IsNull(engine.Col(2)))),
 		engine.ProjCol{Expr: engine.Col(0), Name: "parent"},
 		engine.ProjCol{Expr: engine.Col(0), Name: "child"},
 	)
-	if _, err := r.create("cr_roots", rootRows, 1); err != nil {
+	return p
+}
+
+// crackerRound performs one min-selection + pruning round, replacing cr_e
+// and appending to cr_tree. It returns the surviving (unpruned) vertex
+// count and the edge count of the next graph.
+func crackerRound(r *run, p *crPlans) (int64, int64, error) {
+	c := r.c
+	if _, err := r.create("cr_m", p.m, 0); err != nil {
+		return 0, 0, err
+	}
+	if _, err := r.create("cr_g", p.candidates, 0); err != nil {
+		return 0, 0, err
+	}
+	// The previous graph is no longer needed once the candidate table
+	// exists (a Spark port would unpersist the parent RDD here).
+	if err := r.drop("cr_m", "cr_e"); err != nil {
+		return 0, 0, err
+	}
+	if _, err := r.create("cr_vmin", p.vmin, 0); err != nil {
+		return 0, 0, err
+	}
+	liveV, err := r.create("cr_live", p.live, 0)
+	if err != nil {
+		return 0, 0, err
+	}
+	if _, err := r.create("cr_prune", p.prunedTree, 1); err != nil {
+		return 0, 0, err
+	}
+	liveE, err := r.create("cr_e2", p.nextGraph, 0)
+	if err != nil {
+		return 0, 0, err
+	}
+	if _, err := r.create("cr_nextv", p.nextV, 0); err != nil {
+		return 0, 0, err
+	}
+	if _, err := r.create("cr_roots", p.rootRows, 1); err != nil {
 		return 0, 0, err
 	}
 	// Append this round's tree rows.

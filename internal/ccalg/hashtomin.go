@@ -54,6 +54,29 @@ func runHashToMin(r *run, c *engine.Cluster, input string) (*Result, error) {
 		return nil, err
 	}
 
+	// Round-loop plans, built once outside the loop (prepared-statement
+	// style): the rename dance keeps hm_c / hm_m / hm_map names stable, so
+	// the same immutable plan values execute every round.
+	//
+	// m(v) = min C(v). Its cardinality is the vertex count.
+	mPlan := engine.GroupBy(r.scan("hm_c"), []int{0},
+		engine.Agg{Op: engine.AggMin, Arg: engine.Col(1), Name: "m"})
+	// Join columns: v, u, v, m.
+	joined := engine.Join(r.scan("hm_c"), r.scan("hm_m"), 0, 0)
+	// Map phase: send the cluster to the min, (m, u), and the min to
+	// every member, (u, m). The raw message table is materialised
+	// before the reduce, as in the paper's MapReduce-to-SQL port.
+	toMin := engine.Project(joined,
+		engine.ProjCol{Expr: engine.Col(3), Name: "v"},
+		engine.ProjCol{Expr: engine.Col(1), Name: "u"})
+	toMembers := engine.Project(joined,
+		engine.ProjCol{Expr: engine.Col(1), Name: "v"},
+		engine.ProjCol{Expr: engine.Col(3), Name: "u"})
+	mapPlan := engine.UnionAll(toMin, toMembers)
+	reducePlan := engine.Distinct(r.scan("hm_map"))
+	cCount := r.scan("hm_c")
+	unionCount := engine.Distinct(engine.UnionAll(r.scan("hm_c"), r.scan("hm_c2")))
+
 	rounds := 0
 	for {
 		rounds++
@@ -61,29 +84,15 @@ func runHashToMin(r *run, c *engine.Cluster, input string) (*Result, error) {
 			return nil, fmt.Errorf("ccalg: Hash-to-Min exceeded %d rounds", maxRounds)
 		}
 		r.beginRound()
-		// m(v) = min C(v). Its cardinality is the vertex count.
-		liveV, err := r.create("hm_m",
-			engine.GroupBy(r.scan("hm_c"), []int{0},
-				engine.Agg{Op: engine.AggMin, Arg: engine.Col(1), Name: "m"}), 0)
+		liveV, err := r.create("hm_m", mPlan, 0)
 		if err != nil {
 			return nil, err
 		}
-		// Join columns: v, u, v, m.
-		joined := engine.Join(r.scan("hm_c"), r.scan("hm_m"), 0, 0)
-		// Map phase: send the cluster to the min, (m, u), and the min to
-		// every member, (u, m). The raw message table is materialised
-		// before the reduce, as in the paper's MapReduce-to-SQL port.
-		toMin := engine.Project(joined,
-			engine.ProjCol{Expr: engine.Col(3), Name: "v"},
-			engine.ProjCol{Expr: engine.Col(1), Name: "u"})
-		toMembers := engine.Project(joined,
-			engine.ProjCol{Expr: engine.Col(1), Name: "v"},
-			engine.ProjCol{Expr: engine.Col(3), Name: "u"})
-		if _, err := r.create("hm_map", engine.UnionAll(toMin, toMembers), 0); err != nil {
+		if _, err := r.create("hm_map", mapPlan, 0); err != nil {
 			return nil, err
 		}
 		// Reduce phase: deduplicate into the next cluster state.
-		n2, err := r.create("hm_c2", engine.Distinct(r.scan("hm_map")), 0)
+		n2, err := r.create("hm_c2", reducePlan, 0)
 		if err != nil {
 			return nil, err
 		}
@@ -93,14 +102,13 @@ func runHashToMin(r *run, c *engine.Cluster, input string) (*Result, error) {
 		// Converged when the cluster table is unchanged (a fixpoint of the
 		// update). Multiset equality: equal cardinalities and the distinct
 		// union no larger than either side.
-		n1, err := countRows(r.ctx, c, r.scan("hm_c"))
+		n1, err := countRows(r.ctx, c, cCount)
 		if err != nil {
 			return nil, err
 		}
 		same := false
 		if n1 == n2 {
-			nu, err := countRows(r.ctx, c, engine.Distinct(engine.UnionAll(
-				r.scan("hm_c"), r.scan("hm_c2"))))
+			nu, err := countRows(r.ctx, c, unionCount)
 			if err != nil {
 				return nil, err
 			}

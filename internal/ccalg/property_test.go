@@ -18,12 +18,13 @@ import (
 // graphs from six structural families, must produce the same canonical
 // labelling as the Union/Find oracle — and the *identical* labelling
 // regardless of memory budget (spilling kernels are bit-identical), of
-// injected faults (retries are transparent), and of the bloom-join /
+// injected faults (retries are transparent), of the bloom-join /
 // operator-fusion execution knobs (pruning and fusion are pure
-// optimizations). The budget and fault axes are exactly the conditions the
-// ICDE'20 evaluation never varies: the paper's correctness claims are
-// per-algorithm, so any divergence here is an engine bug, not an algorithm
-// property.
+// optimizations), and of whether round-loop statements run prepared
+// through the plan cache or as freshly parsed text. The budget and fault
+// axes are exactly the conditions the ICDE'20 evaluation never varies:
+// the paper's correctness claims are per-algorithm, so any divergence
+// here is an engine bug, not an algorithm property.
 
 // propertyCells is the execution matrix: each cell is one cluster
 // configuration every algorithm × family pair must label identically
@@ -33,24 +34,31 @@ import (
 // fusion; the fault cells run with injected segment faults and retries.
 // Knob coverage concentrates where the code paths differ most: all four
 // knob combinations on the unbounded cell, and knob-off-under-faults on
-// the spilling cells.
+// the spilling cells. The no-prepare cells execute the drivers' round
+// loops through literal SQL text instead of prepared statements, so
+// substitute-and-replan and instantiate-from-template must agree bit for
+// bit — once under no pressure and once with spilling and faults layered
+// on top.
 var propertyCells = []struct {
 	name      string
 	budget    int64
 	faulty    bool
 	bloomOff  bool
 	fusionOff bool
+	noPrepare bool
 }{
-	{"unbounded", 0, false, false, false},
-	{"unbounded/no-bloom", 0, false, true, false},
-	{"unbounded/no-fusion", 0, false, false, true},
-	{"unbounded/plain", 0, false, true, true},
-	{"tight", 8 << 10, false, false, false},
-	{"tight/faults", 8 << 10, true, false, false},
-	{"tight/plain/faults", 8 << 10, true, true, true},
-	{"pathological", 1 << 10, false, false, false},
-	{"pathological/faults", 1 << 10, true, false, false},
-	{"pathological/no-bloom/faults", 1 << 10, true, true, false},
+	{"unbounded", 0, false, false, false, false},
+	{"unbounded/no-bloom", 0, false, true, false, false},
+	{"unbounded/no-fusion", 0, false, false, true, false},
+	{"unbounded/plain", 0, false, true, true, false},
+	{"unbounded/no-prepare", 0, false, false, false, true},
+	{"tight", 8 << 10, false, false, false, false},
+	{"tight/faults", 8 << 10, true, false, false, false},
+	{"tight/plain/faults", 8 << 10, true, true, true, false},
+	{"pathological", 1 << 10, false, false, false, false},
+	{"pathological/faults", 1 << 10, true, false, false, false},
+	{"pathological/no-bloom/faults", 1 << 10, true, true, false, false},
+	{"pathological/no-prepare/faults", 1 << 10, true, false, false, true},
 }
 
 // randomFamilies draws one graph per structural family from rng. Isolated
@@ -191,7 +199,7 @@ func TestPropertyAllAlgorithmsBudgetsFaults(t *testing.T) {
 					if err := graph.Load(c, "input", g); err != nil {
 						t.Fatal(err)
 					}
-					res, err := info.Run(c, "input", Options{Seed: uint64(trial) + 7})
+					res, err := info.Run(c, "input", Options{Seed: uint64(trial) + 7, NoPrepare: cell.noPrepare})
 					if err != nil {
 						t.Fatalf("%s: %v", ctxt, err)
 					}

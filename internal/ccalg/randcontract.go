@@ -120,18 +120,138 @@ func drawKeys(rng *xrand.Rand) rcKeys {
 	}
 }
 
+// The Appendix A statement shapes, written once with $N parameters: $1 is
+// always the CTAS target, table parameters carry the round-varying
+// rc_reps<i> / renamed graph tables, value parameters the round keys. Each
+// shape is prepared once per run (one parse) and its plan template is
+// cached engine-wide; because every table reference is a parameter the
+// templates are namespace-independent and shared across runs.
+const (
+	rcSQLSetup = `
+		create table $1 as
+		select v1, v2 from $2 as e
+		union all
+		select v2, v1 from $2 as e2
+		distributed by (v1)`
+	rcSQLContract1 = `
+		create table $1 as
+		select r1.rep as v1, g.v2 as v2
+		from $2 as g, $3 as r1
+		where g.v1 = r1.v
+		distributed by (v2)`
+	rcSQLContract2 = `
+		create table $1 as
+		select distinct g2.v1 as v1, r2.rep as v2
+		from $2 as g2, $3 as r2
+		where g2.v2 = r2.v and g2.v1 != r2.rep
+		distributed by (v1)`
+	rcSQLMinH = `
+		create table $1 as
+		select v, min(h) as mh from $2 as nh group by v
+		distributed by (v)`
+	rcSQLArgmin = `
+		create table $1 as
+		select nh.v as v, min(nh.w) as rep
+		from $2 as nh, $3 as mh
+		where nh.v = mh.v and nh.h = mh.mh
+		group by nh.v
+		distributed by (v)`
+)
+
+// rcStmts issues the driver's SQL as prepared statements: each distinct
+// statement shape is parsed and planned once per run, and every round
+// binds that round's table names and keys. With noPrep set (the ablation)
+// each call instead renders the arguments into literal SQL and executes
+// the text, paying the per-round parse and plan the paper's driver pays.
+type rcStmts struct {
+	r       *run
+	s       *sql.Session
+	noPrep  bool
+	byShape map[string]*sql.Prepared
+}
+
+func newRCStmts(r *run, s *sql.Session, noPrep bool) *rcStmts {
+	return &rcStmts{r: r, s: s, noPrep: noPrep, byShape: make(map[string]*sql.Prepared)}
+}
+
+func (p *rcStmts) handle(src string) (*sql.Prepared, error) {
+	if h, ok := p.byShape[src]; ok {
+		return h, nil
+	}
+	h, err := p.s.Prepare(src)
+	if err != nil {
+		return nil, err
+	}
+	p.byShape[src] = h
+	return h, nil
+}
+
+// create runs a CTAS shape with $1 bound to the target temp table,
+// tracking the temp for cleanup and applying the run's space guard.
+func (p *rcStmts) create(target, src string, args ...sql.Arg) (int64, error) {
+	all := append([]sql.Arg{sql.Table(target)}, args...)
+	var n int64
+	var err error
+	if p.noPrep {
+		n, err = p.s.Exec(renderSQL(src, all))
+	} else {
+		var h *sql.Prepared
+		if h, err = p.handle(src); err == nil {
+			n, err = h.Exec(all...)
+		}
+	}
+	if err != nil {
+		return 0, err
+	}
+	p.r.temps[p.r.t(target)] = struct{}{}
+	return n, p.r.checkSpace()
+}
+
+// query runs a SELECT shape.
+func (p *rcStmts) query(src string, args ...sql.Arg) (engine.Schema, []engine.Row, error) {
+	if p.noPrep {
+		return p.s.Query(renderSQL(src, args))
+	}
+	h, err := p.handle(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	return h.Query(args...)
+}
+
+// renderSQL substitutes the bound arguments into the statement text as
+// literals — the unprepared form the NoPrepare ablation measures.
+func renderSQL(src string, args []sql.Arg) string {
+	var b []byte
+	for i := 0; i < len(src); i++ {
+		if src[i] != '$' {
+			b = append(b, src[i])
+			continue
+		}
+		j := i + 1
+		n := 0
+		for j < len(src) && src[j] >= '0' && src[j] <= '9' {
+			n = n*10 + int(src[j]-'0')
+			j++
+		}
+		if j == i+1 || n < 1 || n > len(args) {
+			b = append(b, src[i])
+			continue
+		}
+		b = append(b, args[n-1].String()...)
+		i = j - 1
+	}
+	return string(b)
+}
+
 func runRC(r *run, s *sql.Session, input string, opts Options) (*Result, error) {
 	rng := xrand.New(opts.Seed)
 	method := opts.RC.Method
 	variant := opts.RC.Variant
+	p := newRCStmts(r, s, opts.NoPrepare)
 
 	// Setup (Appendix A): symmetrise the edge table.
-	if _, err := r.exec(s, `
-		create table rc_graph as
-		select v1, v2 from `+input+`
-		union all
-		select v2, v1 from `+input+`
-		distributed by (v1)`); err != nil {
+	if _, err := p.create("rc_graph", rcSQLSetup, sql.Table(input)); err != nil {
 		return nil, err
 	}
 
@@ -154,12 +274,13 @@ func runRC(r *run, s *sql.Session, input string, opts Options) (*Result, error) 
 		}
 		stack = append(stack, keys)
 
+		reps := fmt.Sprintf("rc_reps%d", round)
 		var liveV int64
 		var err error
 		if method == FiniteFields || method == GFPrime {
-			liveV, err = rcRepsAffine(r, s, method, round, keys)
+			liveV, err = rcRepsAffine(p, method, reps, keys)
 		} else {
-			liveV, err = rcRepsArgmin(r, s, method, round, keys)
+			liveV, err = rcRepsArgmin(p, method, reps, keys)
 		}
 		if err != nil {
 			return nil, err
@@ -167,23 +288,15 @@ func runRC(r *run, s *sql.Session, input string, opts Options) (*Result, error) 
 
 		// Contraction, split into the two queries of Appendix A so the
 		// write-volume accounting matches the measured implementation.
-		if _, err := r.exec(s, fmt.Sprintf(`
-			create table rc_graph2 as
-			select r1.rep as v1, v2
-			from rc_graph, rc_reps%d as r1
-			where rc_graph.v1 = r1.v
-			distributed by (v2)`, round)); err != nil {
+		if _, err := p.create("rc_graph2", rcSQLContract1,
+			sql.Table("rc_graph"), sql.Table(reps)); err != nil {
 			return nil, err
 		}
 		if err := r.drop("rc_graph"); err != nil {
 			return nil, err
 		}
-		size, err := r.exec(s, fmt.Sprintf(`
-			create table rc_graph3 as
-			select distinct v1, r2.rep as v2
-			from rc_graph2, rc_reps%d as r2
-			where rc_graph2.v2 = r2.v and v1 != r2.rep
-			distributed by (v1)`, round))
+		size, err := p.create("rc_graph3", rcSQLContract2,
+			sql.Table("rc_graph2"), sql.Table(reps))
 		if err != nil {
 			return nil, err
 		}
@@ -197,7 +310,7 @@ func runRC(r *run, s *sql.Session, input string, opts Options) (*Result, error) 
 		// The Safe (Fig. 3) variant folds the round's representative table
 		// into the running composition L immediately and drops it.
 		if variant == Safe {
-			if err := rcFoldSafe(r, s, method, round, keys); err != nil {
+			if err := rcFoldSafe(p, method, round, keys); err != nil {
 				return nil, err
 			}
 		}
@@ -218,7 +331,7 @@ func runRC(r *run, s *sql.Session, input string, opts Options) (*Result, error) 
 			return nil, err
 		}
 	case Fast:
-		if err := rcComposeFast(r, s, method, stack); err != nil {
+		if err := rcComposeFast(p, method, stack); err != nil {
 			return nil, err
 		}
 	}
@@ -233,21 +346,26 @@ func runRC(r *run, s *sql.Session, input string, opts Options) (*Result, error) 
 	return &Result{Labels: labels, Rounds: len(stack), RoundLog: r.roundLog}, nil
 }
 
+// rcFn names the affine-map UDF of a GF method.
+func rcFn(method Method) string {
+	if method == GFPrime {
+		return "axbp"
+	}
+	return "axplusb"
+}
+
 // rcRepsAffine computes the round's representatives with the
 // min-relabelling optimisation (Sec. V-D): representatives are the
 // h-transformed IDs, so a plain min aggregate suffices. It returns the
 // representative-table cardinality — the round's live vertex count.
-func rcRepsAffine(r *run, s *sql.Session, method Method, round int, k rcKeys) (int64, error) {
-	fn := "axplusb"
-	if method == GFPrime {
-		fn = "axbp"
-	}
-	return r.exec(s, fmt.Sprintf(`
-		create table rc_reps%d as
-		select v1 v, least(%[2]s(%[3]d, v1, %[4]d), min(%[2]s(%[3]d, v2, %[4]d))) rep
-		from rc_graph
+func rcRepsAffine(p *rcStmts, method Method, reps string, k rcKeys) (int64, error) {
+	src := fmt.Sprintf(`
+		create table $1 as
+		select v1 v, least(%[1]s($2, v1, $3), min(%[1]s($2, v2, $3))) rep
+		from $4 as g
 		group by v1
-		distributed by (v)`, round, fn, k.a, k.b))
+		distributed by (v)`, rcFn(method))
+	return p.create(reps, src, sql.Int(k.a), sql.Int(k.b), sql.Table("rc_graph"))
 }
 
 // rcRepsArgmin computes the round's representatives as
@@ -257,46 +375,48 @@ func rcRepsAffine(r *run, s *sql.Session, method Method, round int, k rcKeys) (i
 // still a valid representative choice (any r(v) ∈ N[v] preserves
 // connectivity). It returns the representative-table cardinality — the
 // round's live vertex count.
-func rcRepsArgmin(r *run, s *sql.Session, method Method, round int, k rcKeys) (int64, error) {
-	hexpr := func(col string) string {
-		if method == Encryption {
-			return fmt.Sprintf("enc(%d, %s)", k.key, col)
-		}
-		return fmt.Sprintf("hrand(%d, %s)", k.key, col)
+func rcRepsArgmin(p *rcStmts, method Method, reps string, k rcKeys) (int64, error) {
+	h := "hrand"
+	if method == Encryption {
+		h = "enc"
 	}
 	// Closed-neighbourhood h values: one row (v, w, h(w)) per neighbour,
 	// plus the self row (v, v, h(v)).
-	if _, err := r.exec(s, fmt.Sprintf(`
-		create table rc_nh as
-		select v1 as v, v2 as w, %s as h from rc_graph
+	nhSrc := fmt.Sprintf(`
+		create table $1 as
+		select g.v1 as v, g.v2 as w, %[1]s($2, g.v2) as h from $3 as g
 		union all
-		select v1 as v, v1 as w, %s as h from rc_graph group by v1
-		distributed by (v)`, hexpr("v2"), hexpr("v1"))); err != nil {
+		select g2.v1 as v, g2.v1 as w, %[1]s($2, g2.v1) as h from $3 as g2 group by g2.v1
+		distributed by (v)`, h)
+	if _, err := p.create("rc_nh", nhSrc, sql.Int(k.key), sql.Table("rc_graph")); err != nil {
 		return 0, err
 	}
-	if _, err := r.exec(s, `
-		create table rc_minh as
-		select v, min(h) as mh from rc_nh group by v
-		distributed by (v)`); err != nil {
+	if _, err := p.create("rc_minh", rcSQLMinH, sql.Table("rc_nh")); err != nil {
 		return 0, err
 	}
-	n, err := r.exec(s, fmt.Sprintf(`
-		create table rc_reps%d as
-		select rc_nh.v as v, min(rc_nh.w) as rep
-		from rc_nh, rc_minh
-		where rc_nh.v = rc_minh.v and rc_nh.h = rc_minh.mh
-		group by rc_nh.v
-		distributed by (v)`, round))
+	n, err := p.create(reps, rcSQLArgmin, sql.Table("rc_nh"), sql.Table("rc_minh"))
 	if err != nil {
 		return 0, err
 	}
-	return n, r.drop("rc_nh", "rc_minh")
+	return n, p.r.drop("rc_nh", "rc_minh")
+}
+
+// rcRelabelSQL renders the Fig. 3 / Fig. 4 composition shape: relabel is
+// the fallback expression for labels that dropped out of the joined
+// representative table.
+func rcRelabelSQL(left, right, relabel string) string {
+	return fmt.Sprintf(`
+		create table $1 as
+		select %[1]s.v as v, coalesce(%[2]s.rep, %[3]s) as rep
+		from $2 as %[1]s left outer join $3 as %[2]s on (%[1]s.rep = %[2]s.v)
+		distributed by (v)`, left, right, relabel)
 }
 
 // rcFoldSafe folds the round's representative table into the running
 // composition table rc_l (Fig. 3's else branch) and drops it, keeping the
 // space bound deterministic.
-func rcFoldSafe(r *run, s *sql.Session, method Method, round int, k rcKeys) error {
+func rcFoldSafe(p *rcStmts, method Method, round int, k rcKeys) error {
+	r := p.r
 	reps := fmt.Sprintf("rc_reps%d", round)
 	if round == 1 {
 		return r.rename(reps, "rc_l")
@@ -304,20 +424,17 @@ func rcFoldSafe(r *run, s *sql.Session, method Method, round int, k rcKeys) erro
 	// Vertices whose label dropped out of this round's computation must be
 	// relabelled through hᵢ for the GF methods (their labels live in the
 	// previous round's ID space); the argmin methods keep real IDs.
-	var relabel string
+	var src string
+	var args []sql.Arg
 	switch method {
-	case FiniteFields:
-		relabel = fmt.Sprintf("axplusb(%d, l.rep, %d)", k.a, k.b)
-	case GFPrime:
-		relabel = fmt.Sprintf("axbp(%d, l.rep, %d)", k.a, k.b)
+	case FiniteFields, GFPrime:
+		src = rcRelabelSQL("l", "rr", rcFn(method)+"($4, l.rep, $5)")
+		args = []sql.Arg{sql.Table("rc_l"), sql.Table(reps), sql.Int(k.a), sql.Int(k.b)}
 	default:
-		relabel = "l.rep"
+		src = rcRelabelSQL("l", "rr", "l.rep")
+		args = []sql.Arg{sql.Table("rc_l"), sql.Table(reps)}
 	}
-	if _, err := r.exec(s, fmt.Sprintf(`
-		create table rc_tmp as
-		select l.v as v, coalesce(rr.rep, %s) as rep
-		from rc_l as l left outer join %s as rr on (l.rep = rr.v)
-		distributed by (v)`, relabel, reps)); err != nil {
+	if _, err := p.create("rc_tmp", src, args...); err != nil {
 		return err
 	}
 	if err := r.drop("rc_l", reps); err != nil {
@@ -329,24 +446,26 @@ func rcFoldSafe(r *run, s *sql.Session, method Method, round int, k rcKeys) erro
 // rcComposeFast composes the stacked representative tables back to front
 // (Fig. 4's second loop / Appendix A), accumulating the affine coefficient
 // composition for the GF methods exactly as the paper's Python does.
-func rcComposeFast(r *run, s *sql.Session, method Method, stack []rcKeys) error {
+func rcComposeFast(p *rcStmts, method Method, stack []rcKeys) error {
+	r := p.r
 	gfMethod := method == FiniteFields || method == GFPrime
+	axbSrc := fmt.Sprintf("select %s($1, $2, $3) as r", rcFn(method))
 	axb := func(a, x, b int64) (int64, error) {
-		fn := "axplusb"
-		if method == GFPrime {
-			fn = "axbp"
-		}
-		_, rows, err := s.Queryf("select %s(%d, %d, %d) as r", fn, a, x, b)
+		_, rows, err := p.query(axbSrc, sql.Int(a), sql.Int(x), sql.Int(b))
 		if err != nil {
-			return 0, fmt.Errorf("ccalg: %s self-query failed: %w", fn, err)
+			return 0, fmt.Errorf("ccalg: %s self-query failed: %w", rcFn(method), err)
 		}
 		if len(rows) != 1 {
-			return 0, fmt.Errorf("ccalg: %s self-query returned %d rows, want 1", fn, len(rows))
+			return 0, fmt.Errorf("ccalg: %s self-query returned %d rows, want 1", rcFn(method), len(rows))
 		}
 		return rows[0][0].Int, nil
 	}
 	accA, accB := int64(1), int64(0)
 	for i := len(stack) - 1; i >= 1; i-- {
+		var src string
+		var args []sql.Arg
+		r1 := fmt.Sprintf("rc_reps%d", i)
+		r2 := fmt.Sprintf("rc_reps%d", i+1)
 		if gfMethod {
 			k := stack[i]
 			newA, err := axb(accA, k.a, 0)
@@ -358,63 +477,21 @@ func rcComposeFast(r *run, s *sql.Session, method Method, stack []rcKeys) error 
 				return err
 			}
 			accA, accB = newA, newB
-		}
-		var relabel string
-		if gfMethod {
-			fn := "axplusb"
-			if method == GFPrime {
-				fn = "axbp"
-			}
-			relabel = fmt.Sprintf("%s(%d, r1.rep, %d)", fn, accA, accB)
+			src = rcRelabelSQL("r1", "r2", rcFn(method)+"($4, r1.rep, $5)")
+			args = []sql.Arg{sql.Table(r1), sql.Table(r2), sql.Int(accA), sql.Int(accB)}
 		} else {
-			relabel = "r1.rep"
+			src = rcRelabelSQL("r1", "r2", "r1.rep")
+			args = []sql.Arg{sql.Table(r1), sql.Table(r2)}
 		}
-		if _, err := r.exec(s, fmt.Sprintf(`
-			create table rc_tmp as
-			select r1.v as v, coalesce(r2.rep, %s) as rep
-			from rc_reps%d as r1 left outer join rc_reps%d as r2 on (r1.rep = r2.v)
-			distributed by (v)`, relabel, i, i+1)); err != nil {
+		if _, err := p.create("rc_tmp", src, args...); err != nil {
 			return err
 		}
-		if err := r.drop(fmt.Sprintf("rc_reps%d", i), fmt.Sprintf("rc_reps%d", i+1)); err != nil {
+		if err := r.drop(r1, r2); err != nil {
 			return err
 		}
-		if err := r.rename("rc_tmp", fmt.Sprintf("rc_reps%d", i)); err != nil {
+		if err := r.rename("rc_tmp", r1); err != nil {
 			return err
 		}
 	}
 	return r.rename("rc_reps1", "rc_result")
-}
-
-// exec runs a SQL statement through the session with the run's space guard.
-func (r *run) exec(s *sql.Session, stmt string) (int64, error) {
-	n, err := s.Exec(stmt)
-	if err != nil {
-		return 0, err
-	}
-	r.noteTables(stmt)
-	return n, r.checkSpace()
-}
-
-// noteTables records tables created by a statement for cleanup purposes.
-// The statement names are logical; the cleanup set stores the run-private
-// catalog names the namespaced session actually created.
-func (r *run) noteTables(stmt string) {
-	stmts, err := sql.Parse(stmt)
-	if err != nil {
-		return
-	}
-	for _, st := range stmts {
-		switch st := st.(type) {
-		case *sql.CreateTableAs:
-			r.temps[r.t(st.Name)] = struct{}{}
-		case *sql.DropTable:
-			for _, n := range st.Names {
-				delete(r.temps, r.t(n))
-			}
-		case *sql.AlterRename:
-			delete(r.temps, r.t(st.Old))
-			r.temps[r.t(st.New)] = struct{}{}
-		}
-	}
 }

@@ -54,6 +54,7 @@ func runTwoPhase(r *run, input string) (*Result, error) {
 		return nil, err
 	}
 
+	plans := newTPPlans(r)
 	rounds := 0
 	for {
 		rounds++
@@ -61,18 +62,18 @@ func runTwoPhase(r *run, input string) (*Result, error) {
 			return nil, fmt.Errorf("ccalg: Two-Phase exceeded %d rounds", maxRounds)
 		}
 		r.beginRound()
-		if _, _, err := tpStar(r, true); err != nil { // large-star
+		if _, _, err := tpStar(r, plans, true); err != nil { // large-star
 			return nil, err
 		}
-		changed, err := tpStarChanged(r)
+		changed, err := tpStarChanged(r, plans)
 		if err != nil {
 			return nil, err
 		}
-		liveV, liveE, err := tpStar(r, false) // small-star
+		liveV, liveE, err := tpStar(r, plans, false) // small-star
 		if err != nil {
 			return nil, err
 		}
-		changed2, err := tpStarChanged(r)
+		changed2, err := tpStarChanged(r, plans)
 		if err != nil {
 			return nil, err
 		}
@@ -106,6 +107,61 @@ func runTwoPhase(r *run, input string) (*Result, error) {
 	return &Result{Labels: labels, Rounds: rounds, RoundLog: r.roundLog}, nil
 }
 
+// tpPlans holds the round loop's plans, built once per run
+// (prepared-statement style): the rename dance keeps the tp_e / tp_m /
+// tp_prev names stable, so the same immutable plan values execute every
+// round.
+type tpPlans struct {
+	m          engine.Plan // m(v) = min of the closed neighbourhood
+	largeOut   engine.Plan // large-star output edges
+	smallOut   engine.Plan // small-star output edges
+	prevCount  engine.Plan
+	eCount     engine.Plan
+	unionCount engine.Plan
+}
+
+func newTPPlans(r *run) *tpPlans {
+	sym := engine.UnionAll(
+		engine.Project(r.scan("tp_e"),
+			engine.ProjCol{Expr: engine.Col(0), Name: "v"},
+			engine.ProjCol{Expr: engine.Col(1), Name: "u"}),
+		engine.Project(r.scan("tp_e"),
+			engine.ProjCol{Expr: engine.Col(1), Name: "v"},
+			engine.ProjCol{Expr: engine.Col(0), Name: "u"}),
+	)
+	m := engine.Project(
+		engine.GroupBy(sym, []int{0},
+			engine.Agg{Op: engine.AggMin, Arg: engine.Col(1), Name: "mn"}),
+		engine.ProjCol{Expr: engine.Col(0), Name: "v"},
+		engine.ProjCol{Expr: engine.Least(engine.Col(0), engine.Col(1)), Name: "m"},
+	)
+	// Join columns: v, u, v, m.
+	joined := engine.Join(sym, r.scan("tp_m"), 0, 0)
+	star := func(cmp engine.BinOp) engine.Plan {
+		return engine.Project(
+			engine.Filter(joined, engine.Bin(cmp, engine.Col(1), engine.Col(0))),
+			engine.ProjCol{Expr: engine.Col(1), Name: "v"},
+			engine.ProjCol{Expr: engine.Col(3), Name: "w"},
+		)
+	}
+	// Small-star also links v itself to the minimum.
+	selfLink := engine.Project(r.scan("tp_m"),
+		engine.ProjCol{Expr: engine.Col(0), Name: "v"},
+		engine.ProjCol{Expr: engine.Col(1), Name: "w"})
+	canon := func(edges engine.Plan) engine.Plan {
+		return engine.Distinct(engine.Filter(edges,
+			engine.Bin(engine.OpNe, engine.Col(0), engine.Col(1))))
+	}
+	return &tpPlans{
+		m:          m,
+		largeOut:   canon(star(engine.OpGt)),
+		smallOut:   canon(engine.UnionAll(star(engine.OpLt), selfLink)),
+		prevCount:  r.scan("tp_prev"),
+		eCount:     r.scan("tp_e"),
+		unionCount: engine.Distinct(engine.UnionAll(r.scan("tp_prev"), r.scan("tp_e"))),
+	}
+}
+
 // tpStar applies one star operation to tp_e, leaving the previous edge set
 // in tp_prev for the change check. It returns the live vertex count (the
 // vertices still touching an edge before the operation) and the edge count
@@ -117,49 +173,15 @@ func runTwoPhase(r *run, input string) (*Result, error) {
 // output is {(u, m(v)) : u ∈ N(v), u < v} ∪ {(v, m(v))}. In both cases
 // u > m(v) whenever the pair is not a loop, so the output is already
 // canonical and deduplication suffices.
-func tpStar(r *run, large bool) (int64, int64, error) {
-	sym := engine.UnionAll(
-		engine.Project(r.scan("tp_e"),
-			engine.ProjCol{Expr: engine.Col(0), Name: "v"},
-			engine.ProjCol{Expr: engine.Col(1), Name: "u"}),
-		engine.Project(r.scan("tp_e"),
-			engine.ProjCol{Expr: engine.Col(1), Name: "v"},
-			engine.ProjCol{Expr: engine.Col(0), Name: "u"}),
-	)
-	// m(v) = min of the closed neighbourhood.
-	mPlan := engine.Project(
-		engine.GroupBy(sym, []int{0},
-			engine.Agg{Op: engine.AggMin, Arg: engine.Col(1), Name: "mn"}),
-		engine.ProjCol{Expr: engine.Col(0), Name: "v"},
-		engine.ProjCol{Expr: engine.Least(engine.Col(0), engine.Col(1)), Name: "m"},
-	)
-	liveV, err := r.create("tp_m", mPlan, 0)
+func tpStar(r *run, p *tpPlans, large bool) (int64, int64, error) {
+	liveV, err := r.create("tp_m", p.m, 0)
 	if err != nil {
 		return 0, 0, err
 	}
-	// Join columns: v, u, v, m.
-	joined := engine.Join(sym, r.scan("tp_m"), 0, 0)
-	var cmp engine.BinOp
-	if large {
-		cmp = engine.OpGt
-	} else {
-		cmp = engine.OpLt
-	}
-	relinked := engine.Project(
-		engine.Filter(joined, engine.Bin(cmp, engine.Col(1), engine.Col(0))),
-		engine.ProjCol{Expr: engine.Col(1), Name: "v"},
-		engine.ProjCol{Expr: engine.Col(3), Name: "w"},
-	)
-	edges := relinked
+	out := p.largeOut
 	if !large {
-		// Small-star also links v itself to the minimum.
-		selfLink := engine.Project(r.scan("tp_m"),
-			engine.ProjCol{Expr: engine.Col(0), Name: "v"},
-			engine.ProjCol{Expr: engine.Col(1), Name: "w"})
-		edges = engine.UnionAll(relinked, selfLink)
+		out = p.smallOut
 	}
-	out := engine.Distinct(engine.Filter(edges,
-		engine.Bin(engine.OpNe, engine.Col(0), engine.Col(1))))
 	liveE, err := r.create("tp_e2", out, 0)
 	if err != nil {
 		return 0, 0, err
@@ -175,19 +197,18 @@ func tpStar(r *run, large bool) (int64, int64, error) {
 
 // tpStarChanged reports whether the last star operation changed the edge
 // set, and drops the saved previous edge set.
-func tpStarChanged(r *run) (bool, error) {
-	n1, err := countRows(r.ctx, r.c, r.scan("tp_prev"))
+func tpStarChanged(r *run, p *tpPlans) (bool, error) {
+	n1, err := countRows(r.ctx, r.c, p.prevCount)
 	if err != nil {
 		return false, err
 	}
-	n2, err := countRows(r.ctx, r.c, r.scan("tp_e"))
+	n2, err := countRows(r.ctx, r.c, p.eCount)
 	if err != nil {
 		return false, err
 	}
 	changed := true
 	if n1 == n2 {
-		nu, err := countRows(r.ctx, r.c, engine.Distinct(engine.UnionAll(
-			r.scan("tp_prev"), r.scan("tp_e"))))
+		nu, err := countRows(r.ctx, r.c, p.unionCount)
 		if err != nil {
 			return false, err
 		}

@@ -141,6 +141,11 @@ func (c *Client) Query(src string) (engine.Schema, []engine.Row, error) {
 	if err := c.send(wire.Frame{Type: wire.TypeQuery, Payload: []byte(src)}); err != nil {
 		return nil, nil, err
 	}
+	return c.readResult()
+}
+
+// readResult reassembles a streamed Schema, Rows*, Done reply.
+func (c *Client) readResult() (engine.Schema, []engine.Row, error) {
 	f, err := c.recv()
 	if err != nil {
 		return nil, nil, err
@@ -186,6 +191,100 @@ func (c *Client) Query(src string) (engine.Schema, []engine.Row, error) {
 			return nil, nil, fmt.Errorf("client: unexpected frame 0x%02x in result stream", f.Type)
 		}
 	}
+}
+
+// Int, Null and Table build the three bound-argument kinds of a prepared
+// statement: an integer value, SQL NULL, and a table name standing in for
+// a table-identifier placeholder.
+func Int(v int64) wire.Arg       { return wire.IntArg(v) }
+func Null() wire.Arg             { return wire.NullArg() }
+func Table(name string) wire.Arg { return wire.TableArg(name) }
+
+// Stmt is a prepared statement held open on the server: parsed once at
+// Prepare, planned once at first execution (the server caches the plan),
+// then executed with fresh bindings every call. Close releases the
+// server-side handle; closing the Client releases all of them.
+type Stmt struct {
+	c         *Client
+	id        uint32
+	numParams int
+	isQuery   bool
+}
+
+// Prepare parses a $N statement on the server and returns the handle.
+// Placeholders can stand for integer values or — uniquely useful for the
+// round-loop rename dance — table identifiers.
+func (c *Client) Prepare(src string) (*Stmt, error) {
+	if err := c.send(wire.Frame{Type: wire.TypePrepare, Payload: []byte(src)}); err != nil {
+		return nil, err
+	}
+	f, err := c.recv()
+	if err != nil {
+		return nil, err
+	}
+	if f.Type != wire.TypePrepareOK {
+		return nil, fmt.Errorf("client: Prepare answered with frame 0x%02x", f.Type)
+	}
+	ok, err := wire.DecodePrepareOK(f.Payload)
+	if err != nil {
+		return nil, err
+	}
+	return &Stmt{c: c, id: ok.ID, numParams: int(ok.NumParams), isQuery: ok.IsQuery}, nil
+}
+
+// NumParams reports how many $N parameters the statement takes.
+func (s *Stmt) NumParams() int { return s.numParams }
+
+// IsQuery reports whether execution streams a result set (a single
+// SELECT) rather than answering with a row count.
+func (s *Stmt) IsQuery() bool { return s.isQuery }
+
+// Exec executes the prepared statement with the given arguments,
+// returning the last sub-statement's row count and the admission queue
+// wait.
+func (s *Stmt) Exec(args ...wire.Arg) (rows int64, queued time.Duration, err error) {
+	req := wire.EncodeExecPrepared(wire.ExecPrepared{ID: s.id, Args: args})
+	if err := s.c.send(wire.Frame{Type: wire.TypeExecPrepared, Payload: req}); err != nil {
+		return 0, 0, err
+	}
+	f, err := s.c.recv()
+	if err != nil {
+		return 0, 0, err
+	}
+	if f.Type != wire.TypeDone {
+		return 0, 0, fmt.Errorf("client: ExecPrepared answered with frame 0x%02x", f.Type)
+	}
+	d, err := wire.DecodeDone(f.Payload)
+	if err != nil {
+		return 0, 0, err
+	}
+	return d.Rows, time.Duration(d.QueueNanos), nil
+}
+
+// Query executes a prepared SELECT with the given arguments and returns
+// the full result set.
+func (s *Stmt) Query(args ...wire.Arg) (engine.Schema, []engine.Row, error) {
+	req := wire.EncodeExecPrepared(wire.ExecPrepared{ID: s.id, Args: args})
+	if err := s.c.send(wire.Frame{Type: wire.TypeExecPrepared, Payload: req}); err != nil {
+		return nil, nil, err
+	}
+	return s.c.readResult()
+}
+
+// Close releases the server-side prepared statement.
+func (s *Stmt) Close() error {
+	req := wire.EncodeClosePrepared(wire.ClosePrepared{ID: s.id})
+	if err := s.c.send(wire.Frame{Type: wire.TypeClosePrepared, Payload: req}); err != nil {
+		return err
+	}
+	f, err := s.c.recv()
+	if err != nil {
+		return err
+	}
+	if f.Type != wire.TypeDone {
+		return fmt.Errorf("client: ClosePrepared answered with frame 0x%02x", f.Type)
+	}
+	return nil
 }
 
 // ConnectedComponents runs the named algorithm ("" selects Randomised

@@ -175,6 +175,15 @@ type Stats struct {
 	SpilledBytes    int64 // bytes written to spill files
 	SpillPartitions int64 // spill partition/run files created
 	SpillPasses     int64 // partitioning / run-formation passes
+
+	// Prepared-statement / plan-cache counters (see plancache.go). Parses
+	// counts SQL texts actually lexed+parsed; the cache counters report
+	// validated plan reuse. ResetStats clears the counters but keeps the
+	// cached plans warm.
+	Parses                 int64 // SQL statements parsed
+	PlanCacheHits          int64 // cached plans reused after validation
+	PlanCacheMisses        int64 // lookups that had to plan from scratch
+	PlanCacheInvalidations int64 // cached plans evicted by DDL
 }
 
 // ConcurrencyStats reports the multi-session activity of a cluster, the
@@ -277,6 +286,11 @@ type Options struct {
 	// intermediate materialisation between chained filters and a
 	// projection; results and metrics trees are identical either way.
 	DisableOperatorFusion bool
+	// PlanCacheSize bounds the plan cache (plancache.go) in entries; 0
+	// means the default of 256, negative disables caching entirely (every
+	// lookup misses), the knob differential tests and the parse+plan
+	// microbenchmark baseline use.
+	PlanCacheSize int
 }
 
 // Cluster is the in-process MPP database: a catalog of distributed tables,
@@ -307,6 +321,8 @@ type Cluster struct {
 	mu     sync.RWMutex // guards tables, udfs, Table.Name
 	tables map[string]*Table
 	udfs   map[string]UDF
+
+	plans *planCache // compiled-plan cache; own leaf lock, see plancache.go
 
 	statsMu  sync.Mutex // guards stats, the concurrency gauges, trace and opTotals
 	stats    Stats
@@ -377,6 +393,7 @@ func NewCluster(opts Options) *Cluster {
 		fusionOff:      opts.DisableOperatorFusion,
 		tables:         make(map[string]*Table),
 		udfs:           make(map[string]UDF),
+		plans:          newPlanCache(opts.PlanCacheSize),
 		traceCap:       traceCap,
 		opTotals:       make(map[string]OpTotal),
 		sem:            make(chan struct{}, opts.Workers),
@@ -397,11 +414,14 @@ func (c *Cluster) MemoryBudget() int64 { return c.memBudget }
 func (c *Cluster) Profile() Profile { return c.profile }
 
 // RegisterUDF installs or replaces a scalar function available to plans
-// (and to the SQL layer) under the given lower-case name.
+// (and to the SQL layer) under the given lower-case name. Cached plans
+// capture UDF implementations at plan time, so the whole plan cache is
+// flushed (after releasing the catalog lock — the cache lock is a leaf).
 func (c *Cluster) RegisterUDF(name string, fn UDF) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.udfs[name] = fn
+	c.mu.Unlock()
+	c.plans.flush()
 }
 
 // UDF looks up a registered function.
@@ -415,9 +435,10 @@ func (c *Cluster) UDF(name string) (UDF, bool) {
 // Stats returns a copy of the execution statistics.
 func (c *Cluster) Stats() Stats {
 	c.statsMu.Lock()
-	defer c.statsMu.Unlock()
 	s := c.stats
 	s.Log = append([]QueryStat(nil), c.stats.Log...)
+	c.statsMu.Unlock()
+	s.Parses, s.PlanCacheHits, s.PlanCacheMisses, s.PlanCacheInvalidations = c.plans.counters()
 	return s
 }
 
@@ -463,12 +484,15 @@ func (c *Cluster) endStatement() {
 // when runs do not overlap; concurrent sessions share one set of counters.
 func (c *Cluster) ResetStats() {
 	c.statsMu.Lock()
-	defer c.statsMu.Unlock()
 	live := c.stats.LiveBytes
 	c.stats = Stats{LiveBytes: live, PeakBytes: live}
 	c.trace = nil
 	c.traceSeq = 0
 	c.opTotals = make(map[string]OpTotal)
+	c.statsMu.Unlock()
+	// Plan-cache counters reset too, but cached plans stay warm: clearing
+	// statistics between benchmark runs must not force replanning.
+	c.plans.resetCounters()
 }
 
 // Counters returns the cheap scalar counters (queries, rows written, bytes
@@ -515,11 +539,15 @@ func (c *Cluster) CreateTable(name string, schema Schema, distKey int) (*Table, 
 	}
 	t := &Table{Name: name, Schema: schema, DistKey: distKey, Parts: make([][]Row, c.segments)}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if _, exists := c.tables[name]; exists {
+		c.mu.Unlock()
 		return nil, fmt.Errorf("engine: table %q already exists", name)
 	}
 	c.tables[name] = t
+	c.mu.Unlock()
+	// A new table can change what a cached plan's name resolution would
+	// pick (namespace shadowing a global name), so it invalidates too.
+	c.plans.invalidate(name)
 	return t, nil
 }
 
@@ -596,6 +624,7 @@ func (c *Cluster) DropTable(name string) error {
 	}
 	delete(c.tables, name)
 	c.mu.Unlock()
+	c.plans.invalidate(name)
 	if !c.transaction {
 		bytes := t.Bytes()
 		c.statsMu.Lock()
@@ -608,17 +637,20 @@ func (c *Cluster) DropTable(name string) error {
 // RenameTable renames a table; the destination must not exist.
 func (c *Cluster) RenameTable(oldName, newName string) error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	t, ok := c.tables[oldName]
 	if !ok {
+		c.mu.Unlock()
 		return fmt.Errorf("engine: table %q does not exist", oldName)
 	}
 	if _, exists := c.tables[newName]; exists {
+		c.mu.Unlock()
 		return fmt.Errorf("engine: table %q already exists", newName)
 	}
 	delete(c.tables, oldName)
 	t.Name = newName
 	c.tables[newName] = t
+	c.mu.Unlock()
+	c.plans.invalidate(oldName, newName)
 	return nil
 }
 

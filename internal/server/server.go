@@ -33,6 +33,7 @@ import (
 
 	"dbcc"
 	"dbcc/internal/ccalg"
+	"dbcc/internal/engine"
 	"dbcc/internal/sql"
 	"dbcc/internal/wire"
 )
@@ -47,6 +48,11 @@ const handshakeTimeout = 30 * time.Second
 
 // rowsPerChunk bounds one Rows frame of a streamed result set.
 const rowsPerChunk = 512
+
+// maxPreparedPerConn bounds how many prepared statements one connection
+// may hold open; each pins a parsed AST (the plans live in the engine's
+// bounded cache, not here).
+const maxPreparedPerConn = 64
 
 // Config configures a Server.
 type Config struct {
@@ -87,6 +93,7 @@ type Server struct {
 	connsTotal atomic.Int64
 	statements atomic.Int64
 	failed     atomic.Int64
+	prepares   atomic.Int64
 }
 
 // New creates a server (and its embedded cluster); call Listen then
@@ -217,12 +224,19 @@ func (s *Server) Stats() wire.ServerStats {
 	s.connMu.Lock()
 	conns := int64(len(s.conns))
 	s.connMu.Unlock()
+	cst := s.db.Cluster().Stats()
 	st := wire.ServerStats{
-		Draining:   draining,
-		Conns:      conns,
-		ConnsTotal: s.connsTotal.Load(),
-		Statements: s.statements.Load(),
-		Failed:     s.failed.Load(),
+		Draining:               draining,
+		Conns:                  conns,
+		ConnsTotal:             s.connsTotal.Load(),
+		Statements:             s.statements.Load(),
+		Failed:                 s.failed.Load(),
+		Prepared:               s.prepares.Load(),
+		Parses:                 cst.Parses,
+		PlanCacheHits:          cst.PlanCacheHits,
+		PlanCacheMisses:        cst.PlanCacheMisses,
+		PlanCacheInvalidations: cst.PlanCacheInvalidations,
+		PlanCacheEntries:       int64(s.db.Cluster().PlanCacheLen()),
 	}
 	s.adm.snapshot(&st)
 	return st
@@ -260,12 +274,16 @@ func validTenant(name string) bool {
 	return true
 }
 
-// conn wraps one connection's buffered streams.
+// conn wraps one connection's buffered streams and its prepared
+// statements. A connection carries one statement at a time (the loop in
+// handleConn is sequential), so the prepared map needs no lock.
 type connState struct {
-	s      *Server
-	bw     *bufio.Writer
-	tenant string
-	sess   *sql.Session
+	s        *Server
+	bw       *bufio.Writer
+	tenant   string
+	sess     *sql.Session
+	prepared map[uint32]*sql.Prepared
+	prepID   uint32
 }
 
 func (s *Server) handleConn(conn net.Conn) {
@@ -333,7 +351,11 @@ func (s *Server) handleConn(conn net.Conn) {
 			if !cs.send(wire.Frame{Type: wire.TypeStatsReply, Payload: data}) {
 				return
 			}
-		case wire.TypeExec, wire.TypeQuery, wire.TypeCC:
+		case wire.TypePrepare:
+			cs.servePrepare(string(f.Payload))
+		case wire.TypeClosePrepared:
+			cs.serveClosePrepared(f.Payload)
+		case wire.TypeExec, wire.TypeQuery, wire.TypeCC, wire.TypeExecPrepared:
 			cs.serveStatement(f)
 		default:
 			cs.sendError(wire.CodeParse, fmt.Sprintf("unexpected frame type 0x%02x", f.Type))
@@ -395,11 +417,108 @@ func (cs *connState) serveStatement(f wire.Frame) {
 		cs.serveQuery(string(f.Payload), queued)
 	case wire.TypeCC:
 		cs.serveCC(f.Payload, queued)
+	case wire.TypeExecPrepared:
+		cs.serveExecPrepared(f.Payload, queued)
 	}
+}
+
+// servePrepare parses and registers a $N statement. Prepare is parse-only
+// (planning happens at first execute, against the live catalog), so it
+// runs outside admission control like Stats.
+func (cs *connState) servePrepare(src string) {
+	if len(cs.prepared) >= maxPreparedPerConn {
+		cs.sendError(wire.CodeInternal, fmt.Sprintf("connection holds %d prepared statements; close some", maxPreparedPerConn))
+		return
+	}
+	p, err := cs.sess.Prepare(src)
+	if err != nil {
+		cs.sendError(wire.CodeParse, err.Error())
+		return
+	}
+	if cs.prepared == nil {
+		cs.prepared = make(map[uint32]*sql.Prepared)
+	}
+	cs.prepID++
+	cs.prepared[cs.prepID] = p
+	cs.s.prepares.Add(1)
+	cs.send(wire.Frame{Type: wire.TypePrepareOK, Payload: wire.EncodePrepareOK(wire.PrepareOK{
+		ID:        cs.prepID,
+		NumParams: uint16(p.NumParams()),
+		IsQuery:   p.IsQuery(),
+	})})
+}
+
+// serveClosePrepared releases one prepared statement.
+func (cs *connState) serveClosePrepared(payload []byte) {
+	req, err := wire.DecodeClosePrepared(payload)
+	if err != nil {
+		cs.sendError(wire.CodeParse, err.Error())
+		return
+	}
+	if _, ok := cs.prepared[req.ID]; !ok {
+		cs.sendError(wire.CodeNotFound, fmt.Sprintf("unknown prepared statement %d", req.ID))
+		return
+	}
+	delete(cs.prepared, req.ID)
+	cs.send(wire.Frame{Type: wire.TypeDone, Payload: wire.EncodeDone(wire.Done{})})
+}
+
+// wireArgs converts wire arguments to SQL arguments.
+func wireArgs(in []wire.Arg) []sql.Arg {
+	out := make([]sql.Arg, len(in))
+	for i, a := range in {
+		switch a.Tag {
+		case wire.ArgTagNull:
+			out[i] = sql.Null()
+		case wire.ArgTagTable:
+			out[i] = sql.Table(a.Table)
+		default:
+			out[i] = sql.Int(a.Int)
+		}
+	}
+	return out
+}
+
+// serveExecPrepared executes a previously prepared statement with bound
+// arguments, streaming rows when the statement is a query.
+func (cs *connState) serveExecPrepared(payload []byte, queued time.Duration) {
+	req, err := wire.DecodeExecPrepared(payload)
+	if err != nil {
+		cs.sendError(wire.CodeParse, err.Error())
+		return
+	}
+	p, ok := cs.prepared[req.ID]
+	if !ok {
+		cs.sendError(wire.CodeNotFound, fmt.Sprintf("unknown prepared statement %d", req.ID))
+		return
+	}
+	b, err := cs.sess.Bind(p, wireArgs(req.Args)...)
+	if err != nil {
+		cs.sendError(wire.CodeParse, err.Error()) // bind mismatches are the client's bug
+		return
+	}
+	sess := cs.sess.WithContext(cs.s.baseCtx)
+	if p.IsQuery() {
+		schema, rows, err := sess.QueryPrepared(b)
+		if err != nil {
+			cs.sendError(errorCode(err), err.Error())
+			return
+		}
+		cs.streamRows(schema, rows, queued)
+		return
+	}
+	n, err := sess.ExecutePrepared(b)
+	if err != nil {
+		cs.sendError(errorCode(err), err.Error())
+		return
+	}
+	cs.send(wire.Frame{Type: wire.TypeDone, Payload: wire.EncodeDone(wire.Done{Rows: n, QueueNanos: queued.Nanoseconds()})})
 }
 
 func (cs *connState) serveExec(src string, queued time.Duration) {
 	// Parse before executing so malformed statements report 400, not 500.
+	// This validation parse is pure; the session's own Exec counts the
+	// real one and consults the text-keyed plan cache.
 	stmts, err := sql.Parse(src)
 	if err != nil {
 		cs.sendError(wire.CodeParse, err.Error())
@@ -409,14 +528,10 @@ func (cs *connState) serveExec(src string, queued time.Duration) {
 		cs.sendError(wire.CodeParse, "empty statement")
 		return
 	}
-	sess := cs.sess.WithContext(cs.s.baseCtx)
-	var rows int64
-	for _, st := range stmts {
-		rows, err = sess.ExecStmt(st)
-		if err != nil {
-			cs.sendError(errorCode(err), err.Error())
-			return
-		}
+	rows, err := cs.sess.WithContext(cs.s.baseCtx).Exec(src)
+	if err != nil {
+		cs.sendError(errorCode(err), err.Error())
+		return
 	}
 	cs.send(wire.Frame{Type: wire.TypeDone, Payload: wire.EncodeDone(wire.Done{Rows: rows, QueueNanos: queued.Nanoseconds()})})
 }
@@ -436,6 +551,11 @@ func (cs *connState) serveQuery(src string, queued time.Duration) {
 		cs.sendError(errorCode(err), err.Error())
 		return
 	}
+	cs.streamRows(schema, rows, queued)
+}
+
+// streamRows sends a result set as Schema, Rows* and a terminal Done.
+func (cs *connState) streamRows(schema engine.Schema, rows []engine.Row, queued time.Duration) {
 	if len(schema) > wire.MaxCols {
 		cs.sendError(wire.CodeInternal, fmt.Sprintf("result set has %d columns, wire max is %d", len(schema), wire.MaxCols))
 		return
@@ -493,7 +613,10 @@ func (cs *connState) serveCC(payload []byte, queued time.Duration) {
 		cs.sendError(wire.CodeNotFound, fmt.Sprintf("table %q does not exist", req.Table))
 		return
 	}
-	res, err := cs.s.db.ConnectedComponentsOfCtx(cs.s.baseCtx, phys, dbcc.Params{Algorithm: algName, Seed: req.Seed})
+	// KeepStats: the shared cluster's counters are the server's
+	// observability surface; a per-run reset would wipe them for every
+	// other tenant mid-flight.
+	res, err := cs.s.db.ConnectedComponentsOfCtx(cs.s.baseCtx, phys, dbcc.Params{Algorithm: algName, Seed: req.Seed, KeepStats: true})
 	if err != nil {
 		cs.sendError(errorCode(err), err.Error())
 		return

@@ -4,17 +4,21 @@ package sql
 type Statement interface{ stmt() }
 
 // CreateTableAs is CREATE TABLE name AS select [DISTRIBUTED BY (col)].
+// NameParam is the $N index when the target name is a prepared-statement
+// parameter (Name is then ""); 0 for a literal name.
 type CreateTableAs struct {
-	Name   string
-	Select *SelectStmt
-	DistBy string // output column name, or "" for no declared distribution
+	Name      string
+	NameParam int
+	Select    *SelectStmt
+	DistBy    string // output column name, or "" for no declared distribution
 }
 
 // CreateTablePlain is CREATE TABLE name (col, col, ...) [DISTRIBUTED BY (col)].
 type CreateTablePlain struct {
-	Name   string
-	Cols   []string
-	DistBy string
+	Name      string
+	NameParam int // $N index when the name is a parameter, else 0
+	Cols      []string
+	DistBy    string
 }
 
 // ExplainStmt is EXPLAIN [ANALYZE] select: it plans the query and reports
@@ -25,16 +29,25 @@ type ExplainStmt struct {
 	Analyze bool
 }
 
-// DropTable is DROP TABLE name [, name ...].
-type DropTable struct{ Names []string }
+// DropTable is DROP TABLE name [, name ...]. NameParams runs parallel to
+// Names: entry i is the $N index when name i is a parameter, else 0.
+type DropTable struct {
+	Names      []string
+	NameParams []int
+}
 
-// AlterRename is ALTER TABLE old RENAME TO new.
-type AlterRename struct{ Old, New string }
+// AlterRename is ALTER TABLE old RENAME TO new; the *Param fields are the
+// $N indices when the corresponding name is a parameter, else 0.
+type AlterRename struct {
+	Old, New           string
+	OldParam, NewParam int
+}
 
 // InsertValues is INSERT INTO name VALUES (...), (...).
 type InsertValues struct {
-	Name string
-	Rows [][]Expr
+	Name      string
+	NameParam int // $N index when the name is a parameter, else 0
+	Rows      [][]Expr
 }
 
 // SelectQuery is a bare SELECT executed for its result rows.
@@ -82,13 +95,18 @@ type FromItem struct {
 	Joins []JoinClause
 }
 
-// TableRef names a stored table with an optional alias.
+// TableRef names a stored table with an optional alias. Param is the $N
+// index when the table name is a prepared-statement parameter (Table is
+// then ""); parameterised tables need an explicit alias to be referenced
+// by qualified column names.
 type TableRef struct {
 	Table string
+	Param int
 	Alias string
 }
 
-// Name returns the alias if present, else the table name.
+// Name returns the alias if present, else the table name (empty for an
+// unaliased parameter).
 func (t TableRef) Name() string {
 	if t.Alias != "" {
 		return t.Alias
@@ -131,8 +149,12 @@ type BinaryExpr struct {
 	L, R Expr
 }
 
+// ParamRef is a $N prepared-statement value parameter (1-based).
+type ParamRef struct{ Index int }
+
 func (*Ident) expr()      {}
 func (*NumLit) expr()     {}
 func (*NullLit) expr()    {}
 func (*Call) expr()       {}
 func (*BinaryExpr) expr() {}
+func (*ParamRef) expr()   {}

@@ -1,8 +1,11 @@
 package sql
 
 import (
+	"errors"
 	"strings"
 	"testing"
+
+	"dbcc/internal/engine"
 )
 
 // FuzzParse checks the parser never panics and that anything it accepts
@@ -48,5 +51,70 @@ func FuzzParse(f *testing.F) {
 			t.Fatalf("non-deterministic parse: %d vs %d statements", len(stmts), len(again))
 		}
 		_ = strings.TrimSpace(src)
+	})
+}
+
+// FuzzPrepare drives the prepared-statement pipeline — Prepare, Bind,
+// execute — with arbitrary statement text. Prepare must never panic
+// (malformed parameter numbering is a plain error), Bind must reject
+// count and kind mismatches as typed *BindError, and executing a
+// well-bound handle must fail, if it fails, through an error — never a
+// panic, and in particular never an unsubstituted paramExpr reaching the
+// engine. Use `go test -fuzz=FuzzPrepare ./internal/sql` to explore.
+func FuzzPrepare(f *testing.F) {
+	seeds := []string{
+		"select count(*) as n from $1 as g",
+		"create table $1 as select x.v1 as v1, x.v2 as v2 from $2 as x",
+		"insert into $1 values ($2, $3), ($4, $5)",
+		"select v1 from e where v1 = $1",
+		"drop table $1; alter table $2 rename to $1",
+		"select least($1, v1) k from $2 t where t.v1 != $1",
+		"select $1 from $1",              // value/table conflict
+		"select v1 from e where v1 = $3", // noncontiguous
+		"select $0 from e",
+		"select $99999999999999999999 from e",
+		"insert into $1 values ($2",
+		"select count(*) from $1 union all select count(*) from $2",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		c := engine.NewCluster(engine.Options{Segments: 1})
+		defer c.Close()
+		if _, err := c.CreateTable("e", engine.Schema{"v1", "v2"}, 0); err != nil {
+			t.Fatal(err)
+		}
+		s := NewSession(c)
+		p, err := s.Prepare(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		// A bind with the wrong argument count must be a typed *BindError.
+		if _, err := p.Bind(make([]Arg, p.NumParams()+1)...); err == nil {
+			t.Fatalf("bind accepted %d args for %d params", p.NumParams()+1, p.NumParams())
+		} else {
+			var be *BindError
+			if !errors.As(err, &be) {
+				t.Fatalf("count mismatch is %T, want *BindError: %v", err, err)
+			}
+		}
+		// Bind each parameter by its declared kind and execute. Execution
+		// errors (missing tables, schema mismatches) are fine; panics and
+		// kind-mismatch BindErrors on a well-formed binding are not.
+		args := make([]Arg, p.NumParams())
+		for i := range args {
+			if p.ParamIsTable(i + 1) {
+				args[i] = Table("e")
+			} else {
+				args[i] = Int(int64(i))
+			}
+		}
+		if _, err := p.Exec(args...); err != nil {
+			var be *BindError
+			if errors.As(err, &be) {
+				t.Fatalf("well-kinded binding rejected: %v", err)
+			}
+		}
 	})
 }

@@ -22,6 +22,7 @@ const (
 	tokIdent
 	tokNumber
 	tokSymbol // punctuation and operators
+	tokParam  // $N prepared-statement parameter; text is the digits
 )
 
 // token is one lexical element. Keywords are tokIdent; the parser matches
@@ -64,6 +65,16 @@ func lex(src string) ([]token, error) {
 				l.pos++
 			}
 			l.emit(tokNumber, l.src[start:l.pos], start)
+		case c == '$':
+			start := l.pos
+			l.pos++
+			for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+				l.pos++
+			}
+			if l.pos == start+1 {
+				return nil, fmt.Errorf("sql: expected parameter number after $ at offset %d", start)
+			}
+			l.emit(tokParam, l.src[start+1:l.pos], start)
 		default:
 			start := l.pos
 			// Two-character operators first.

@@ -18,6 +18,12 @@ func Parse(src string) ([]Statement, error) {
 	if err != nil {
 		return nil, err
 	}
+	return parseTokens(toks)
+}
+
+// parseTokens parses an already-lexed token stream, so callers that lex
+// once for cache-key normalization need not lex again to parse.
+func parseTokens(toks []token) ([]Statement, error) {
 	p := &parser{toks: toks}
 	var stmts []Statement
 	for {
@@ -108,6 +114,34 @@ func (p *parser) ident() (string, error) {
 	return strings.ToLower(t.text), nil
 }
 
+// paramIndex parses the digits of a tokParam into a 1-based index.
+func (p *parser) paramIndex(t token) (int, error) {
+	n, err := strconv.Atoi(t.text)
+	if err != nil || n < 1 || n > maxParams {
+		return 0, p.errf("bad parameter $%s (parameters are $1..$%d)", t.text, maxParams)
+	}
+	return n, nil
+}
+
+// maxParams bounds parameter indices; statements never need more, and the
+// bound keeps hostile $999999999 texts from allocating huge bind arrays.
+const maxParams = 64
+
+// tableName consumes a table-name position: an identifier, or a $N
+// parameter (returned as the second value, with an empty name).
+func (p *parser) tableName() (string, int, error) {
+	if t := p.peek(); t.kind == tokParam {
+		p.next()
+		idx, err := p.paramIndex(t)
+		if err != nil {
+			return "", 0, err
+		}
+		return "", idx, nil
+	}
+	name, err := p.ident()
+	return name, 0, err
+}
+
 func (p *parser) statement() (Statement, error) {
 	switch {
 	case p.atKw("create"):
@@ -141,13 +175,13 @@ func (p *parser) createTableAs() (Statement, error) {
 	if err := p.expectKw("table"); err != nil {
 		return nil, err
 	}
-	name, err := p.ident()
+	name, nameParam, err := p.tableName()
 	if err != nil {
 		return nil, err
 	}
 	// Plain DDL form: CREATE TABLE name (col, col, ...).
 	if p.acceptSym("(") {
-		plain := &CreateTablePlain{Name: name}
+		plain := &CreateTablePlain{Name: name, NameParam: nameParam}
 		for {
 			col, err := p.ident()
 			if err != nil {
@@ -186,7 +220,7 @@ func (p *parser) createTableAs() (Statement, error) {
 	if err != nil {
 		return nil, err
 	}
-	stmt := &CreateTableAs{Name: name, Select: sel}
+	stmt := &CreateTableAs{Name: name, NameParam: nameParam, Select: sel}
 	if p.acceptKw("distributed") {
 		if err := p.expectKw("by"); err != nil {
 			return nil, err
@@ -212,17 +246,19 @@ func (p *parser) dropTable() (Statement, error) {
 		return nil, err
 	}
 	var names []string
+	var params []int
 	for {
-		n, err := p.ident()
+		n, prm, err := p.tableName()
 		if err != nil {
 			return nil, err
 		}
 		names = append(names, n)
+		params = append(params, prm)
 		if !p.acceptSym(",") {
 			break
 		}
 	}
-	return &DropTable{Names: names}, nil
+	return &DropTable{Names: names, NameParams: params}, nil
 }
 
 func (p *parser) alterRename() (Statement, error) {
@@ -230,7 +266,7 @@ func (p *parser) alterRename() (Statement, error) {
 	if err := p.expectKw("table"); err != nil {
 		return nil, err
 	}
-	oldName, err := p.ident()
+	oldName, oldParam, err := p.tableName()
 	if err != nil {
 		return nil, err
 	}
@@ -240,11 +276,11 @@ func (p *parser) alterRename() (Statement, error) {
 	if err := p.expectKw("to"); err != nil {
 		return nil, err
 	}
-	newName, err := p.ident()
+	newName, newParam, err := p.tableName()
 	if err != nil {
 		return nil, err
 	}
-	return &AlterRename{Old: oldName, New: newName}, nil
+	return &AlterRename{Old: oldName, New: newName, OldParam: oldParam, NewParam: newParam}, nil
 }
 
 func (p *parser) insertValues() (Statement, error) {
@@ -252,7 +288,7 @@ func (p *parser) insertValues() (Statement, error) {
 	if err := p.expectKw("into"); err != nil {
 		return nil, err
 	}
-	name, err := p.ident()
+	name, nameParam, err := p.tableName()
 	if err != nil {
 		return nil, err
 	}
@@ -283,7 +319,7 @@ func (p *parser) insertValues() (Statement, error) {
 			break
 		}
 	}
-	return &InsertValues{Name: name, Rows: rows}, nil
+	return &InsertValues{Name: name, NameParam: nameParam, Rows: rows}, nil
 }
 
 func (p *parser) selectStmt() (*SelectStmt, error) {
@@ -480,11 +516,11 @@ func (p *parser) fromItem() (FromItem, error) {
 }
 
 func (p *parser) tableRef() (TableRef, error) {
-	name, err := p.ident()
+	name, param, err := p.tableName()
 	if err != nil {
 		return TableRef{}, err
 	}
-	ref := TableRef{Table: name}
+	ref := TableRef{Table: name, Param: param}
 	if p.acceptKw("as") {
 		alias, err := p.ident()
 		if err != nil {
@@ -608,6 +644,13 @@ func (p *parser) addExpr() (Expr, error) {
 func (p *parser) primary() (Expr, error) {
 	t := p.peek()
 	switch {
+	case t.kind == tokParam:
+		p.next()
+		idx, err := p.paramIndex(t)
+		if err != nil {
+			return nil, err
+		}
+		return &ParamRef{Index: idx}, nil
 	case t.kind == tokNumber:
 		p.next()
 		v, err := strconv.ParseInt(t.text, 10, 64)

@@ -61,6 +61,32 @@ func isAggName(name string) bool {
 // tables; a nil Resolver is the identity.
 type Resolver func(name string) string
 
+// tableDep records one fixed (non-parameter) table a plan reads: the name
+// as written, the physical table it resolved to, and the schema it was
+// planned against. The plan cache re-checks all three before reusing a
+// cached plan, so DDL that slips past eager invalidation (e.g. namespace
+// shadowing) still can never execute a stale plan.
+type tableDep struct {
+	logical string
+	phys    string
+	schema  engine.Schema
+}
+
+// planParams carries prepared-statement planning state: the physical
+// tables bound to $N table parameters this execute (for schema lookup),
+// whether parameterised scans should be emitted under placeholder names
+// (template mode), and the dependency record the plan cache stores.
+type planParams struct {
+	tables       map[int]string // $N -> physical table providing the schema
+	placeholders bool           // emit paramScanName(N) instead of the physical name
+	deps         []tableDep
+	paramSchemas map[int]engine.Schema // schema each table param was planned against
+}
+
+// paramScanName is the placeholder scan name templates use for table
+// parameter $N; the NUL prefix cannot collide with a real table name.
+func paramScanName(n int) string { return fmt.Sprintf("\x00p%d", n) }
+
 // PlanSelect compiles a SELECT statement to an engine plan plus its output
 // column names.
 func PlanSelect(c *engine.Cluster, sel *SelectStmt) (engine.Plan, engine.Schema, error) {
@@ -72,14 +98,23 @@ func PlanSelect(c *engine.Cluster, sel *SelectStmt) (engine.Plan, engine.Schema,
 // in the query ("rc_graph.v1" still resolves even when rc_graph is stored
 // under a session-private name).
 func PlanSelectResolved(c *engine.Cluster, sel *SelectStmt, resolve Resolver) (engine.Plan, engine.Schema, error) {
-	plan, names, err := planOneSelect(c, sel, resolve)
+	return planSelectParams(c, sel, resolve, nil)
+}
+
+// planSelectParams is the parameter-aware planner entry point; pp may be
+// nil for statements without table parameters.
+func planSelectParams(c *engine.Cluster, sel *SelectStmt, resolve Resolver, pp *planParams) (engine.Plan, engine.Schema, error) {
+	if pp == nil {
+		pp = &planParams{}
+	}
+	plan, names, err := planOneSelect(c, sel, resolve, pp)
 	if err != nil {
 		return nil, nil, err
 	}
 	last := sel
 	for u := sel.UnionAll; u != nil; u = u.UnionAll {
 		last = u
-		p2, n2, err := planOneSelect(c, u, resolve)
+		p2, n2, err := planOneSelect(c, u, resolve, pp)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -105,11 +140,11 @@ func PlanSelectResolved(c *engine.Cluster, sel *SelectStmt, resolve Resolver) (e
 }
 
 // planOneSelect compiles a single SELECT block (ignoring its UnionAll tail).
-func planOneSelect(c *engine.Cluster, sel *SelectStmt, resolve Resolver) (engine.Plan, engine.Schema, error) {
+func planOneSelect(c *engine.Cluster, sel *SelectStmt, resolve Resolver, pp *planParams) (engine.Plan, engine.Schema, error) {
 	if len(sel.From) == 0 {
 		return planConstSelect(c, sel)
 	}
-	plan, sc, err := planFrom(c, sel, resolve)
+	plan, sc, err := planFrom(c, sel, resolve, pp)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -139,11 +174,17 @@ func planOneSelect(c *engine.Cluster, sel *SelectStmt, resolve Resolver) (engine
 	return outPlan, names, nil
 }
 
-// planConstSelect handles FROM-less selects (constant rows).
+// planConstSelect handles FROM-less selects (constant rows). The item
+// expressions are evaluated at plan time, so parameters must have been
+// substituted away first (prepare.go routes parameterised constant selects
+// through AST substitution instead of plan templates).
 func planConstSelect(c *engine.Cluster, sel *SelectStmt) (engine.Plan, engine.Schema, error) {
 	row := make(engine.Row, len(sel.Items))
 	names := make(engine.Schema, len(sel.Items))
 	for i, item := range sel.Items {
+		if containsParam(item.Expr) {
+			return nil, nil, fmt.Errorf("sql: parameters in a FROM-less SELECT require Prepare")
+		}
 		e, err := compileScalar(c, item.Expr, nil)
 		if err != nil {
 			return nil, nil, err
@@ -154,15 +195,32 @@ func planConstSelect(c *engine.Cluster, sel *SelectStmt) (engine.Plan, engine.Sc
 	return engine.Values(names, []engine.Row{row}), names, nil
 }
 
+// containsParam reports whether an expression contains a $N parameter.
+func containsParam(e Expr) bool {
+	switch e := e.(type) {
+	case *ParamRef:
+		return true
+	case *BinaryExpr:
+		return containsParam(e.L) || containsParam(e.R)
+	case *Call:
+		for _, a := range e.Args {
+			if containsParam(a) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 // planFrom builds the join tree for the FROM clause, consuming the WHERE
 // clause's equi-join conjuncts and applying all remaining predicates as a
 // filter. It returns the joined plan and its name scope.
-func planFrom(c *engine.Cluster, sel *SelectStmt, resolve Resolver) (engine.Plan, scope, error) {
+func planFrom(c *engine.Cluster, sel *SelectStmt, resolve Resolver, pp *planParams) (engine.Plan, scope, error) {
 	type pending struct {
 		item FromItem
 	}
 	// Plan the first FROM item (base table plus its explicit joins).
-	plan, sc, err := planFromItem(c, sel.From[0], resolve)
+	plan, sc, err := planFromItem(c, sel.From[0], resolve, pp)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -176,7 +234,7 @@ func planFrom(c *engine.Cluster, sel *SelectStmt, resolve Resolver) (engine.Plan
 	for len(remaining) > 0 {
 		progressed := false
 		for ri, p := range remaining {
-			rPlan, rScope, err := planFromItem(c, p.item, resolve)
+			rPlan, rScope, err := planFromItem(c, p.item, resolve, pp)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -214,13 +272,13 @@ func planFrom(c *engine.Cluster, sel *SelectStmt, resolve Resolver) (engine.Plan
 
 // planFromItem plans one FROM element: a base table and its explicit JOIN
 // chain.
-func planFromItem(c *engine.Cluster, fi FromItem, resolve Resolver) (engine.Plan, scope, error) {
-	plan, sc, err := planTableRef(c, fi.Table, resolve)
+func planFromItem(c *engine.Cluster, fi FromItem, resolve Resolver, pp *planParams) (engine.Plan, scope, error) {
+	plan, sc, err := planTableRef(c, fi.Table, resolve, pp)
 	if err != nil {
 		return nil, nil, err
 	}
 	for _, j := range fi.Joins {
-		rPlan, rScope, err := planTableRef(c, j.Table, resolve)
+		rPlan, rScope, err := planTableRef(c, j.Table, resolve, pp)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -241,8 +299,37 @@ func planFromItem(c *engine.Cluster, fi FromItem, resolve Resolver) (engine.Plan
 // planTableRef plans a base table scan with its alias scope. The catalog
 // lookup goes through the resolver, while the column qualifier stays the
 // name (or alias) as written, so session-namespaced tables keep their
-// source-level names inside expressions.
-func planTableRef(c *engine.Cluster, ref TableRef, resolve Resolver) (engine.Plan, scope, error) {
+// source-level names inside expressions. Parameterised references take
+// their schema from the table currently bound to the parameter; in
+// template mode the scan is emitted under a placeholder name that execute
+// substitutes.
+func planTableRef(c *engine.Cluster, ref TableRef, resolve Resolver, pp *planParams) (engine.Plan, scope, error) {
+	if ref.Param > 0 {
+		if pp == nil || pp.tables == nil {
+			return nil, nil, fmt.Errorf("sql: table parameter $%d requires Prepare", ref.Param)
+		}
+		phys, ok := pp.tables[ref.Param]
+		if !ok {
+			return nil, nil, fmt.Errorf("sql: table parameter $%d is not bound", ref.Param)
+		}
+		t, ok := c.Table(phys)
+		if !ok {
+			return nil, nil, fmt.Errorf("sql: table %q does not exist", phys)
+		}
+		sc := make(scope, len(t.Schema))
+		for i, col := range t.Schema {
+			sc[i] = scopeCol{qual: ref.Name(), name: col}
+		}
+		if pp.paramSchemas == nil {
+			pp.paramSchemas = make(map[int]engine.Schema)
+		}
+		pp.paramSchemas[ref.Param] = append(engine.Schema(nil), t.Schema...)
+		name := phys
+		if pp.placeholders {
+			name = paramScanName(ref.Param)
+		}
+		return engine.Scan(name), sc, nil
+	}
 	stored := ref.Table
 	if resolve != nil {
 		stored = resolve(ref.Table)
@@ -250,6 +337,13 @@ func planTableRef(c *engine.Cluster, ref TableRef, resolve Resolver) (engine.Pla
 	t, ok := c.Table(stored)
 	if !ok {
 		return nil, nil, fmt.Errorf("sql: table %q does not exist", ref.Table)
+	}
+	if pp != nil {
+		pp.deps = append(pp.deps, tableDep{
+			logical: ref.Table,
+			phys:    stored,
+			schema:  append(engine.Schema(nil), t.Schema...),
+		})
 	}
 	sc := make(scope, len(t.Schema))
 	for i, col := range t.Schema {
@@ -322,6 +416,8 @@ func compileScalar(c *engine.Cluster, e Expr, sc scope) (engine.Expr, error) {
 		return engine.Const(e.Val), nil
 	case *NullLit:
 		return engine.Null, nil
+	case *ParamRef:
+		return paramExpr{Index: e.Index}, nil
 	case *Ident:
 		idx, err := sc.resolve(e)
 		if err != nil {
@@ -467,6 +563,8 @@ func planAggregate(c *engine.Cluster, sel *SelectStmt, in engine.Plan, sc scope)
 			return engine.Const(e.Val), nil
 		case *NullLit:
 			return engine.Null, nil
+		case *ParamRef:
+			return paramExpr{Index: e.Index}, nil
 		case *Ident:
 			idx, err := sc.resolve(e)
 			if err != nil {

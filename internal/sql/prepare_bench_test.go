@@ -1,0 +1,134 @@
+package sql
+
+import (
+	"fmt"
+	"testing"
+
+	"dbcc/internal/engine"
+)
+
+// benchStmt is shaped like one CC round-loop statement: a self-join with a
+// grouped aggregate, the kind of text the drivers used to re-parse and
+// re-plan every round. The benchmark pair below pins how much of that cost
+// prepare-once/execute-many actually removes.
+const benchStmtPrepared = "SELECT e.v1 AS v1, min(o.v2) AS rep FROM $1 AS e, $2 AS o WHERE e.v1 = o.v1 AND e.v2 != $3 GROUP BY e.v1"
+
+func benchCluster(b *testing.B, cacheSize int) (*engine.Cluster, *Session) {
+	b.Helper()
+	c := engine.NewCluster(engine.Options{Segments: 1, PlanCacheSize: cacheSize})
+	if _, err := c.CreateTable("be", engine.Schema{"v1", "v2"}, 0); err != nil {
+		b.Fatal(err)
+	}
+	rows := make([]engine.Row, 16)
+	for i := range rows {
+		rows[i] = engine.Row{engine.I(int64(i % 4)), engine.I(int64(i))}
+	}
+	if err := c.InsertRows("be", rows); err != nil {
+		b.Fatal(err)
+	}
+	return c, NewSession(c)
+}
+
+// BenchmarkPreparedRoundLoop compares the two ways a driver can execute
+// the same round statement many times: through a prepared handle hitting
+// the plan cache (instantiate a cached template, run), and as literal text
+// against a cache-disabled cluster (lex, parse, plan, run — the pre-cache
+// cost every round used to pay). The committed microbench baseline gates
+// prepared at a fraction of parse-plan-execute, so a regression that
+// sneaks parsing or planning back into the prepared hot path fails CI.
+func BenchmarkPreparedRoundLoop(b *testing.B) {
+	b.Run("prepared", func(b *testing.B) {
+		c, s := benchCluster(b, 0)
+		defer c.Close()
+		p, err := s.Prepare(benchStmtPrepared)
+		if err != nil {
+			b.Fatal(err)
+		}
+		args := []Arg{Table("be"), Table("be"), Int(-1)}
+		if _, _, err := p.Query(args...); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := p.Query(args...); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parseplan", func(b *testing.B) {
+		c, s := benchCluster(b, -1) // cache disabled: every execution replans
+		defer c.Close()
+		src := fmt.Sprintf("SELECT e.v1 AS v1, min(o.v2) AS rep FROM %s AS e, %s AS o WHERE e.v1 = o.v1 AND e.v2 != %d GROUP BY e.v1", "be", "be", -1)
+		if _, _, err := s.Query(src); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := s.Query(src); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkPreparedPlanning isolates the per-execution planning work the
+// two paths pay before the engine runs anything: the prepared path binds
+// its arguments, validates the cached template against the catalog and
+// instantiates a concrete plan; the text path lexes, parses and plans the
+// statement from scratch. This is the overhead the plan cache exists to
+// remove, and the committed baseline pins prepared at a small fraction of
+// parse+plan (the end-to-end gap above is diluted by the engine's fixed
+// per-query execution cost, which both paths share).
+func BenchmarkPreparedPlanning(b *testing.B) {
+	b.Run("prepared", func(b *testing.B) {
+		c, s := benchCluster(b, 0)
+		defer c.Close()
+		p, err := s.Prepare(benchStmtPrepared)
+		if err != nil {
+			b.Fatal(err)
+		}
+		args := []Arg{Table("be"), Table("be"), Int(-1)}
+		if _, _, err := p.Query(args...); err != nil { // warm the template
+			b.Fatal(err)
+		}
+		sel := p.stmts[0].(*SelectQuery).Select
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			bound, err := p.Bind(args...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			tmpl, err := s.templateFor(bound.p, 0, sel, "", bound.args)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := s.instantiate(tmpl, bound.args); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parseplan", func(b *testing.B) {
+		c, s := benchCluster(b, -1)
+		defer c.Close()
+		src := "SELECT e.v1 AS v1, min(o.v2) AS rep FROM be AS e, be AS o WHERE e.v1 = o.v1 AND e.v2 != -1 GROUP BY e.v1"
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			toks, err := lex(src)
+			if err != nil {
+				b.Fatal(err)
+			}
+			stmts, err := parseTokens(toks)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sel := stmts[0].(*SelectQuery).Select
+			if _, _, err := PlanSelectResolved(s.c, sel, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,516 @@
+package sql
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"dbcc/internal/engine"
+)
+
+// planDeltas captures the cluster's parse/plan-cache counters so tests can
+// assert exact deltas across a few statements.
+type planDeltas struct {
+	c                    *engine.Cluster
+	parses, hits, misses int64
+}
+
+func snapCounters(c *engine.Cluster) *planDeltas {
+	p, h, m := c.PlanCounters()
+	return &planDeltas{c: c, parses: p, hits: h, misses: m}
+}
+
+func (d *planDeltas) delta() (parses, hits, misses int64) {
+	p, h, m := d.c.PlanCounters()
+	return p - d.parses, h - d.hits, m - d.misses
+}
+
+func (d *planDeltas) expect(t *testing.T, what string, parses, hits, misses int64) {
+	t.Helper()
+	p, h, m := d.delta()
+	if p != parses || h != hits || m != misses {
+		t.Fatalf("%s: parses/hits/misses = %d/%d/%d, want %d/%d/%d",
+			what, p, h, m, parses, hits, misses)
+	}
+	d.parses, d.hits, d.misses = d.c.PlanCounters()
+}
+
+// TestPreparedValueParams checks a value-parameterised SELECT parses once
+// and serves every subsequent execution from the cached template.
+func TestPreparedValueParams(t *testing.T) {
+	s := newSession(t)
+	defer s.Cluster().Close()
+	loadEdges(t, s, "e", [][2]int64{{1, 2}, {2, 3}, {3, 4}})
+
+	d := snapCounters(s.Cluster())
+	p, err := s.Prepare("SELECT v1, v2 FROM e WHERE v1 = $1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumParams() != 1 || p.ParamIsTable(1) || !p.IsQuery() {
+		t.Fatalf("shape: params=%d table=%v query=%v", p.NumParams(), p.ParamIsTable(1), p.IsQuery())
+	}
+	d.expect(t, "prepare", 1, 0, 0)
+
+	_, rows, err := p.Query(Int(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0][0].Int != 2 || rows[0][1].Int != 3 {
+		t.Fatalf("first execute: %v", rows)
+	}
+	d.expect(t, "first execute", 0, 0, 1)
+
+	// Different binding, same template: a hit with no parse.
+	_, rows, err = p.Query(Int(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0][1].Int != 4 {
+		t.Fatalf("rebind: %v", rows)
+	}
+	d.expect(t, "rebind", 0, 1, 0)
+
+	// NULL binds through the same template; v1 = NULL matches nothing.
+	if _, rows, err = p.Query(Null()); err != nil || len(rows) != 0 {
+		t.Fatalf("null binding: %d rows, %v", len(rows), err)
+	}
+	d.expect(t, "null binding", 0, 1, 0)
+}
+
+// TestPreparedTableParamRenameDance drives the pattern the CC round loops
+// depend on: one prepared statement with table parameters keeps hitting one
+// cached plan while the concrete tables are created, renamed and dropped
+// around it.
+func TestPreparedTableParamRenameDance(t *testing.T) {
+	s := newSession(t)
+	defer s.Cluster().Close()
+	loadEdges(t, s, "base", [][2]int64{{1, 2}, {3, 4}, {5, 6}})
+
+	d := snapCounters(s.Cluster())
+	copyStmt, err := s.Prepare("CREATE TABLE $1 AS SELECT x.v1 AS v1, x.v2 AS v2 FROM $2 AS x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !copyStmt.ParamIsTable(1) || !copyStmt.ParamIsTable(2) {
+		t.Fatal("both parameters should be table parameters")
+	}
+	cnt, err := s.Prepare("SELECT count(*) AS n FROM $1 AS g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.expect(t, "prepares", 2, 0, 0)
+
+	if _, err := copyStmt.Exec(Table("r1"), Table("base")); err != nil {
+		t.Fatal(err)
+	}
+	d.expect(t, "first copy", 0, 0, 1)
+	// Round 2 reads the round-1 output — same shape, different tables: hit.
+	if _, err := copyStmt.Exec(Table("r2"), Table("r1")); err != nil {
+		t.Fatal(err)
+	}
+	d.expect(t, "second copy", 0, 1, 0)
+
+	if _, rows, err := cnt.Query(Table("r2")); err != nil || len(rows) != 1 || rows[0][0].Int != 3 {
+		t.Fatalf("count over r2: %v %v", rows, err)
+	}
+	d.expect(t, "first count", 0, 0, 1)
+
+	// The rename dance: drop the old generation, rename the new into its
+	// place, and keep executing the same handles.
+	if _, err := s.Exec("DROP TABLE r1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Exec("ALTER TABLE r2 RENAME TO r1"); err != nil {
+		t.Fatal(err)
+	}
+	d.parses, d.hits, d.misses = s.Cluster().PlanCounters()
+	if _, rows, err := cnt.Query(Table("r1")); err != nil || rows[0][0].Int != 3 {
+		t.Fatalf("count after rename: %v %v", rows, err)
+	}
+	d.expect(t, "count after rename", 0, 1, 0)
+
+	// Binding a dropped table fails cleanly — replan, typed engine error,
+	// never stale rows.
+	if _, _, err := cnt.Query(Table("r2")); err == nil {
+		t.Fatal("query against dropped table succeeded")
+	}
+}
+
+// TestPreparedDDLScript checks a multi-statement prepared script of pure
+// DDL (the generation-swap idiom) executes via AST substitution.
+func TestPreparedDDLScript(t *testing.T) {
+	s := newSession(t)
+	defer s.Cluster().Close()
+	loadEdges(t, s, "gen_old", [][2]int64{{1, 2}})
+	loadEdges(t, s, "gen_new", [][2]int64{{3, 4}, {5, 6}})
+
+	p, err := s.Prepare("DROP TABLE $1; ALTER TABLE $2 RENAME TO $1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Exec(Table("gen_old"), Table("gen_new")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Cluster().Table("gen_new"); ok {
+		t.Fatal("gen_new still exists after swap")
+	}
+	tbl, ok := s.Cluster().Table("gen_old")
+	if !ok || tbl.Rows() != 2 {
+		t.Fatalf("gen_old after swap: ok=%v", ok)
+	}
+}
+
+// TestPreparedInsert checks prepared INSERT executes with fresh values per
+// round without re-parsing (the loadgen hot path).
+func TestPreparedInsert(t *testing.T) {
+	s := newSession(t)
+	defer s.Cluster().Close()
+	if _, err := s.Exec("CREATE TABLE sink (a, b)"); err != nil {
+		t.Fatal(err)
+	}
+	d := snapCounters(s.Cluster())
+	p, err := s.Prepare("INSERT INTO $1 VALUES ($2, $3), ($4, $5)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 4; i++ {
+		n, err := p.Exec(Table("sink"), Int(i), Int(i+1), Int(-i), Null())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != 2 {
+			t.Fatalf("insert reported %d rows", n)
+		}
+	}
+	// One parse at Prepare; INSERT is not cache-eligible so the plan-cache
+	// counters stay untouched.
+	d.expect(t, "prepared inserts", 1, 0, 0)
+	tbl, _ := s.Cluster().Table("sink")
+	if tbl.Rows() != 8 {
+		t.Fatalf("sink has %d rows, want 8", tbl.Rows())
+	}
+}
+
+// TestBindErrors checks every binding failure is a typed *BindError.
+func TestBindErrors(t *testing.T) {
+	s := newSession(t)
+	defer s.Cluster().Close()
+	loadEdges(t, s, "e", [][2]int64{{1, 2}})
+	p, err := s.Prepare("SELECT x.v1 AS v1 FROM $1 AS x WHERE x.v1 = $2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		args []Arg
+		frag string
+	}{
+		{"too few", []Arg{Table("e")}, "2 parameter(s), got 1"},
+		{"too many", []Arg{Table("e"), Int(1), Int(2)}, "2 parameter(s), got 3"},
+		{"value for table", []Arg{Int(1), Int(2)}, "$1 is a table name"},
+		{"table for value", []Arg{Table("e"), Table("e")}, "$2 is a value"},
+		{"empty table name", []Arg{Table(""), Int(1)}, "empty table name"},
+	}
+	for _, tc := range cases {
+		_, err := p.Bind(tc.args...)
+		var be *BindError
+		if !errors.As(err, &be) {
+			t.Fatalf("%s: error %v is not a *BindError", tc.name, err)
+		}
+		if !strings.Contains(be.Error(), tc.frag) {
+			t.Fatalf("%s: %q does not mention %q", tc.name, be.Error(), tc.frag)
+		}
+		// Exec and Query surface the same typed error.
+		if _, err := p.Exec(tc.args...); !errors.As(err, &be) {
+			t.Fatalf("%s: Exec error %v is not a *BindError", tc.name, err)
+		}
+	}
+	if _, err := p.Bind(Table("e")); err != nil {
+		var be *BindError
+		errors.As(err, &be)
+		if be.Want != 2 || be.Got != 1 {
+			t.Fatalf("count mismatch fields: want=%d got=%d", be.Want, be.Got)
+		}
+	}
+}
+
+// TestPrepareRejectsMalformedParams checks parameter numbering and kind
+// consistency are enforced at Prepare time.
+func TestPrepareRejectsMalformedParams(t *testing.T) {
+	s := newSession(t)
+	defer s.Cluster().Close()
+	if _, err := s.Prepare("SELECT v1 FROM e WHERE v1 = $2"); err == nil ||
+		!strings.Contains(err.Error(), "$1 is unused") {
+		t.Fatalf("noncontiguous params: %v", err)
+	}
+	if _, err := s.Prepare("SELECT $1 AS k FROM $1 AS x"); err == nil ||
+		!strings.Contains(err.Error(), "both as a value and as a table") {
+		t.Fatalf("value/table conflict: %v", err)
+	}
+}
+
+// TestExecRejectsUnpreparedParams checks $N never executes through the
+// text entry points.
+func TestExecRejectsUnpreparedParams(t *testing.T) {
+	s := newSession(t)
+	defer s.Cluster().Close()
+	loadEdges(t, s, "e", [][2]int64{{1, 2}})
+	if _, err := s.Exec("SELECT v1 FROM e WHERE v1 = $1"); err == nil ||
+		!strings.Contains(err.Error(), "use Prepare") {
+		t.Fatalf("Exec with params: %v", err)
+	}
+	if _, _, err := s.Query("SELECT v1 FROM e WHERE v1 = $1"); err == nil ||
+		!strings.Contains(err.Error(), "use Prepare") {
+		t.Fatalf("Query with params: %v", err)
+	}
+}
+
+// TestTextPlanCache checks unparameterised Session.Exec/Query texts also
+// parse once: the second execution of the same normalized text is a
+// parse-free cache hit, including across case and whitespace variation.
+func TestTextPlanCache(t *testing.T) {
+	s := newSession(t)
+	defer s.Cluster().Close()
+	loadEdges(t, s, "e", [][2]int64{{1, 2}, {2, 3}})
+
+	d := snapCounters(s.Cluster())
+	if _, _, err := s.Query("SELECT count(*) AS n FROM e"); err != nil {
+		t.Fatal(err)
+	}
+	d.expect(t, "first text query", 1, 0, 1)
+	if _, _, err := s.Query("SELECT count(*) AS n FROM e"); err != nil {
+		t.Fatal(err)
+	}
+	d.expect(t, "repeat text query", 0, 1, 0)
+	// Normalization is token-based: case and spacing differences share the
+	// cached plan.
+	if _, rows, err := s.Query("select   COUNT(*)  as N from E"); err != nil || rows[0][0].Int != 2 {
+		t.Fatalf("case-variant query: %v %v", rows, err)
+	}
+	d.expect(t, "case-variant query", 0, 1, 0)
+}
+
+// TestInvalidationDropCreate checks DDL on a fixed dependency evicts the
+// cached plan and the next execution replans against the new catalog state.
+func TestInvalidationDropCreate(t *testing.T) {
+	s := newSession(t)
+	defer s.Cluster().Close()
+	loadEdges(t, s, "inv", [][2]int64{{1, 2}, {3, 4}})
+
+	p, err := s.Prepare("SELECT count(*) AS n FROM inv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, rows, err := p.Query(); err != nil || rows[0][0].Int != 2 {
+		t.Fatalf("before DDL: %v %v", rows, err)
+	}
+	inval0 := s.Cluster().Stats().PlanCacheInvalidations
+
+	// Replace the table wholesale with a different schema and cardinality.
+	if _, err := s.Exec("DROP TABLE inv"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Exec("CREATE TABLE inv (k)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Cluster().InsertRows("inv", []engine.Row{{engine.I(7)}, {engine.I(8)}, {engine.I(9)}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Cluster().Stats().PlanCacheInvalidations; got <= inval0 {
+		t.Fatalf("DDL did not count invalidations: %d -> %d", inval0, got)
+	}
+
+	d := snapCounters(s.Cluster())
+	_, rows, err := p.Query()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0][0].Int != 3 {
+		t.Fatalf("stale plan executed: count=%d, want 3", rows[0][0].Int)
+	}
+	d.expect(t, "post-DDL execute", 0, 0, 1)
+}
+
+// TestInvalidationRename checks a plan over a renamed-away table never
+// executes stale: it fails cleanly, and once a new table takes the old
+// name the handle replans against it.
+func TestInvalidationRename(t *testing.T) {
+	s := newSession(t)
+	defer s.Cluster().Close()
+	loadEdges(t, s, "ren", [][2]int64{{1, 2}})
+
+	p, err := s.Prepare("SELECT count(*) AS n FROM ren")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, rows, err := p.Query(); err != nil || rows[0][0].Int != 1 {
+		t.Fatalf("before rename: %v %v", rows, err)
+	}
+	if _, err := s.Exec("ALTER TABLE ren RENAME TO ren_moved"); err != nil {
+		t.Fatal(err)
+	}
+	// The old name resolves to nothing now; returning the moved table's
+	// rows here would be the stale-plan bug.
+	if _, _, err := p.Query(); err == nil {
+		t.Fatal("prepared plan executed against a renamed-away table")
+	}
+	// A different table claiming the name must be what the handle now reads.
+	loadEdges(t, s, "ren", [][2]int64{{5, 6}, {7, 8}, {9, 10}})
+	if _, rows, err := p.Query(); err != nil || rows[0][0].Int != 3 {
+		t.Fatalf("after re-create: %v %v", rows, err)
+	}
+}
+
+// TestInvalidationCrossSession checks DDL issued by one session over a
+// shared namespace invalidates plans another session cached — the
+// multi-tenant server's connections-of-one-tenant topology.
+func TestInvalidationCrossSession(t *testing.T) {
+	c := engine.NewCluster(engine.Options{Segments: 2})
+	defer c.Close()
+	sA := SessionWithNamespace(c, "tn_acme_")
+	sB := SessionWithNamespace(c, "tn_acme_")
+
+	if _, err := sA.Exec("CREATE TABLE src (v1, v2)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sA.Exec("INSERT INTO src VALUES (1, 2), (3, 4)"); err != nil {
+		t.Fatal(err)
+	}
+	p, err := sA.Prepare("SELECT count(*) AS n FROM src")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, rows, err := p.Query(); err != nil || rows[0][0].Int != 2 {
+		t.Fatalf("session A before B's DDL: %v %v", rows, err)
+	}
+
+	// Session B swaps the table out from under A's cached plan.
+	if _, err := sB.Exec("DROP TABLE src"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sB.Exec("CREATE TABLE src (k)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sB.Exec("INSERT INTO src VALUES (7)"); err != nil {
+		t.Fatal(err)
+	}
+
+	d := snapCounters(c)
+	_, rows, err := p.Query()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0][0].Int != 1 {
+		t.Fatalf("session A saw stale plan after B's DDL: count=%d, want 1", rows[0][0].Int)
+	}
+	d.expect(t, "cross-session replan", 0, 0, 1)
+}
+
+// TestAllParamTemplateSharedAcrossNamespaces checks fully parameterised
+// statements cache namespace-independent templates: a second session with
+// a different temp namespace hits the template the first session built.
+func TestAllParamTemplateSharedAcrossNamespaces(t *testing.T) {
+	c := engine.NewCluster(engine.Options{Segments: 2})
+	defer c.Close()
+	if _, err := c.CreateTable("shared_edges", engine.Schema{"v1", "v2"}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.InsertRows("shared_edges", []engine.Row{{engine.I(1), engine.I(2)}}); err != nil {
+		t.Fatal(err)
+	}
+
+	sA := NewIsolatedSession(c)
+	sB := NewIsolatedSession(c)
+	const src = "SELECT count(*) AS n FROM $1 AS g"
+	pA, err := sA.Prepare(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := pA.Query(Table("shared_edges")); err != nil {
+		t.Fatal(err)
+	}
+
+	d := snapCounters(c)
+	pB, err := sB.Prepare(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, rows, err := pB.Query(Table("shared_edges")); err != nil || rows[0][0].Int != 1 {
+		t.Fatalf("session B: %v %v", rows, err)
+	}
+	// One parse for B's Prepare; execution hits A's template.
+	d.expect(t, "shared template", 1, 1, 0)
+}
+
+// TestResetStatsKeepsTemplatesWarm checks clearing statistics does not
+// throw cached plans away: the next execution is still a hit.
+func TestResetStatsKeepsTemplatesWarm(t *testing.T) {
+	s := newSession(t)
+	defer s.Cluster().Close()
+	loadEdges(t, s, "w", [][2]int64{{1, 2}})
+	p, err := s.Prepare("SELECT count(*) AS n FROM w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := p.Query(); err != nil {
+		t.Fatal(err)
+	}
+	s.Cluster().ResetStats()
+	if parses, hits, misses := s.Cluster().PlanCounters(); parses != 0 || hits != 0 || misses != 0 {
+		t.Fatalf("ResetStats left counters: %d/%d/%d", parses, hits, misses)
+	}
+	if _, _, err := p.Query(); err != nil {
+		t.Fatal(err)
+	}
+	if parses, hits, misses := s.Cluster().PlanCounters(); parses != 0 || hits != 1 || misses != 0 {
+		t.Fatalf("post-reset execute: parses/hits/misses = %d/%d/%d, want 0/1/0", parses, hits, misses)
+	}
+}
+
+// TestExplainAnalyzePlanCacheLine checks the profile report surfaces the
+// plan-cache counters.
+func TestExplainAnalyzePlanCacheLine(t *testing.T) {
+	s := newSession(t)
+	defer s.Cluster().Close()
+	loadEdges(t, s, "e", [][2]int64{{1, 2}})
+	out, err := s.ExplainAnalyze("SELECT v1, v2 FROM e")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Plan cache:") {
+		t.Fatalf("EXPLAIN ANALYZE lacks the plan-cache line:\n%s", out)
+	}
+}
+
+// TestPreparedValueResultsMatchText checks prepared execution is
+// result-identical to the equivalent literal text, including through UDFs.
+func TestPreparedValueResultsMatchText(t *testing.T) {
+	s := newSession(t)
+	defer s.Cluster().Close()
+	loadEdges(t, s, "g", [][2]int64{{1, 5}, {2, 6}, {3, 7}})
+
+	p, err := s.Prepare("SELECT v1 AS v1, axplusb($1, v2, $2) AS h FROM g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ab := range [][2]int64{{3, 4}, {11, 13}} {
+		_, prepRows, err := p.Query(Int(ab[0]), Int(ab[1]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, textRows, err := s.Queryf("SELECT v1 AS v1, axplusb(%d, v2, %d) AS h FROM g", ab[0], ab[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		pm, tm := rowsToPairs(prepRows), rowsToPairs(textRows)
+		if len(pm) != len(tm) {
+			t.Fatalf("a=%d b=%d: %d vs %d distinct rows", ab[0], ab[1], len(pm), len(tm))
+		}
+		for k, n := range tm {
+			if pm[k] != n {
+				t.Fatalf("a=%d b=%d: row %v count %d vs %d", ab[0], ab[1], k, pm[k], n)
+			}
+		}
+	}
+}

@@ -123,13 +123,35 @@ func (s *Session) resolver() Resolver {
 
 // Exec parses and executes a script of one or more statements and returns
 // the row count produced by the last one (the paper's r.log_exec result).
+//
+// Single-statement SELECT and CREATE TABLE AS texts consult the engine's
+// plan cache keyed on the normalized statement text: a validated hit skips
+// both parse and plan. Statements with $N parameters are rejected here —
+// they need Prepare, which binds them.
 func (s *Session) Exec(src string) (int64, error) {
-	stmts, err := Parse(src)
+	toks, err := lex(src)
+	if err != nil {
+		return 0, err
+	}
+	if err := rejectParams(toks); err != nil {
+		return 0, err
+	}
+	norm := normalizeTokens(toks)
+	if t, ok := s.lookupTemplate(s.ns, norm, nil); ok {
+		return s.execTemplate(t)
+	}
+	s.c.NoteParse()
+	stmts, err := parseTokens(toks)
 	if err != nil {
 		return 0, err
 	}
 	if len(stmts) == 0 {
 		return 0, fmt.Errorf("sql: empty statement")
+	}
+	if len(stmts) == 1 {
+		if n, done, err := s.execStmtCaching(stmts[0], norm); done {
+			return n, err
+		}
 	}
 	var n int64
 	for _, st := range stmts {
@@ -139,6 +161,60 @@ func (s *Session) Exec(src string) (int64, error) {
 		}
 	}
 	return n, nil
+}
+
+// rejectParams fails unprepared execution of parameterised statements.
+func rejectParams(toks []token) error {
+	for _, t := range toks {
+		if t.kind == tokParam {
+			return fmt.Errorf("sql: statement has parameter $%s; use Prepare", t.text)
+		}
+	}
+	return nil
+}
+
+// execStmtCaching executes a cache-eligible single statement, building and
+// caching its plan template. done=false means the statement is not
+// eligible (DDL, INSERT, FROM-less SELECT) and the caller should run it
+// through the ordinary path without touching the cache counters.
+func (s *Session) execStmtCaching(st Statement, norm string) (n int64, done bool, err error) {
+	var sel *SelectStmt
+	var isCTAS bool
+	var target, distBy string
+	switch st := st.(type) {
+	case *SelectQuery:
+		sel = st.Select
+	case *CreateTableAs:
+		sel, isCTAS, target, distBy = st.Select, true, st.Name, st.DistBy
+	default:
+		return 0, false, nil
+	}
+	if selectHasConstBlock(sel) {
+		return 0, false, nil
+	}
+	s.c.NotePlanCacheMiss()
+	t, err := s.buildTemplate(s.ns, norm, sel, isCTAS, target, distBy, nil)
+	if err != nil {
+		return 0, true, err
+	}
+	n, err = s.execTemplate(t)
+	return n, true, err
+}
+
+// execTemplate runs a parameter-free cached template.
+func (s *Session) execTemplate(t *planTemplate) (int64, error) {
+	plan, err := s.instantiate(t, nil)
+	if err != nil {
+		return 0, err
+	}
+	if t.isCTAS {
+		return s.c.CreateTableAsCtx(s.context(), s.tempName(t.target), plan, t.distKey)
+	}
+	_, rows, err := s.c.QueryCtx(s.context(), plan)
+	if err != nil {
+		return 0, err
+	}
+	return int64(len(rows)), nil
 }
 
 // Execf is Exec with fmt.Sprintf-style formatting, matching how the
@@ -249,18 +325,51 @@ func (s *Session) ExecStmt(st Statement) (int64, error) {
 	return 0, fmt.Errorf("sql: unsupported statement %T", st)
 }
 
-// Query parses and executes a single SELECT, returning its schema and rows.
+// Query parses and executes a single SELECT, returning its schema and
+// rows. Like Exec it consults the plan cache on the normalized statement
+// text before paying for a parse.
 func (s *Session) Query(src string) (engine.Schema, []engine.Row, error) {
-	st, err := ParseOne(src)
+	toks, err := lex(src)
 	if err != nil {
 		return nil, nil, err
 	}
+	if err := rejectParams(toks); err != nil {
+		return nil, nil, err
+	}
+	norm := normalizeTokens(toks)
+	if t, ok := s.lookupTemplate(s.ns, norm, nil); ok && !t.isCTAS {
+		_, rows, err := s.c.QueryCtx(s.context(), t.plan)
+		if err != nil {
+			return nil, nil, err
+		}
+		return t.names, rows, nil
+	}
+	s.c.NoteParse()
+	stmts, err := parseTokens(toks)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(stmts) != 1 {
+		return nil, nil, fmt.Errorf("sql: Query requires a single statement, got %d", len(stmts))
+	}
 	var sel *SelectStmt
-	switch st := st.(type) {
+	switch st := stmts[0].(type) {
 	case *SelectQuery:
 		sel = st.Select
 	default:
 		return nil, nil, fmt.Errorf("sql: Query requires a SELECT statement, got %T", st)
+	}
+	if !selectHasConstBlock(sel) {
+		s.c.NotePlanCacheMiss()
+		t, err := s.buildTemplate(s.ns, norm, sel, false, "", "", nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		_, rows, err := s.c.QueryCtx(s.context(), t.plan)
+		if err != nil {
+			return nil, nil, err
+		}
+		return t.names, rows, nil
 	}
 	plan, names, err := PlanSelectResolved(s.c, sel, s.resolver())
 	if err != nil {
@@ -279,6 +388,7 @@ func (s *Session) Query(src string) (engine.Schema, []engine.Row, error) {
 // annotates every operator with its measured actual rows, bytes, wall
 // time and per-segment breakdown.
 func (s *Session) Explain(src string) (string, error) {
+	s.c.NoteParse()
 	st, err := ParseOne(src)
 	if err != nil {
 		return "", err
@@ -307,13 +417,22 @@ func (s *Session) Explain(src string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	return FormatExplainAnalyze(root, names, int64(len(rows))), nil
+	return FormatExplainAnalyze(root, names, int64(len(rows))) + s.planCacheLine(), nil
+}
+
+// planCacheLine renders the cluster's plan-cache counters for EXPLAIN
+// ANALYZE reports.
+func (s *Session) planCacheLine() string {
+	st := s.c.Stats()
+	return fmt.Sprintf("Plan cache: %d hits, %d misses, %d invalidations, %d entries, %d parses\n",
+		st.PlanCacheHits, st.PlanCacheMisses, st.PlanCacheInvalidations, s.c.PlanCacheLen(), st.Parses)
 }
 
 // ExplainAnalyze executes a SELECT and returns the annotated operator
 // profile report, regardless of whether the source text carries the
 // EXPLAIN ANALYZE prefix.
 func (s *Session) ExplainAnalyze(src string) (string, error) {
+	s.c.NoteParse()
 	st, err := ParseOne(src)
 	if err != nil {
 		return "", err
@@ -335,7 +454,7 @@ func (s *Session) ExplainAnalyze(src string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	return FormatExplainAnalyze(root, names, int64(len(rows))), nil
+	return FormatExplainAnalyze(root, names, int64(len(rows))) + s.planCacheLine(), nil
 }
 
 // Queryf is Query with fmt.Sprintf-style formatting.

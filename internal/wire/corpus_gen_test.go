@@ -34,10 +34,16 @@ func TestRegenFuzzCorpus(t *testing.T) {
 		"frame_pair": AppendFrame(
 			AppendFrame(nil, Frame{Type: TypeExec, Payload: []byte("DROP TABLE edges")}),
 			Frame{Type: TypeDone, Payload: EncodeDone(Done{Rows: 7, QueueNanos: 125000})}),
-		"frame_empty":      {},
-		"frame_lying_hdr":  {0xff, 0xff, 0xff, 0xff, 0xff, 0xff},
-		"frame_truncated":  AppendFrame(nil, Frame{Type: TypeCC, Payload: EncodeCC(CC{Table: "edges"})})[:9],
-		"frame_rows_nulls": AppendFrame(nil, Frame{Type: TypeRows, Payload: EncodeRows(Rows{NCols: 1, Tags: []byte{1, 1}, Vals: []int64{0, 0}})}),
+		"frame_prepare":    AppendFrame(nil, Frame{Type: TypePrepare, Payload: []byte("INSERT INTO $1 VALUES ($2,$3)")}),
+		"frame_prepare_ok": AppendFrame(nil, Frame{Type: TypePrepareOK, Payload: EncodePrepareOK(PrepareOK{ID: 3, NumParams: 3, IsQuery: false})}),
+		"frame_exec_prepared": AppendFrame(nil, Frame{
+			Type: TypeExecPrepared, Payload: EncodeExecPrepared(ExecPrepared{ID: 3, Args: []Arg{TableArg("edges"), IntArg(-7), NullArg()}}),
+		}),
+		"frame_close_prepared": AppendFrame(nil, Frame{Type: TypeClosePrepared, Payload: EncodeClosePrepared(ClosePrepared{ID: 3})}),
+		"frame_empty":          {},
+		"frame_lying_hdr":      {0xff, 0xff, 0xff, 0xff, 0xff, 0xff},
+		"frame_truncated":      AppendFrame(nil, Frame{Type: TypeCC, Payload: EncodeCC(CC{Table: "edges"})})[:9],
+		"frame_rows_nulls":     AppendFrame(nil, Frame{Type: TypeRows, Payload: EncodeRows(Rows{NCols: 1, Tags: []byte{1, 1}, Vals: []int64{0, 0}})}),
 	}
 	dir := filepath.Join("testdata", "fuzz", "FuzzFrameCodec")
 	if err := os.MkdirAll(dir, 0o755); err != nil {

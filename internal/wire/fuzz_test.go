@@ -28,6 +28,10 @@ func FuzzFrameCodec(f *testing.F) {
 		{Type: TypeRows, Payload: EncodeRows(Rows{NCols: 2, Tags: []byte{0, 1, 0, 0}, Vals: []int64{3, 0, -9, 1}})},
 		{Type: TypeStats},
 		{Type: TypeStatsReply, Payload: []byte(`{"draining":false}`)},
+		{Type: TypePrepare, Payload: []byte("INSERT INTO $1 VALUES ($2,$3)")},
+		{Type: TypePrepareOK, Payload: EncodePrepareOK(PrepareOK{ID: 3, NumParams: 3, IsQuery: false})},
+		{Type: TypeExecPrepared, Payload: EncodeExecPrepared(ExecPrepared{ID: 3, Args: []Arg{TableArg("edges"), IntArg(-7), NullArg()}})},
+		{Type: TypeClosePrepared, Payload: EncodeClosePrepared(ClosePrepared{ID: 3})},
 	}
 	for _, fr := range seeds {
 		f.Add(AppendFrame(nil, fr))
@@ -98,6 +102,24 @@ func FuzzFrameCodec(f *testing.F) {
 			if rs, err := DecodeRows(fr.Payload); err == nil {
 				if re := EncodeRows(rs); !bytes.Equal(re, fr.Payload) {
 					t.Fatalf("rows round-trip mismatch")
+				}
+			}
+		case TypePrepareOK:
+			if p, err := DecodePrepareOK(fr.Payload); err == nil {
+				if re := EncodePrepareOK(p); !bytes.Equal(re, fr.Payload) {
+					t.Fatalf("prepare-ok round-trip mismatch")
+				}
+			}
+		case TypeExecPrepared:
+			if e, err := DecodeExecPrepared(fr.Payload); err == nil {
+				if re := EncodeExecPrepared(e); !bytes.Equal(re, fr.Payload) {
+					t.Fatalf("exec-prepared round-trip mismatch")
+				}
+			}
+		case TypeClosePrepared:
+			if c, err := DecodeClosePrepared(fr.Payload); err == nil {
+				if re := EncodeClosePrepared(c); !bytes.Equal(re, fr.Payload) {
+					t.Fatalf("close-prepared round-trip mismatch")
 				}
 			}
 		}

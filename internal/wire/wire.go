@@ -50,18 +50,22 @@ const MaxFrameLen = 16 << 20
 
 // Frame types. Requests (client→server) sit below 0x80, responses above.
 const (
-	TypeHello      byte = 0x01 // auth + tenant select
-	TypeExec       byte = 0x02 // statement script; reply: Done | Error
-	TypeQuery      byte = 0x03 // SELECT; reply: Schema, Rows*, Done | Error
-	TypeCC         byte = 0x04 // connected-components run; reply: CCDone | Error
-	TypeStats      byte = 0x05 // server stats probe; reply: StatsReply
-	TypeHelloOK    byte = 0x81
-	TypeSchema     byte = 0x82
-	TypeRows       byte = 0x83
-	TypeDone       byte = 0x84
-	TypeError      byte = 0x85
-	TypeCCDone     byte = 0x86
-	TypeStatsReply byte = 0x87 // payload: JSON-encoded ServerStats
+	TypeHello         byte = 0x01 // auth + tenant select
+	TypeExec          byte = 0x02 // statement script; reply: Done | Error
+	TypeQuery         byte = 0x03 // SELECT; reply: Schema, Rows*, Done | Error
+	TypeCC            byte = 0x04 // connected-components run; reply: CCDone | Error
+	TypeStats         byte = 0x05 // server stats probe; reply: StatsReply
+	TypePrepare       byte = 0x06 // $N statement text; reply: PrepareOK | Error
+	TypeExecPrepared  byte = 0x07 // bound execution; reply: Done | (Schema, Rows*, Done) | Error
+	TypeClosePrepared byte = 0x08 // release a prepared statement; reply: Done | Error
+	TypeHelloOK       byte = 0x81
+	TypeSchema        byte = 0x82
+	TypeRows          byte = 0x83
+	TypeDone          byte = 0x84
+	TypeError         byte = 0x85
+	TypeCCDone        byte = 0x86
+	TypeStatsReply    byte = 0x87 // payload: JSON-encoded ServerStats
+	TypePrepareOK     byte = 0x88
 )
 
 // Error codes carried by Error frames, HTTP-flavoured so overload reads
@@ -484,6 +488,135 @@ func DecodeRows(p []byte) (Rows, error) {
 	return rs, nil
 }
 
+// prepared statements -------------------------------------------------------
+
+// A TypePrepare payload is the raw $N statement text, like Exec; the reply
+// is a PrepareOK carrying the server-assigned statement ID.
+
+// PrepareOK acknowledges a Prepare: the per-connection statement ID, the
+// parameter count, and whether execution streams rows (a single SELECT).
+type PrepareOK struct {
+	ID        uint32
+	NumParams uint16
+	IsQuery   bool
+}
+
+// EncodePrepareOK encodes p as a TypePrepareOK frame payload.
+func EncodePrepareOK(p PrepareOK) []byte {
+	out := binary.LittleEndian.AppendUint32(nil, p.ID)
+	out = binary.LittleEndian.AppendUint16(out, p.NumParams)
+	q := byte(0)
+	if p.IsQuery {
+		q = 1
+	}
+	return append(out, q)
+}
+
+// DecodePrepareOK decodes a TypePrepareOK payload.
+func DecodePrepareOK(p []byte) (PrepareOK, error) {
+	r := &reader{data: p}
+	ok := PrepareOK{ID: r.u32(), NumParams: r.u16()}
+	q := r.u8()
+	if r.err == nil && q > 1 {
+		return PrepareOK{}, fmt.Errorf("wire: invalid is-query flag %d", q)
+	}
+	ok.IsQuery = q == 1
+	return ok, r.done()
+}
+
+// Argument kind tags of an ExecPrepared payload.
+const (
+	ArgTagInt   byte = 0 // little-endian int64 value
+	ArgTagNull  byte = 1 // SQL NULL, no payload
+	ArgTagTable byte = 2 // length-prefixed table name
+)
+
+// Arg is one bound parameter of an ExecPrepared: an integer, NULL, or a
+// table name.
+type Arg struct {
+	Tag   byte
+	Int   int64  // ArgTagInt payload
+	Table string // ArgTagTable payload
+}
+
+// IntArg, NullArg and TableArg build the three argument kinds.
+func IntArg(v int64) Arg       { return Arg{Tag: ArgTagInt, Int: v} }
+func NullArg() Arg             { return Arg{Tag: ArgTagNull} }
+func TableArg(name string) Arg { return Arg{Tag: ArgTagTable, Table: name} }
+
+// ExecPrepared executes a prepared statement with bound arguments. The
+// reply mirrors Exec or Query depending on the statement kind.
+type ExecPrepared struct {
+	ID   uint32
+	Args []Arg
+}
+
+// MaxArgs bounds the argument count of one ExecPrepared frame — far above
+// the SQL layer's own parameter cap, so the wire is never the limit.
+const MaxArgs = 1<<16 - 1
+
+// EncodeExecPrepared encodes e as a TypeExecPrepared frame payload. It
+// panics when the argument count exceeds MaxArgs — truncating it would
+// encode a frame that decodes to the wrong binding.
+func EncodeExecPrepared(e ExecPrepared) []byte {
+	if len(e.Args) > MaxArgs {
+		panic(fmt.Sprintf("wire: exec-prepared has %d args, max %d", len(e.Args), MaxArgs))
+	}
+	out := binary.LittleEndian.AppendUint32(nil, e.ID)
+	out = binary.LittleEndian.AppendUint16(out, uint16(len(e.Args)))
+	for _, a := range e.Args {
+		out = append(out, a.Tag)
+		switch a.Tag {
+		case ArgTagInt:
+			out = binary.LittleEndian.AppendUint64(out, uint64(a.Int))
+		case ArgTagNull:
+		case ArgTagTable:
+			out = appendStr(out, a.Table)
+		default:
+			panic(fmt.Sprintf("wire: invalid arg tag %d", a.Tag))
+		}
+	}
+	return out
+}
+
+// DecodeExecPrepared decodes a TypeExecPrepared payload.
+func DecodeExecPrepared(p []byte) (ExecPrepared, error) {
+	r := &reader{data: p}
+	e := ExecPrepared{ID: r.u32()}
+	n := int(r.u16())
+	for i := 0; i < n && r.err == nil; i++ {
+		a := Arg{Tag: r.u8()}
+		switch a.Tag {
+		case ArgTagInt:
+			a.Int = r.i64()
+		case ArgTagNull:
+		case ArgTagTable:
+			a.Table = r.str()
+		default:
+			return ExecPrepared{}, fmt.Errorf("wire: invalid arg tag %d", a.Tag)
+		}
+		e.Args = append(e.Args, a)
+	}
+	return e, r.done()
+}
+
+// ClosePrepared releases a prepared statement's server-side resources.
+type ClosePrepared struct {
+	ID uint32
+}
+
+// EncodeClosePrepared encodes c as a TypeClosePrepared frame payload.
+func EncodeClosePrepared(c ClosePrepared) []byte {
+	return binary.LittleEndian.AppendUint32(nil, c.ID)
+}
+
+// DecodeClosePrepared decodes a TypeClosePrepared payload.
+func DecodeClosePrepared(p []byte) (ClosePrepared, error) {
+	r := &reader{data: p}
+	c := ClosePrepared{ID: r.u32()}
+	return c, r.done()
+}
+
 // TenantStats is the admission accounting of one tenant, part of
 // ServerStats.
 type TenantStats struct {
@@ -500,13 +633,20 @@ type TenantStats struct {
 // ServerStats is the payload of a StatsReply, JSON-encoded for
 // extensibility (it is an observability surface, not a hot path).
 type ServerStats struct {
-	Draining       bool                   `json:"draining"`
-	Conns          int64                  `json:"conns"`
-	ConnsTotal     int64                  `json:"conns_total"`
-	Statements     int64                  `json:"statements"`
-	Failed         int64                  `json:"failed"`      // statements that returned Error (overload included)
-	Shed           int64                  `json:"shed"`        // admission rejections across tenants
-	QueueDepth     int64                  `json:"queue_depth"` // statements waiting right now, all tenants
-	PeakQueueDepth int64                  `json:"peak_queue_depth"`
-	Tenants        map[string]TenantStats `json:"tenants"`
+	Draining       bool  `json:"draining"`
+	Conns          int64 `json:"conns"`
+	ConnsTotal     int64 `json:"conns_total"`
+	Statements     int64 `json:"statements"`
+	Failed         int64 `json:"failed"`      // statements that returned Error (overload included)
+	Shed           int64 `json:"shed"`        // admission rejections across tenants
+	QueueDepth     int64 `json:"queue_depth"` // statements waiting right now, all tenants
+	PeakQueueDepth int64 `json:"peak_queue_depth"`
+	// Prepared-statement and plan-cache accounting of the shared engine.
+	Prepared               int64                  `json:"prepared"` // prepared statements currently held, all connections
+	Parses                 int64                  `json:"parses"`   // SQL texts parsed by the engine
+	PlanCacheHits          int64                  `json:"plan_cache_hits"`
+	PlanCacheMisses        int64                  `json:"plan_cache_misses"`
+	PlanCacheInvalidations int64                  `json:"plan_cache_invalidations"`
+	PlanCacheEntries       int64                  `json:"plan_cache_entries"`
+	Tenants                map[string]TenantStats `json:"tenants"`
 }

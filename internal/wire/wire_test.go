@@ -84,6 +84,41 @@ func TestMessageRoundTrips(t *testing.T) {
 	if err != nil || strings.Join(got.Cols, ",") != "v1,v2,n" {
 		t.Fatalf("schema: %+v %v", got, err)
 	}
+	pok := PrepareOK{ID: 9, NumParams: 4, IsQuery: true}
+	if got, err := DecodePrepareOK(EncodePrepareOK(pok)); err != nil || got != pok {
+		t.Fatalf("prepare-ok: %+v %v", got, err)
+	}
+	ep := ExecPrepared{ID: 9, Args: []Arg{IntArg(-3), NullArg(), TableArg("rc_graph")}}
+	gotEP, err := DecodeExecPrepared(EncodeExecPrepared(ep))
+	if err != nil || gotEP.ID != ep.ID || len(gotEP.Args) != 3 ||
+		gotEP.Args[0] != ep.Args[0] || gotEP.Args[1] != ep.Args[1] || gotEP.Args[2] != ep.Args[2] {
+		t.Fatalf("exec-prepared: %+v %v", gotEP, err)
+	}
+	// Argument-free execution round-trips too.
+	if got, err := DecodeExecPrepared(EncodeExecPrepared(ExecPrepared{ID: 1})); err != nil || got.ID != 1 || len(got.Args) != 0 {
+		t.Fatalf("exec-prepared empty: %+v %v", got, err)
+	}
+	cp := ClosePrepared{ID: 9}
+	if got, err := DecodeClosePrepared(EncodeClosePrepared(cp)); err != nil || got != cp {
+		t.Fatalf("close-prepared: %+v %v", got, err)
+	}
+}
+
+func TestExecPreparedDecodeRejectsBadTags(t *testing.T) {
+	// A frame carrying an unknown argument tag must be rejected, not
+	// skipped: silently dropping an argument would shift every later
+	// binding.
+	raw := EncodeExecPrepared(ExecPrepared{ID: 1, Args: []Arg{IntArg(5)}})
+	raw[6] = 9 // the first arg's tag byte (4B id + 2B count)
+	if _, err := DecodeExecPrepared(raw); err == nil {
+		t.Fatal("invalid arg tag accepted")
+	}
+	// An is-query flag outside {0,1} is equally meaningless.
+	pok := EncodePrepareOK(PrepareOK{ID: 1})
+	pok[len(pok)-1] = 2
+	if _, err := DecodePrepareOK(pok); err == nil {
+		t.Fatal("invalid is-query flag accepted")
+	}
 }
 
 func TestRowsCodec(t *testing.T) {
@@ -120,6 +155,8 @@ func TestEncodersRefuseUnrepresentableCounts(t *testing.T) {
 	}
 	mustPanic("EncodeSchema", func() { EncodeSchema(Schema{Cols: make([]string, MaxCols+1)}) })
 	mustPanic("EncodeRows", func() { EncodeRows(Rows{NCols: MaxCols + 1}) })
+	mustPanic("EncodeExecPrepared", func() { EncodeExecPrepared(ExecPrepared{Args: make([]Arg, MaxArgs+1)}) })
+	mustPanic("EncodeExecPreparedTag", func() { EncodeExecPrepared(ExecPrepared{Args: []Arg{{Tag: 7}}}) })
 }
 
 func TestDecodersRejectGarbage(t *testing.T) {
