@@ -6,7 +6,7 @@
 //
 //	ccbench -table 1|2|3|4|5        one table
 //	ccbench -figure 5|6             one figure
-//	ccbench -experiment gamma|rounds|scaling|spark|variants|methods|rerandom|segments|spill
+//	ccbench -experiment gamma|rounds|scaling|spark|variants|methods|rerandom|segments|spill|stream
 //	ccbench -all                    everything (the EXPERIMENTS.md run)
 //	ccbench -concurrency 8          N concurrent RC sessions on one cluster
 //	ccbench -json                   machine-readable BENCH_<dataset>.json reports
@@ -36,10 +36,14 @@
 //
 // -loadgen ADDR drives mixed SQL + connected-components traffic at a
 // running ccserverd over the wire protocol (-connections clients spread
-// over -tenants tenant catalogs for -load-duration) and writes a schema-v5
+// over -tenants tenant catalogs for -load-duration) and writes a schema-v7
 // BENCH_server-soak.json with latency percentiles and the server's
 // admission accounting into -out. -require-zero-shed makes any shed or
-// failed operation exit non-zero — the CI server-soak contract.
+// failed operation exit non-zero — the CI server-soak contract. -stream
+// switches the op mix to streamed edge inserts against a component index
+// with -watchers live Watch subscriptions, writing BENCH_stream-soak.json
+// with insert percentiles, relabel accounting, and sequence-gap counts —
+// the CI stream-soak contract.
 //
 // -pprof addr serves net/http/pprof under /debug/pprof/ and a plain-text
 // runtime/metrics dump under /metrics for profiling long campaigns.
@@ -62,7 +66,7 @@ func main() {
 	var (
 		table      = flag.Int("table", 0, "print table 1-5")
 		figure     = flag.Int("figure", 0, "print figure 5 or 6")
-		experiment = flag.String("experiment", "", "run experiment: gamma|appendixb|naive|transaction|rounds|scaling|spark|variants|methods|rerandom|segments|spill")
+		experiment = flag.String("experiment", "", "run experiment: gamma|appendixb|naive|transaction|rounds|scaling|spark|variants|methods|rerandom|segments|spill|stream")
 		all        = flag.Bool("all", false, "run everything")
 		scale      = flag.Float64("scale", 1.0, "dataset scale (1.0 ≈ 1/10000 of the paper)")
 		reps       = flag.Int("reps", 3, "repetitions per cell (paper: 3)")
@@ -94,6 +98,8 @@ func main() {
 		zeroShed     = flag.Bool("require-zero-shed", false, "exit non-zero if the -loadgen run shed or failed any operation")
 		noPrepare    = flag.Bool("no-prepare", false, "send -loadgen ops as statement text instead of prepared statements (ablation)")
 		reqHitRate   = flag.Float64("require-hit-rate", 0, "exit non-zero if the -loadgen plan-cache hit rate falls below this fraction")
+		stream       = flag.Bool("stream", false, "run -loadgen in streaming mode: edge inserts against a component index plus Watch subscribers, writing BENCH_stream-soak.json")
+		watchers     = flag.Int("watchers", 8, "Watch subscriptions held open during a -stream loadgen run")
 	)
 	flag.Parse()
 
@@ -202,13 +208,15 @@ func main() {
 			bench.SegmentsExperiment(out, cfg)
 		case "spill":
 			bench.SpillExperiment(out, cfg)
+		case "stream":
+			bench.StreamExperiment(out, cfg)
 		default:
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
 			os.Exit(2)
 		}
 	}
 	if *all {
-		for _, e := range []string{"gamma", "appendixb", "naive", "transaction", "broadcast", "rounds", "scaling", "spark", "variants", "methods", "rerandom", "segments", "spill"} {
+		for _, e := range []string{"gamma", "appendixb", "naive", "transaction", "broadcast", "rounds", "scaling", "spark", "variants", "methods", "rerandom", "segments", "spill", "stream"} {
 			runExp(e)
 		}
 	} else if *experiment != "" {
@@ -232,6 +240,8 @@ func main() {
 			Seed:        *seed,
 			AuthToken:   *loadToken,
 			NoPrepare:   *noPrepare,
+			Stream:      *stream,
+			Watchers:    *watchers,
 		}, *zeroShed, *reqHitRate, progress)
 	}
 	if !ran {
@@ -308,7 +318,7 @@ func runJSON(cfg bench.Config, outDir, datasetList, baselinePath string, progres
 }
 
 // runLoadgen drives the server-soak load generator and writes the
-// schema-v6 BENCH_server-soak.json report. With requireZeroShed, any shed
+// schema-v7 BENCH_server-soak.json (or, with lg.Stream, BENCH_stream-soak.json) report. With requireZeroShed, any shed
 // or failed operation — client- or server-counted — exits non-zero; with
 // requireHitRate > 0, so does a plan-cache hit rate below the threshold:
 // the CI server-soak contract.
@@ -327,6 +337,17 @@ func runLoadgen(cfg bench.Config, outDir string, lg bench.LoadgenConfig, require
 		srv.P50Millis, srv.P95Millis, srv.P99Millis, srv.MaxMillis,
 		srv.Shed, srv.Failed, srv.PeakQueueDepth, srv.QueueMillis,
 		srv.PlanCacheHits, srv.PlanCacheMisses, srv.PlanCacheHitRate, srv.Parses)
+	if srv.Stream {
+		fmt.Fprintf(os.Stderr, "loadgen: stream: %d inserts (p50=%.2fms p95=%.2fms p99=%.2fms) %d deletes; "+
+			"%.1f relabels/insert, %d merges, %d rebuilds; %d watchers, %d notifies, %d watch events, %d seq gaps\n",
+			srv.InsertOps, srv.InsertP50Millis, srv.InsertP95Millis, srv.InsertP99Millis, srv.DeleteOps,
+			srv.RelabelsPerInsert, srv.IndexMerges, srv.IndexRebuilds,
+			srv.Watchers, srv.Notifies, srv.WatchEvents, srv.SeqGaps)
+		if srv.SeqGaps != 0 {
+			fmt.Fprintf(os.Stderr, "loadgen: watchers observed %d sequence gaps\n", srv.SeqGaps)
+			os.Exit(1)
+		}
+	}
 	if requireZeroShed && (srv.Shed != 0 || srv.Failed != 0 || srv.ServerShed != 0 || srv.ServerFailed != 0) {
 		fmt.Fprintf(os.Stderr, "loadgen: shed/failure budget exceeded: client shed=%d failed=%d, server shed=%d failed=%d\n",
 			srv.Shed, srv.Failed, srv.ServerShed, srv.ServerFailed)

@@ -216,7 +216,25 @@ func Open(cfg Config) *DB {
 		DisableOperatorFusion: cfg.DisableOperatorFusion,
 	})
 	ccalg.RegisterUDFs(c)
-	return &DB{c: c}
+	db := &DB{c: c}
+	// Component indexes rebuild after deletes by re-running the paper's
+	// deterministic Randomised Contraction (rc-det) over the base table —
+	// the same driver interactive runs use, flowing through the prepared
+	// statements and cached plans of the round loop. KeepStats: a rebuild
+	// is engine maintenance, not a user run; it must not reset the shared
+	// counters.
+	c.SetComponentRebuilder(func(table string) (map[int64]int64, error) {
+		res, err := db.ConnectedComponentsOf(table, Params{
+			Algorithm:     RandomisedContraction,
+			Deterministic: true,
+			KeepStats:     true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return res.Labels, nil
+	})
+	return db
 }
 
 // Close releases the cluster's on-disk resources (the spill directory of
@@ -307,6 +325,63 @@ func (db *DB) ConnectedComponentsOfCtx(ctx context.Context, table string, p Para
 		Elapsed: time.Since(start),
 		Stats:   db.c.Stats(),
 	}, nil
+}
+
+// IndexEvent is one component-index change delivered to a Watch: a
+// merge of From's component into To's (Kind IndexEventMerge), or a full
+// relabelling after a delete-triggered rebuild (Kind IndexEventRebuild —
+// re-read labels via SQL or ComponentLabels). Seq is monotonic per index
+// and gap-free per subscription.
+type IndexEvent = engine.IndexEvent
+
+// Watch event kinds.
+const (
+	IndexEventMerge   = engine.IndexEventMerge
+	IndexEventRebuild = engine.IndexEventRebuild
+)
+
+// Watch is a live subscription to a table's component index; receive
+// from C until Close. A subscriber that stops draining C is disconnected
+// (C is closed) rather than allowed to stall index maintenance.
+type Watch = engine.IndexSub
+
+// CreateComponentIndex builds an incremental connected-components index
+// over an existing two-column edge table: INSERTs update the labelling
+// with bounded union-find work per statement, DELETEs trigger a rebuild
+// through the rc-det driver. Equivalent to the SQL statement
+// CREATE COMPONENT INDEX ON table.
+func (db *DB) CreateComponentIndex(table string) error {
+	return db.c.CreateComponentIndex(table)
+}
+
+// DropComponentIndex removes a table's component index and closes its
+// subscriptions.
+func (db *DB) DropComponentIndex(table string) error {
+	return db.c.DropComponentIndex(table)
+}
+
+// ComponentLabels snapshots the maintained labelling of an indexed
+// table: every vertex seen so far mapped to its component's current
+// representative. Labels are representatives, not canonical minima —
+// compare label equality, not label values.
+func (db *DB) ComponentLabels(table string) (Labelling, error) {
+	idx, ok := db.c.ComponentIndex(table)
+	if !ok {
+		return nil, fmt.Errorf("dbcc: table %q has no component index", table)
+	}
+	return idx.Labels(), nil
+}
+
+// Watch subscribes to a table's component index, delivering label-change
+// events with a monotonic sequence number as inserts merge components
+// and deletes trigger rebuilds. The table must have been indexed with
+// CreateComponentIndex (or CREATE COMPONENT INDEX ON t).
+func (db *DB) Watch(table string) (*Watch, error) {
+	idx, ok := db.c.ComponentIndex(table)
+	if !ok {
+		return nil, fmt.Errorf("dbcc: table %q has no component index", table)
+	}
+	return idx.Subscribe(), nil
 }
 
 // Verify checks a labelling against the sequential Union/Find oracle,

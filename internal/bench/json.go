@@ -39,7 +39,14 @@ import (
 // round, parses / plan_hits / plan_misses expose how much planning work the
 // plan cache amortised; the server section gained the no_prepare ablation
 // flag, window parse counts and the plan-cache hit rate.
-const JSONSchemaVersion = 6
+//
+// Version 7 added the streaming section of server reports (stream mode —
+// dataset "stream-soak"): stream/watchers flags, insert_ops/delete_ops,
+// insert-only latency percentiles insert_p50_ms/insert_p95_ms/insert_p99_ms,
+// the bounded-work witness relabels_per_insert, the window deltas
+// index_merges/index_rebuilds/notifies, and the watcher-observed
+// watch_events/seq_gaps (a healthy run reports seq_gaps == 0).
+const JSONSchemaVersion = 7
 
 // RoundJSON is one algorithm round in the machine-readable report — the
 // serialised form of ccalg.RoundStats.

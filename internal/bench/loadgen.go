@@ -33,6 +33,19 @@ type LoadgenConfig struct {
 	// sent as statement text and re-parsed server-side. Ablation knob for
 	// measuring what prepare-once/execute-many buys.
 	NoPrepare bool
+	// Stream switches the op mix to the incremental-maintenance workload:
+	// each tenant's edges table carries a component index, connections
+	// stream prepared INSERTs (bounded relabel work per statement) with
+	// periodic DELETEs that trigger index rebuilds, and Watchers live
+	// subscriptions consume the Notify fan-out, each asserting gap-free
+	// sequence numbers.
+	Stream bool
+	// Watchers is how many Watch subscriptions stay open for the whole
+	// run (stream mode; spread round-robin over tenants; default 4).
+	Watchers int
+	// DeleteEvery makes every DeleteEvery-th op of a streaming connection
+	// a DELETE statement — the rebuild trigger (default 192).
+	DeleteEvery int
 }
 
 // ServerJSON is the server-soak section of a BENCH report (schema v6):
@@ -74,6 +87,26 @@ type ServerJSON struct {
 	PlanCacheHits    int64   `json:"plan_cache_hits"`   // window delta
 	PlanCacheMisses  int64   `json:"plan_cache_misses"` // window delta
 	PlanCacheHitRate float64 `json:"plan_cache_hit_rate"`
+
+	// Streaming section (schema v7; populated in stream mode). Insert
+	// percentiles cover INSERT statements only — the latency the bounded
+	// incremental-maintenance invariant protects; relabels_per_insert is
+	// the window's IndexLabelsTouched delta per insert statement, the
+	// bounded-work witness. seq_gaps must be zero: every watcher checks
+	// its Notify stream for gap-free monotonic sequence numbers.
+	Stream            bool    `json:"stream,omitempty"`
+	Watchers          int     `json:"watchers,omitempty"`
+	InsertOps         int64   `json:"insert_ops,omitempty"`
+	DeleteOps         int64   `json:"delete_ops,omitempty"`
+	InsertP50Millis   float64 `json:"insert_p50_ms,omitempty"`
+	InsertP95Millis   float64 `json:"insert_p95_ms,omitempty"`
+	InsertP99Millis   float64 `json:"insert_p99_ms,omitempty"`
+	RelabelsPerInsert float64 `json:"relabels_per_insert,omitempty"`
+	IndexMerges       int64   `json:"index_merges,omitempty"`   // window delta
+	IndexRebuilds     int64   `json:"index_rebuilds,omitempty"` // window delta
+	Notifies          int64   `json:"notifies,omitempty"`       // window delta
+	WatchEvents       int64   `json:"watch_events,omitempty"`   // events seen by this run's watchers
+	SeqGaps           int64   `json:"seq_gaps"`                 // watcher-observed sequence gaps (must be 0)
 }
 
 func (cfg *LoadgenConfig) defaults() {
@@ -94,6 +127,12 @@ func (cfg *LoadgenConfig) defaults() {
 	}
 	if cfg.CCEvery <= 0 {
 		cfg.CCEvery = 8
+	}
+	if cfg.Stream && cfg.Watchers <= 0 {
+		cfg.Watchers = 4
+	}
+	if cfg.DeleteEvery <= 0 {
+		cfg.DeleteEvery = 192
 	}
 }
 
@@ -148,13 +187,56 @@ func setupTenant(cfg *LoadgenConfig, tenant string, seed uint64) error {
 			b.Reset()
 		}
 	}
+	if cfg.Stream {
+		// Index after the bulk load: the scan-at-create path registers the
+		// existing edges, then the streamed inserts maintain incrementally.
+		// createFresh always leaves a fresh table, so no stale index can
+		// survive from an earlier run.
+		if _, _, err := c.Exec("CREATE COMPONENT INDEX ON edges"); err != nil {
+			return fmt.Errorf("loadgen: setup index %s: %w", tenant, err)
+		}
+	}
 	return nil
 }
 
 // connStats is one connection's tally, merged after the run.
 type connStats struct {
 	ops, sqlOps, ccOps, failed, shed int64
+	inserts, deletes                 int64
 	latencies                        []time.Duration
+	insertLatencies                  []time.Duration
+}
+
+// note classifies one operation's outcome, the single classification
+// every op kind — SQL, CC, and the streaming inserts/deletes — funnels
+// through: success, admission shed (429: the server protecting itself;
+// the op never ran), or failure. Keeping the streaming ops on this path
+// is what keeps -require-zero-shed meaningful for stream soaks.
+func (st *connStats) note(err error, start time.Time, kind byte) {
+	switch {
+	case err == nil:
+		st.ops++
+		el := time.Since(start)
+		st.latencies = append(st.latencies, el)
+		switch kind {
+		case 'c':
+			st.ccOps++
+		case 'i':
+			st.sqlOps++
+			st.inserts++
+			st.insertLatencies = append(st.insertLatencies, el)
+		case 'd':
+			st.sqlOps++
+			st.deletes++
+		default:
+			st.sqlOps++
+		}
+	case client.IsOverloaded(err):
+		st.shed++
+		time.Sleep(5 * time.Millisecond) // back off as a real client would
+	default:
+		st.failed++
+	}
 }
 
 // runConn drives one connection's op mix until deadline: SELECTs and
@@ -169,6 +251,9 @@ func runConn(cfg *LoadgenConfig, id int, deadline time.Time, st *connStats) erro
 		return fmt.Errorf("loadgen: conn %d dial: %w", id, err)
 	}
 	defer c.Close()
+	if cfg.Stream {
+		return runStreamConn(cfg, c, id, deadline, st)
+	}
 	scratch := fmt.Sprintf("scratch_%d", id)
 	if err := createFresh(c, scratch, fmt.Sprintf("CREATE TABLE %s (k, x) DISTRIBUTED BY (k)", scratch)); err != nil {
 		return fmt.Errorf("loadgen: conn %d scratch: %w", id, err)
@@ -223,21 +308,11 @@ func runConn(cfg *LoadgenConfig, id int, deadline time.Time, st *connStats) erro
 				_, _, err = qScratch.Query(client.Table(scratch))
 			}
 		}
-		switch {
-		case err == nil:
-			st.ops++
-			if cc {
-				st.ccOps++
-			} else {
-				st.sqlOps++
-			}
-			st.latencies = append(st.latencies, time.Since(start))
-		case client.IsOverloaded(err):
-			st.shed++
-			time.Sleep(5 * time.Millisecond) // back off as a real client would
-		default:
-			st.failed++
+		kind := byte('q')
+		if cc {
+			kind = 'c'
 		}
+		st.note(err, start, kind)
 		if op > 0 && op%256 == 0 {
 			// Bound scratch growth so op latency stays flat over the soak.
 			// An admission rejection here is a shed like any other op —
@@ -253,6 +328,113 @@ func runConn(cfg *LoadgenConfig, id int, deadline time.Time, st *connStats) erro
 		}
 	}
 	return nil
+}
+
+// runStreamConn drives one connection's streaming op mix until deadline:
+// mostly prepared INSERTs into the tenant's indexed edges table (the
+// bounded-relabel insert path), a count SELECT every 4th op, and every
+// DeleteEvery-th op a DELETE that exercises the rebuild trigger.
+func runStreamConn(cfg *LoadgenConfig, c *client.Client, id int, deadline time.Time, st *connStats) error {
+	var insStmt, cntStmt *client.Stmt
+	var err error
+	if !cfg.NoPrepare {
+		if insStmt, err = c.Prepare("INSERT INTO $1 VALUES ($2,$3),($4,$5)"); err != nil {
+			return fmt.Errorf("loadgen: conn %d prepare insert: %w", id, err)
+		}
+		if cntStmt, err = c.Prepare("SELECT count(*) AS n FROM $1 AS e"); err != nil {
+			return fmt.Errorf("loadgen: conn %d prepare count: %w", id, err)
+		}
+	}
+	rng := rand.New(rand.NewSource(int64(cfg.Seed) + int64(id)*7919))
+	// Inserts draw vertices from twice the setup span, so the stream both
+	// grows components with new vertices and merges existing ones.
+	span := int64(cfg.SetupEdges) * 2
+	for op := 0; time.Now().Before(deadline); op++ {
+		start := time.Now()
+		var err error
+		var kind byte
+		switch {
+		case op%cfg.DeleteEvery == cfg.DeleteEvery-1:
+			kind = 'd'
+			_, _, err = c.Exec(fmt.Sprintf("DELETE FROM edges WHERE v1 = %d", rng.Int63n(span)))
+		case op%4 == 3:
+			kind = 'q'
+			if cfg.NoPrepare {
+				_, _, err = c.Query("SELECT count(*) AS n FROM edges")
+			} else {
+				_, _, err = cntStmt.Query(client.Table("edges"))
+			}
+		default:
+			kind = 'i'
+			a, b := rng.Int63n(span), rng.Int63n(span)
+			x, y := rng.Int63n(span), rng.Int63n(span)
+			if cfg.NoPrepare {
+				_, _, err = c.Exec(fmt.Sprintf("INSERT INTO edges VALUES (%d,%d),(%d,%d)", a, b, x, y))
+			} else {
+				_, _, err = insStmt.Exec(client.Table("edges"),
+					client.Int(a), client.Int(b), client.Int(x), client.Int(y))
+			}
+		}
+		st.note(err, start, kind)
+	}
+	return nil
+}
+
+// watchStats is one watcher's tally.
+type watchStats struct {
+	events, gaps, shed int64
+}
+
+// runWatcher holds one Watch subscription open until deadline, counting
+// events and asserting the delivery contract: strictly gap-free
+// monotonic sequence numbers. An admission rejection at subscribe time
+// is a shed (the 429 classification of satellite ops), retried after
+// backoff like any shed statement.
+func runWatcher(cfg *LoadgenConfig, id int, deadline time.Time, ws *watchStats) error {
+	tenant := loadgenTenant(id % cfg.Tenants)
+	var w *client.Watch
+	var c *client.Client
+	for {
+		var err error
+		c, err = client.Dial(cfg.Addr, tenant, cfg.AuthToken)
+		if err != nil {
+			return fmt.Errorf("loadgen: watcher %d dial: %w", id, err)
+		}
+		w, err = c.Subscribe("edges")
+		if err == nil {
+			break
+		}
+		c.Close()
+		if client.IsOverloaded(err) && time.Now().Before(deadline) {
+			ws.shed++
+			time.Sleep(5 * time.Millisecond)
+			continue
+		}
+		return fmt.Errorf("loadgen: watcher %d subscribe: %w", id, err)
+	}
+	timer := time.NewTimer(time.Until(deadline))
+	defer timer.Stop()
+	seq := w.StartSeq()
+	for {
+		select {
+		case ev, ok := <-w.Events():
+			if !ok {
+				// Server-side disconnect mid-run (drain or overflow) would
+				// lose events; surface it as a failure of the soak.
+				return fmt.Errorf("loadgen: watcher %d stream closed: %v", id, w.Err())
+			}
+			ws.events++
+			if ev.Seq != seq+1 {
+				ws.gaps++
+			}
+			seq = ev.Seq
+		case <-timer.C:
+			c.Close()
+			for range w.Events() { // release the pump goroutine
+			}
+			return nil
+		}
+	}
 }
 
 // percentile returns the p-quantile (0 < p <= 1) of sorted durations in
@@ -297,7 +479,20 @@ func RunLoadgen(cfg LoadgenConfig, progress func(string)) (*ServerJSON, error) {
 	deadline := time.Now().Add(cfg.Duration)
 	stats := make([]connStats, cfg.Connections)
 	errs := make([]error, cfg.Connections)
+	watchers := 0
+	if cfg.Stream {
+		watchers = cfg.Watchers
+	}
+	wstats := make([]watchStats, watchers)
+	werrs := make([]error, watchers)
 	var wg sync.WaitGroup
+	for i := 0; i < watchers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			werrs[i] = runWatcher(&cfg, i, deadline, &wstats[i])
+		}(i)
+	}
 	for i := 0; i < cfg.Connections; i++ {
 		wg.Add(1)
 		go func(i int) {
@@ -306,7 +501,7 @@ func RunLoadgen(cfg LoadgenConfig, progress func(string)) (*ServerJSON, error) {
 		}(i)
 	}
 	wg.Wait()
-	for _, err := range errs {
+	for _, err := range append(errs, werrs...) {
 		if err != nil {
 			return nil, err
 		}
@@ -319,20 +514,36 @@ func RunLoadgen(cfg LoadgenConfig, progress func(string)) (*ServerJSON, error) {
 		DurationSecs: cfg.Duration.Seconds(),
 		NoPrepare:    cfg.NoPrepare,
 	}
-	var all []time.Duration
+	var all, inserts []time.Duration
 	for i := range stats {
 		out.Ops += stats[i].ops
 		out.SQLOps += stats[i].sqlOps
 		out.CCOps += stats[i].ccOps
 		out.Failed += stats[i].failed
 		out.Shed += stats[i].shed
+		out.InsertOps += stats[i].inserts
+		out.DeleteOps += stats[i].deletes
 		all = append(all, stats[i].latencies...)
+		inserts = append(inserts, stats[i].insertLatencies...)
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
 	out.P50Millis = percentile(all, 0.50)
 	out.P95Millis = percentile(all, 0.95)
 	out.P99Millis = percentile(all, 0.99)
 	out.MaxMillis = percentile(all, 1)
+	if cfg.Stream {
+		out.Stream = true
+		out.Watchers = cfg.Watchers
+		sort.Slice(inserts, func(i, j int) bool { return inserts[i] < inserts[j] })
+		out.InsertP50Millis = percentile(inserts, 0.50)
+		out.InsertP95Millis = percentile(inserts, 0.95)
+		out.InsertP99Millis = percentile(inserts, 0.99)
+		for i := range wstats {
+			out.WatchEvents += wstats[i].events
+			out.SeqGaps += wstats[i].gaps
+			out.Shed += wstats[i].shed
+		}
+	}
 
 	st, err := fetchServerStats(&cfg)
 	if err != nil {
@@ -356,6 +567,14 @@ func RunLoadgen(cfg LoadgenConfig, progress func(string)) (*ServerJSON, error) {
 	if looked := out.PlanCacheHits + out.PlanCacheMisses; looked > 0 {
 		out.PlanCacheHitRate = float64(out.PlanCacheHits) / float64(looked)
 	}
+	if cfg.Stream {
+		out.IndexMerges = st.IndexMerges - before.IndexMerges
+		out.IndexRebuilds = st.IndexRebuilds - before.IndexRebuilds
+		out.Notifies = st.Notifies - before.Notifies
+		if out.InsertOps > 0 {
+			out.RelabelsPerInsert = float64(st.IndexLabelsTouched-before.IndexLabelsTouched) / float64(out.InsertOps)
+		}
+	}
 	return out, nil
 }
 
@@ -373,21 +592,30 @@ func fetchServerStats(cfg *LoadgenConfig) (*wire.ServerStats, error) {
 	return st, nil
 }
 
-// LoadgenDataset is the Dataset name of server-soak reports:
-// BENCH_server-soak.json.
-const LoadgenDataset = "server-soak"
+// LoadgenDataset is the Dataset name of server-soak reports
+// (BENCH_server-soak.json); StreamDataset names the streaming op-mix
+// variant (BENCH_stream-soak.json).
+const (
+	LoadgenDataset = "server-soak"
+	StreamDataset  = "stream-soak"
+)
 
 // WriteLoadgenReport runs the load generator and writes its result as a
-// schema-v6 BENCH report (dataset "server-soak", no algorithm table, the
-// server section populated) into dir, returning the report and its path.
+// BENCH report (dataset "server-soak", or "stream-soak" in stream mode;
+// no algorithm table, the server section populated) into dir, returning
+// the report and its path.
 func WriteLoadgenReport(dir string, benchCfg Config, cfg LoadgenConfig, progress func(string)) (*BenchJSON, string, error) {
 	srv, err := RunLoadgen(cfg, progress)
 	if err != nil {
 		return nil, "", err
 	}
+	dataset := LoadgenDataset
+	if cfg.Stream {
+		dataset = StreamDataset
+	}
 	rep := &BenchJSON{
 		SchemaVersion: JSONSchemaVersion,
-		Dataset:       LoadgenDataset,
+		Dataset:       dataset,
 		Scale:         benchCfg.Scale,
 		Segments:      benchCfg.Segments,
 		Seed:          cfg.Seed,
@@ -401,7 +629,7 @@ func WriteLoadgenReport(dir string, benchCfg Config, cfg LoadgenConfig, progress
 	if err != nil {
 		return nil, "", err
 	}
-	path := filepath.Join(dir, JSONFileName(LoadgenDataset))
+	path := filepath.Join(dir, JSONFileName(dataset))
 	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
 		return nil, "", err
 	}

@@ -179,3 +179,59 @@ func TestPercentile(t *testing.T) {
 		t.Fatalf("empty percentile = %v", got)
 	}
 }
+
+// TestLoadgenStream is the stream-soak contract in miniature: the
+// streaming op mix (indexed inserts, periodic rebuild-triggering deletes,
+// live watchers) must complete with zero failures and zero sheds, record
+// insert-only percentiles, show bounded relabel work per insert, rebuild
+// at least once, and deliver gap-free watcher sequences.
+func TestLoadgenStream(t *testing.T) {
+	srv := startSoakServer(t)
+	rep, err := RunLoadgen(LoadgenConfig{
+		Addr:        srv.Addr(),
+		Connections: 4,
+		Tenants:     2,
+		Duration:    2 * time.Second,
+		Seed:        2019,
+		SetupEdges:  120,
+		Stream:      true,
+		Watchers:    3,
+		DeleteEvery: 48,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Stream || rep.Watchers != 3 {
+		t.Fatalf("stream flags not recorded: %+v", rep)
+	}
+	if rep.InsertOps == 0 || rep.DeleteOps == 0 || rep.SQLOps == 0 {
+		t.Fatalf("stream mix did no work: %+v", rep)
+	}
+	if rep.Failed != 0 || rep.Shed != 0 {
+		t.Fatalf("stream failed=%d shed=%d: %+v", rep.Failed, rep.Shed, rep)
+	}
+	if rep.InsertP50Millis <= 0 || rep.InsertP99Millis < rep.InsertP50Millis {
+		t.Fatalf("insert percentiles out of order: p50=%.2f p95=%.2f p99=%.2f",
+			rep.InsertP50Millis, rep.InsertP95Millis, rep.InsertP99Millis)
+	}
+	if rep.RelabelsPerInsert <= 0 || rep.RelabelsPerInsert > 64 {
+		// Two edges per insert; amortised union-find work is a handful of
+		// pointer writes each — far below this generous ceiling, while a
+		// recompute-per-insert would blow past it.
+		t.Fatalf("relabels/insert = %.2f outside (0, 64]", rep.RelabelsPerInsert)
+	}
+	if rep.IndexRebuilds == 0 {
+		t.Fatalf("deletes triggered no rebuilds: %+v", rep)
+	}
+	if rep.IndexMerges == 0 || rep.Notifies == 0 || rep.WatchEvents == 0 {
+		t.Fatalf("no fan-out observed: merges=%d notifies=%d watch_events=%d",
+			rep.IndexMerges, rep.Notifies, rep.WatchEvents)
+	}
+	if rep.SeqGaps != 0 {
+		t.Fatalf("watchers observed %d sequence gaps", rep.SeqGaps)
+	}
+	if rep.PlanCacheHitRate < 0.90 {
+		t.Fatalf("stream plan-cache hit rate %.3f < 0.90 (hits=%d misses=%d)",
+			rep.PlanCacheHitRate, rep.PlanCacheHits, rep.PlanCacheMisses)
+	}
+}

@@ -313,6 +313,97 @@ func (c *Client) ConnectedComponents(table, algorithm string, seed uint64) (*CCR
 	}, nil
 }
 
+// Event is one component-index change delivered to a Watch subscription.
+type Event struct {
+	// Seq increases by exactly one per event on a subscription; the first
+	// event's Seq is Watch.StartSeq()+1. A gap means frames were lost and
+	// the subscription should be treated as broken.
+	Seq uint64
+	// Rebuild marks a full relabelling (a DELETE triggered a rebuild):
+	// component labels may have changed wholesale and From/To are zero.
+	// Otherwise the event is a merge of From's component into To's.
+	Rebuild  bool
+	From, To int64
+}
+
+// Watch is a live component-index subscription. Events arrive on C until
+// the server drains, the connection drops, or the subscription overflows
+// server-side; then C is closed and Err reports why. A watch is terminal
+// for its connection — open a dedicated Client to subscribe.
+type Watch struct {
+	c        *Client
+	startSeq uint64
+	events   chan Event
+	err      error // set before events is closed
+}
+
+// StartSeq is the index's sequence number at registration: the watch sees
+// every event after it.
+func (w *Watch) StartSeq() uint64 { return w.startSeq }
+
+// Events is the subscription stream; closed when the watch ends. Callers
+// must keep draining it until it closes (the pump goroutine blocks on an
+// unread event, even across Close).
+func (w *Watch) Events() <-chan Event { return w.events }
+
+// Err reports why the event channel closed: a *wire.WireError with
+// CodeUnavailable on server drain, nil only if Close ended the watch.
+// Valid after Events is closed.
+func (w *Watch) Err() error { return w.err }
+
+// Close tears the watch down by closing the underlying connection (a
+// subscription is terminal for its connection, so there is nothing less
+// drastic to do). The event channel closes shortly after.
+func (w *Watch) Close() error { return w.c.Close() }
+
+// Subscribe opens a component-index watch on a table in the connection's
+// tenant catalog. The table must already have a component index
+// (CREATE COMPONENT INDEX ON t). The Client must not be used for other
+// statements afterwards: the subscription owns the connection.
+func (c *Client) Subscribe(table string) (*Watch, error) {
+	req := wire.EncodeSubscribe(wire.Subscribe{Table: table})
+	if err := c.send(wire.Frame{Type: wire.TypeSubscribe, Payload: req}); err != nil {
+		return nil, err
+	}
+	f, err := c.recv()
+	if err != nil {
+		return nil, err
+	}
+	if f.Type != wire.TypeSubscribeOK {
+		return nil, fmt.Errorf("client: Subscribe answered with frame 0x%02x", f.Type)
+	}
+	ok, err := wire.DecodeSubscribeOK(f.Payload)
+	if err != nil {
+		return nil, err
+	}
+	w := &Watch{c: c, startSeq: ok.Seq, events: make(chan Event)}
+	go w.run()
+	return w, nil
+}
+
+// run pumps Notify frames into the event channel until a terminal frame
+// or connection error arrives.
+func (w *Watch) run() {
+	defer close(w.events)
+	for {
+		f, err := w.c.recv()
+		if err != nil {
+			w.err = err // server drain arrives here as *wire.WireError 503
+			return
+		}
+		if f.Type != wire.TypeNotify {
+			w.err = fmt.Errorf("client: unexpected frame 0x%02x on subscription", f.Type)
+			return
+		}
+		n, err := wire.DecodeNotify(f.Payload)
+		if err != nil {
+			w.err = err
+			return
+		}
+		w.events <- Event{Seq: n.Seq, Rebuild: n.Kind == wire.NotifyRebuild, From: n.From, To: n.To}
+	}
+}
+
 // ServerStats fetches the server's observability snapshot: connection
 // and statement totals, per-tenant admission accounting (queue depth,
 // queue time, shed counts) and the drain flag.

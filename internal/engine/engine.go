@@ -183,7 +183,17 @@ type Stats struct {
 	Parses                 int64 // SQL statements parsed
 	PlanCacheHits          int64 // cached plans reused after validation
 	PlanCacheMisses        int64 // lookups that had to plan from scratch
-	PlanCacheInvalidations int64 // cached plans evicted by DDL
+	PlanCacheInvalidations int64 // cached plans evicted by DDL or failed validation
+
+	// Component-index maintenance counters (see compidx.go).
+	// IndexLabelsTouched counts parent-pointer writes and vertex
+	// registrations on the incremental insert path — the bounded-work
+	// witness: it grows amortised near-constant per inserted edge, never
+	// with the table size. IndexRebuilds counts full recomputes (the
+	// delete path).
+	IndexLabelsTouched int64 // union-find labels written by insert maintenance
+	IndexMerges        int64 // component merges performed by inserts
+	IndexRebuilds      int64 // full rebuilds triggered by deletes
 }
 
 // ConcurrencyStats reports the multi-session activity of a cluster, the
@@ -324,6 +334,10 @@ type Cluster struct {
 
 	plans *planCache // compiled-plan cache; own leaf lock, see plancache.go
 
+	idxMu     sync.Mutex // guards indexes and rebuilder (leaf; see compidx.go)
+	indexes   map[string]*ComponentIndex
+	rebuilder func(table string) (map[int64]int64, error)
+
 	statsMu  sync.Mutex // guards stats, the concurrency gauges, trace and opTotals
 	stats    Stats
 	active   int64
@@ -393,6 +407,7 @@ func NewCluster(opts Options) *Cluster {
 		fusionOff:      opts.DisableOperatorFusion,
 		tables:         make(map[string]*Table),
 		udfs:           make(map[string]UDF),
+		indexes:        make(map[string]*ComponentIndex),
 		plans:          newPlanCache(opts.PlanCacheSize),
 		traceCap:       traceCap,
 		opTotals:       make(map[string]OpTotal),
@@ -608,7 +623,65 @@ func (c *Cluster) InsertRows(name string, rows []Row) (err error) {
 		Start:   start,
 		Elapsed: time.Since(start),
 	})
+	// Incremental index maintenance happens after the table locks are
+	// released; the index has its own lock and the rows are immutable.
+	c.feedIndex(name, rows)
 	return nil
+}
+
+// DeleteRows removes the rows of a table for which keep returns false,
+// releasing their space, and returns the number of rows removed. Mutated
+// partitions are replaced with fresh slices so concurrent scans keep their
+// snapshots. A component index on the table goes stale on any removal and
+// is rebuilt before DeleteRows returns (see compidx.go).
+func (c *Cluster) DeleteRows(name string, keep func(Row) bool) (removed int64, err error) {
+	defer recoverToError("delete", &err)
+	start := time.Now()
+	t, ok := c.Table(name)
+	if !ok {
+		return 0, fmt.Errorf("engine: table %q does not exist", name)
+	}
+	t.mu.Lock()
+	for seg, part := range t.Parts {
+		n := 0
+		for _, r := range part {
+			if keep(r) {
+				n++
+			}
+		}
+		if n == len(part) {
+			continue
+		}
+		kept := make([]Row, 0, n)
+		for _, r := range part {
+			if keep(r) {
+				kept = append(kept, r)
+			}
+		}
+		removed += int64(len(part) - n)
+		t.Parts[seg] = kept
+	}
+	t.mu.Unlock()
+	bytes := removed * int64(len(t.Schema)) * DatumSize
+	c.statsMu.Lock()
+	c.stats.Queries++
+	if !c.transaction {
+		c.stats.LiveBytes -= bytes
+	}
+	c.stats.Log = append(c.stats.Log, QueryStat{Label: "delete " + name})
+	c.statsMu.Unlock()
+	c.addTrace(TraceRecord{
+		Kind:    "delete",
+		Target:  name,
+		Plan:    fmt.Sprintf("Delete(%s, %d rows)", name, removed),
+		Rows:    removed,
+		Start:   start,
+		Elapsed: time.Since(start),
+	})
+	if err := c.maybeRebuildIndex(name, removed); err != nil {
+		return removed, err
+	}
+	return removed, nil
 }
 
 // DropTable removes a table from the catalog. Its space is released
@@ -625,6 +698,7 @@ func (c *Cluster) DropTable(name string) error {
 	delete(c.tables, name)
 	c.mu.Unlock()
 	c.plans.invalidate(name)
+	c.dropIndexFor(name)
 	if !c.transaction {
 		bytes := t.Bytes()
 		c.statsMu.Lock()
@@ -651,6 +725,7 @@ func (c *Cluster) RenameTable(oldName, newName string) error {
 	c.tables[newName] = t
 	c.mu.Unlock()
 	c.plans.invalidate(oldName, newName)
+	c.renameIndexFor(oldName, newName)
 	return nil
 }
 

@@ -94,13 +94,15 @@ func (pc *planCache) put(ns, norm string, val any, deps []string) {
 	}
 }
 
-// remove drops one entry (a plan that failed validation against the
-// current catalog).
+// remove drops one entry — a plan that failed validation against the
+// current catalog or statistics — and counts the invalidation, so the
+// observability surface shows stats-delta evictions alongside DDL ones.
 func (pc *planCache) remove(ns, norm string) {
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
 	if e, ok := pc.m[cacheKey(ns, norm)]; ok {
 		pc.evict(e)
+		pc.invalidations++
 	}
 }
 

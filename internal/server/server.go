@@ -90,10 +90,13 @@ type Server struct {
 	draining   bool
 	stmtWG     sync.WaitGroup
 
-	connsTotal atomic.Int64
-	statements atomic.Int64
-	failed     atomic.Int64
-	prepares   atomic.Int64
+	connsTotal    atomic.Int64
+	statements    atomic.Int64
+	failed        atomic.Int64
+	prepares      atomic.Int64
+	watchers      atomic.Int64 // live component-index subscriptions
+	watchersTotal atomic.Int64
+	notifies      atomic.Int64 // Notify frames written across all subscriptions
 }
 
 // New creates a server (and its embedded cluster); call Listen then
@@ -237,6 +240,12 @@ func (s *Server) Stats() wire.ServerStats {
 		PlanCacheMisses:        cst.PlanCacheMisses,
 		PlanCacheInvalidations: cst.PlanCacheInvalidations,
 		PlanCacheEntries:       int64(s.db.Cluster().PlanCacheLen()),
+		Watchers:               s.watchers.Load(),
+		WatchersTotal:          s.watchersTotal.Load(),
+		Notifies:               s.notifies.Load(),
+		IndexLabelsTouched:     cst.IndexLabelsTouched,
+		IndexMerges:            cst.IndexMerges,
+		IndexRebuilds:          cst.IndexRebuilds,
 	}
 	s.adm.snapshot(&st)
 	return st
@@ -357,6 +366,12 @@ func (s *Server) handleConn(conn net.Conn) {
 			cs.serveClosePrepared(f.Payload)
 		case wire.TypeExec, wire.TypeQuery, wire.TypeCC, wire.TypeExecPrepared:
 			cs.serveStatement(f)
+		case wire.TypeSubscribe:
+			// A subscription is terminal for the connection: serveSubscribe
+			// owns the read side (to detect client close) and returns only
+			// when the watch ends, after which the connection is done.
+			cs.serveSubscribe(f.Payload, br)
+			return
 		default:
 			cs.sendError(wire.CodeParse, fmt.Sprintf("unexpected frame type 0x%02x", f.Type))
 		}
@@ -590,6 +605,91 @@ func (cs *connState) streamRows(schema engine.Schema, rows []engine.Row, queued 
 		}
 	}
 	cs.send(wire.Frame{Type: wire.TypeDone, Payload: wire.EncodeDone(wire.Done{Rows: int64(len(rows)), QueueNanos: queued.Nanoseconds()})})
+}
+
+// serveSubscribe registers a component-index watch and streams Notify
+// frames until the client disconnects, the server drains, or the
+// subscription overflows. Registration counts as a statement for
+// admission control — a tenant cannot open more watches than its
+// concurrency budget admits at once — but the slot is released as soon
+// as the watch is registered, so long-lived subscriptions do not starve
+// the tenant's statement lanes. The in-flight registration (stmtWG) is
+// held for the subscription's whole lifetime instead: that is what
+// guarantees drain writes the terminal Error frame before Shutdown
+// closes the connection.
+func (cs *connState) serveSubscribe(payload []byte, br *bufio.Reader) {
+	s := cs.s
+	s.statements.Add(1)
+	if !s.beginStmt() {
+		cs.sendError(wire.CodeUnavailable, ErrDraining.Error())
+		return
+	}
+	defer s.stmtWG.Done()
+
+	_, release, err := s.adm.acquire(s.baseCtx, cs.tenant)
+	if err != nil {
+		cs.sendError(errorCode(err), err.Error())
+		return
+	}
+
+	req, err := wire.DecodeSubscribe(payload)
+	if err != nil {
+		release()
+		cs.sendError(wire.CodeParse, err.Error())
+		return
+	}
+	phys := cs.sess.Resolve(req.Table)
+	idx, ok := s.db.Cluster().ComponentIndex(phys)
+	if !ok {
+		release()
+		cs.sendError(wire.CodeNotFound, fmt.Sprintf("table %q has no component index", req.Table))
+		return
+	}
+	sub := idx.Subscribe()
+	defer sub.Close()
+	release() // registered: give the admission slot back
+	s.watchers.Add(1)
+	s.watchersTotal.Add(1)
+	defer s.watchers.Add(-1)
+
+	if !cs.send(wire.Frame{Type: wire.TypeSubscribeOK, Payload: wire.EncodeSubscribeOK(wire.SubscribeOK{Seq: sub.StartSeq})}) {
+		return
+	}
+
+	// The client writes nothing after Subscribe; a read completing (frame
+	// or error) means it hung up. The goroutine unblocks when handleConn's
+	// deferred conn.Close runs after we return.
+	clientGone := make(chan struct{})
+	go func() {
+		wire.ReadFrame(br)
+		close(clientGone)
+	}()
+
+	for {
+		select {
+		case ev, ok := <-sub.C:
+			if !ok {
+				// Disconnected by the index: the subscriber fell too far
+				// behind (buffer overflow) or the index was dropped.
+				cs.sendError(wire.CodeUnavailable, "subscription dropped (slow consumer or index dropped)")
+				return
+			}
+			if !cs.send(wire.Frame{Type: wire.TypeNotify, Payload: wire.EncodeNotify(wire.Notify{
+				Seq:  ev.Seq,
+				Kind: ev.Kind,
+				From: ev.From,
+				To:   ev.To,
+			})}) {
+				return
+			}
+			s.notifies.Add(1)
+		case <-s.drainCh:
+			cs.sendError(wire.CodeUnavailable, ErrDraining.Error())
+			return
+		case <-clientGone:
+			return
+		}
+	}
 }
 
 func (cs *connState) serveCC(payload []byte, queued time.Duration) {

@@ -390,3 +390,144 @@ func TestDrainRemovesSpillDirs(t *testing.T) {
 		t.Fatalf("spill dir %s survived the drain: %v", root, err)
 	}
 }
+
+// TestSubscribeStreamsNotifies is the wire-level watch contract: a
+// dedicated connection subscribes to an indexed table, another tenant
+// connection streams inserts and a delete, and the watcher sees merge
+// events with gap-free sequence numbers followed by a rebuild event.
+func TestSubscribeStreamsNotifies(t *testing.T) {
+	srv := startServer(t, server.Config{DB: dbcc.Config{Segments: 4}})
+	writer := dial(t, srv, "acme")
+	if _, _, err := writer.Exec("CREATE TABLE edges (v1, v2); CREATE COMPONENT INDEX ON edges"); err != nil {
+		t.Fatalf("create index: %v", err)
+	}
+
+	// Subscribing to an unindexed table is a 404.
+	if _, err := dial(t, srv, "acme").Subscribe("nosuch"); err == nil {
+		t.Fatal("subscribe to unindexed table succeeded")
+	}
+
+	w, err := dial(t, srv, "acme").Subscribe("edges")
+	if err != nil {
+		t.Fatalf("subscribe: %v", err)
+	}
+	defer w.Close()
+
+	if _, _, err := writer.Exec("INSERT INTO edges VALUES (1,2), (3,4), (2,3)"); err != nil {
+		t.Fatalf("insert: %v", err)
+	}
+	if _, _, err := writer.Exec("DELETE FROM edges WHERE v1 = 2"); err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+
+	seq := w.StartSeq()
+	var merges, rebuilds int
+	deadline := time.After(10 * time.Second)
+	for rebuilds == 0 {
+		select {
+		case ev, ok := <-w.Events():
+			if !ok {
+				t.Fatalf("watch closed early: %v", w.Err())
+			}
+			if ev.Seq != seq+1 {
+				t.Fatalf("sequence gap: %d after %d", ev.Seq, seq)
+			}
+			seq = ev.Seq
+			if ev.Rebuild {
+				rebuilds++
+			} else {
+				merges++
+			}
+		case <-deadline:
+			t.Fatalf("no rebuild event after %d merges", merges)
+		}
+	}
+	if merges != 3 {
+		t.Fatalf("saw %d merge events, want 3", merges)
+	}
+
+	st, err := writer.ServerStats()
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if st.Watchers != 1 || st.WatchersTotal != 1 || st.Notifies < 4 {
+		t.Fatalf("watch counters: watchers=%d total=%d notifies=%d", st.Watchers, st.WatchersTotal, st.Notifies)
+	}
+	if st.IndexMerges < 3 || st.IndexRebuilds < 1 || st.IndexLabelsTouched == 0 {
+		t.Fatalf("index counters: %+v", st)
+	}
+
+	// Tenants are isolated: tenant "other" cannot watch acme's index.
+	if _, err := dial(t, srv, "other").Subscribe("edges"); err == nil {
+		t.Fatal("cross-tenant subscribe succeeded")
+	}
+}
+
+// TestDrainWithLiveWatchers is the drain-while-subscribed contract
+// (extending TestDrainLeavesNoGoroutines): SIGTERM-style Shutdown with
+// live Watch subscriptions must deliver each watcher a terminal 503
+// frame and leave no goroutines behind.
+func TestDrainWithLiveWatchers(t *testing.T) {
+	base := runtime.NumGoroutine()
+
+	srv := server.New(server.Config{Addr: "127.0.0.1:0", DB: dbcc.Config{Segments: 4}})
+	if err := srv.Listen(); err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve() }()
+
+	writer, err := client.Dial(srv.Addr(), "acme", "")
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	if _, _, err := writer.Exec("CREATE TABLE edges (v1, v2); CREATE COMPONENT INDEX ON edges; INSERT INTO edges VALUES (1,2)"); err != nil {
+		t.Fatalf("setup: %v", err)
+	}
+
+	const watchers = 4
+	watches := make([]*client.Watch, watchers)
+	conns := make([]*client.Client, watchers)
+	for i := range watches {
+		conns[i], err = client.Dial(srv.Addr(), "acme", "")
+		if err != nil {
+			t.Fatalf("dial watcher %d: %v", i, err)
+		}
+		watches[i], err = conns[i].Subscribe("edges")
+		if err != nil {
+			t.Fatalf("subscribe %d: %v", i, err)
+		}
+	}
+	writer.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if err := <-serveDone; err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+
+	// Every watcher's stream ends with the server's 503, not an abrupt
+	// connection reset: the drain wrote the terminal frame first.
+	for i, w := range watches {
+		deadline := time.After(5 * time.Second)
+		for {
+			var open bool
+			select {
+			case _, open = <-w.Events():
+			case <-deadline:
+				t.Fatalf("watcher %d: stream still open after drain", i)
+			}
+			if !open {
+				break
+			}
+		}
+		if !client.IsUnavailable(w.Err()) {
+			t.Fatalf("watcher %d: terminal error = %v, want 503 unavailable", i, w.Err())
+		}
+		conns[i].Close()
+	}
+	waitNoExtraGoroutines(t, base)
+}

@@ -50,16 +50,53 @@ type InsertValues struct {
 	Rows      [][]Expr
 }
 
+// InsertSelect is INSERT INTO name SELECT ...: the query's result rows
+// are appended to an existing table (whose schema must have the query's
+// arity). Like every insert it feeds any component index on the target.
+type InsertSelect struct {
+	Name      string
+	NameParam int // $N index when the name is a parameter, else 0
+	Select    *SelectStmt
+}
+
+// DeleteStmt is DELETE FROM name [WHERE expr]: rows matching the filter
+// (all rows without one) are removed. A component index on the table is
+// rebuilt afterwards — deletes can split components, which the
+// incremental union-find cannot express.
+type DeleteStmt struct {
+	Name      string
+	NameParam int  // $N index when the name is a parameter, else 0
+	Where     Expr // nil = delete every row
+}
+
+// CreateComponentIndex is CREATE COMPONENT INDEX ON name: it builds the
+// incremental connected-components index over an edge table (first two
+// columns are the endpoints) and keeps it maintained under inserts.
+type CreateComponentIndex struct {
+	Table      string
+	TableParam int // $N index when the table name is a parameter, else 0
+}
+
+// DropComponentIndex is DROP COMPONENT INDEX ON name.
+type DropComponentIndex struct {
+	Table      string
+	TableParam int
+}
+
 // SelectQuery is a bare SELECT executed for its result rows.
 type SelectQuery struct{ Select *SelectStmt }
 
-func (*CreateTableAs) stmt()    {}
-func (*CreateTablePlain) stmt() {}
-func (*ExplainStmt) stmt()      {}
-func (*DropTable) stmt()        {}
-func (*AlterRename) stmt()      {}
-func (*InsertValues) stmt()     {}
-func (*SelectQuery) stmt()      {}
+func (*CreateTableAs) stmt()        {}
+func (*CreateTablePlain) stmt()     {}
+func (*ExplainStmt) stmt()          {}
+func (*DropTable) stmt()            {}
+func (*AlterRename) stmt()          {}
+func (*InsertValues) stmt()         {}
+func (*InsertSelect) stmt()         {}
+func (*DeleteStmt) stmt()           {}
+func (*CreateComponentIndex) stmt() {}
+func (*DropComponentIndex) stmt()   {}
+func (*SelectQuery) stmt()          {}
 
 // SelectStmt is one SELECT block; UnionAll chains additional blocks
 // (SELECT ... UNION ALL SELECT ...). OrderBy and Limit apply to the whole

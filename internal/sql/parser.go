@@ -152,6 +152,8 @@ func (p *parser) statement() (Statement, error) {
 		return p.alterRename()
 	case p.atKw("insert"):
 		return p.insertValues()
+	case p.atKw("delete"):
+		return p.deleteFrom()
 	case p.atKw("explain"):
 		p.next()
 		analyze := p.acceptKw("analyze")
@@ -172,6 +174,20 @@ func (p *parser) statement() (Statement, error) {
 
 func (p *parser) createTableAs() (Statement, error) {
 	p.next() // create
+	if p.atKw("component") {
+		p.next()
+		if err := p.expectKw("index"); err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("on"); err != nil {
+			return nil, err
+		}
+		name, nameParam, err := p.tableName()
+		if err != nil {
+			return nil, err
+		}
+		return &CreateComponentIndex{Table: name, TableParam: nameParam}, nil
+	}
 	if err := p.expectKw("table"); err != nil {
 		return nil, err
 	}
@@ -242,6 +258,20 @@ func (p *parser) createTableAs() (Statement, error) {
 
 func (p *parser) dropTable() (Statement, error) {
 	p.next() // drop
+	if p.atKw("component") {
+		p.next()
+		if err := p.expectKw("index"); err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("on"); err != nil {
+			return nil, err
+		}
+		name, nameParam, err := p.tableName()
+		if err != nil {
+			return nil, err
+		}
+		return &DropComponentIndex{Table: name, TableParam: nameParam}, nil
+	}
 	if err := p.expectKw("table"); err != nil {
 		return nil, err
 	}
@@ -292,6 +322,14 @@ func (p *parser) insertValues() (Statement, error) {
 	if err != nil {
 		return nil, err
 	}
+	// INSERT INTO t SELECT ... appends a query's result rows.
+	if p.atKw("select") {
+		sel, err := p.selectStmt()
+		if err != nil {
+			return nil, err
+		}
+		return &InsertSelect{Name: name, NameParam: nameParam, Select: sel}, nil
+	}
 	if err := p.expectKw("values"); err != nil {
 		return nil, err
 	}
@@ -320,6 +358,27 @@ func (p *parser) insertValues() (Statement, error) {
 		}
 	}
 	return &InsertValues{Name: name, NameParam: nameParam, Rows: rows}, nil
+}
+
+// deleteFrom parses DELETE FROM name [WHERE expr].
+func (p *parser) deleteFrom() (Statement, error) {
+	p.next() // delete
+	if err := p.expectKw("from"); err != nil {
+		return nil, err
+	}
+	name, nameParam, err := p.tableName()
+	if err != nil {
+		return nil, err
+	}
+	st := &DeleteStmt{Name: name, NameParam: nameParam}
+	if p.acceptKw("where") {
+		e, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		st.Where = e
+	}
+	return st, nil
 }
 
 func (p *parser) selectStmt() (*SelectStmt, error) {
@@ -455,7 +514,7 @@ func isReservedWord(s string) bool {
 		"distinct", "left", "outer", "inner", "join", "on", "order",
 		"having", "as", "distributed", "create", "table", "drop", "alter",
 		"rename", "to", "insert", "into", "values", "explain", "limit",
-		"asc", "desc":
+		"asc", "desc", "delete":
 		return true
 	}
 	return false

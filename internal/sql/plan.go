@@ -62,14 +62,18 @@ func isAggName(name string) bool {
 type Resolver func(name string) string
 
 // tableDep records one fixed (non-parameter) table a plan reads: the name
-// as written, the physical table it resolved to, and the schema it was
-// planned against. The plan cache re-checks all three before reusing a
-// cached plan, so DDL that slips past eager invalidation (e.g. namespace
-// shadowing) still can never execute a stale plan.
+// as written, the physical table it resolved to, the schema it was
+// planned against, and the row count observed at plan time. The plan
+// cache re-checks name resolution and schema before reusing a cached
+// plan, so DDL that slips past eager invalidation (e.g. namespace
+// shadowing) still can never execute a stale plan; the row count feeds
+// the statistics-staleness rule (validateTemplate), which evicts plans
+// whose inputs have grown or shrunk far past what they were planned for.
 type tableDep struct {
 	logical string
 	phys    string
 	schema  engine.Schema
+	rows    int64
 }
 
 // planParams carries prepared-statement planning state: the physical
@@ -343,6 +347,7 @@ func planTableRef(c *engine.Cluster, ref TableRef, resolve Resolver, pp *planPar
 			logical: ref.Table,
 			phys:    stored,
 			schema:  append(engine.Schema(nil), t.Schema...),
+			rows:    t.Rows(),
 		})
 	}
 	sc := make(scope, len(t.Schema))

@@ -485,8 +485,13 @@ func (s *Session) resolveTableArgs(args []Arg) map[int]string {
 // validateTemplate re-checks everything the cached plan assumed about the
 // catalog: every fixed table still resolves to the same physical table
 // with an unchanged schema, and every bound table parameter names an
-// existing table whose schema matches the one planned against. A stale
-// plan never executes — it fails here and is replanned.
+// existing table whose schema matches the one planned against. It also
+// checks table *statistics*: a plan whose input row count has drifted
+// past statsStaleFactor (with an absolute change of at least
+// statsStaleMinRows, so small tables never thrash) is treated as stale —
+// plan-time decisions that depend on cardinality (join order heuristics;
+// future cost-based choices) must be retaken once the data has shifted
+// that far. A stale plan never executes — it fails here and is replanned.
 func (s *Session) validateTemplate(t *planTemplate, args []Arg) bool {
 	for _, d := range t.deps {
 		if s.Resolve(d.logical) != d.phys {
@@ -494,6 +499,9 @@ func (s *Session) validateTemplate(t *planTemplate, args []Arg) bool {
 		}
 		tbl, ok := s.c.Table(d.phys)
 		if !ok || !sameSchema(tbl.Schema, d.schema) {
+			return false
+		}
+		if statsStale(d.rows, tbl.Rows()) {
 			return false
 		}
 	}
@@ -507,6 +515,30 @@ func (s *Session) validateTemplate(t *planTemplate, args []Arg) bool {
 		}
 	}
 	return true
+}
+
+// Statistics-staleness thresholds: a cached plan is invalidated when an
+// input table's row count has grown or shrunk by statsStaleFactor AND the
+// absolute change is at least statsStaleMinRows. The factor catches the
+// interesting shifts (a table crossing a broadcast/bloom threshold); the
+// floor keeps the round loop's small, churning temp tables from evicting
+// their templates on every round.
+const (
+	statsStaleFactor  = 4
+	statsStaleMinRows = 1024
+)
+
+// statsStale reports whether a table's live row count has drifted far
+// enough from the plan-time count to invalidate plans that read it.
+func statsStale(planned, now int64) bool {
+	lo, hi := planned, now
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if hi-lo < statsStaleMinRows {
+		return false
+	}
+	return hi >= lo*statsStaleFactor
 }
 
 func sameSchema(a, b engine.Schema) bool {
@@ -689,6 +721,24 @@ func collectStmtParams(st Statement, values, tables map[int]bool) {
 				collectExprParams(e, values)
 			}
 		}
+	case *InsertSelect:
+		if st.NameParam > 0 {
+			tables[st.NameParam] = true
+		}
+		collectSelectParams(st.Select, values, tables)
+	case *DeleteStmt:
+		if st.NameParam > 0 {
+			tables[st.NameParam] = true
+		}
+		collectExprParams(st.Where, values)
+	case *CreateComponentIndex:
+		if st.TableParam > 0 {
+			tables[st.TableParam] = true
+		}
+	case *DropComponentIndex:
+		if st.TableParam > 0 {
+			tables[st.TableParam] = true
+		}
 	case *ExplainStmt:
 		collectSelectParams(st.Select, values, tables)
 	case *SelectQuery:
@@ -816,6 +866,24 @@ func substituteStmt(st Statement, args []Arg) Statement {
 			}
 		}
 		return out
+	case *InsertSelect:
+		out := *st
+		out.Name, out.NameParam = substName(st.Name, st.NameParam, args)
+		out.Select = substituteSelect(st.Select, args)
+		return &out
+	case *DeleteStmt:
+		out := *st
+		out.Name, out.NameParam = substName(st.Name, st.NameParam, args)
+		out.Where = substituteExpr(st.Where, args)
+		return &out
+	case *CreateComponentIndex:
+		out := *st
+		out.Table, out.TableParam = substName(st.Table, st.TableParam, args)
+		return &out
+	case *DropComponentIndex:
+		out := *st
+		out.Table, out.TableParam = substName(st.Table, st.TableParam, args)
+		return &out
 	case *ExplainStmt:
 		return &ExplainStmt{Select: substituteSelect(st.Select, args), Analyze: st.Analyze}
 	case *SelectQuery:

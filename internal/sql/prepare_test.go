@@ -2,6 +2,7 @@ package sql
 
 import (
 	"errors"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -513,4 +514,71 @@ func TestPreparedValueResultsMatchText(t *testing.T) {
 			}
 		}
 	}
+}
+
+// TestCachedPlanStatsInvalidation pins validation-on-hit to table
+// *statistics*, not just the catalog: a cached SELECT template built when
+// its input was small must be evicted and replanned once the table grows
+// past statsStaleFactor (with the statsStaleMinRows floor), so plan-time
+// cardinality decisions are retaken against the new sizes. Interleaves
+// inserts with cached-plan executions the way a streaming workload does.
+func TestCachedPlanStatsInvalidation(t *testing.T) {
+	s := newSession(t)
+	defer s.Cluster().Close()
+	loadEdges(t, s, "e", [][2]int64{{1, 2}, {2, 3}, {3, 4}})
+	loadEdges(t, s, "f", [][2]int64{{2, 20}, {3, 30}})
+
+	p, err := s.Prepare("SELECT count(*) AS n FROM e, f WHERE e.v2 = f.v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(want int64) {
+		t.Helper()
+		_, rows, err := p.Query()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) != 1 || rows[0][0].Int != want {
+			t.Fatalf("join count: %v, want %d", rows, want)
+		}
+	}
+
+	d := snapCounters(s.Cluster())
+	run(2)
+	d.expect(t, "first execute", 0, 0, 1)
+
+	// Small growth — under the statsStaleMinRows floor — must keep the
+	// template hot even though the table quadrupled: tiny tables never
+	// thrash the cache (the rc-det round loop depends on this).
+	if _, err := s.Exec("INSERT INTO e VALUES (4,5),(5,6),(6,7),(7,8),(8,9),(9,10)"); err != nil {
+		t.Fatal(err)
+	}
+	run(2)
+	d.expect(t, "after small growth", 1, 1, 0) // the 1 parse is the INSERT
+
+	// Large growth: push e from 9 rows to >1024 with one bulk INSERT
+	// (over the floor, far over the factor). The next execution must
+	// fail validation, evict, and replan against the new cardinality.
+	var b strings.Builder
+	b.WriteString("INSERT INTO e VALUES ")
+	for i := 0; i < 1100; i++ {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "(%d,%d)", 1000+i, 2000+i)
+	}
+	if _, err := s.Exec(b.String()); err != nil {
+		t.Fatal(err)
+	}
+	inval0 := s.Cluster().Stats().PlanCacheInvalidations
+	run(2)
+	d.expect(t, "after bulk growth", 1, 0, 1) // the 1 parse is the INSERT
+	if got := s.Cluster().Stats().PlanCacheInvalidations; got <= inval0 {
+		t.Fatalf("stale template not evicted: invalidations %d -> %d", inval0, got)
+	}
+
+	// The replanned template captured the new row counts: steady-state
+	// executions hit again.
+	run(2)
+	d.expect(t, "steady state after replan", 0, 1, 0)
 }

@@ -311,6 +311,58 @@ func (s *Session) ExecStmt(st Statement) (int64, error) {
 		}
 		return int64(len(rows)), nil
 
+	case *InsertSelect:
+		phys := s.Resolve(st.Name)
+		t, ok := s.c.Table(phys)
+		if !ok {
+			return 0, fmt.Errorf("sql: table %q does not exist", st.Name)
+		}
+		plan, names, err := PlanSelectResolved(s.c, st.Select, s.resolver())
+		if err != nil {
+			return 0, err
+		}
+		if len(names) != len(t.Schema) {
+			return 0, fmt.Errorf("sql: INSERT SELECT produces %d columns, table %q has %d",
+				len(names), st.Name, len(t.Schema))
+		}
+		_, rows, err := s.c.QueryCtx(s.context(), plan)
+		if err != nil {
+			return 0, err
+		}
+		if err := s.c.InsertRows(phys, rows); err != nil {
+			return 0, err
+		}
+		return int64(len(rows)), nil
+
+	case *DeleteStmt:
+		phys := s.Resolve(st.Name)
+		t, ok := s.c.Table(phys)
+		if !ok {
+			return 0, fmt.Errorf("sql: table %q does not exist", st.Name)
+		}
+		keep := func(engine.Row) bool { return false } // no WHERE: delete all
+		if st.Where != nil {
+			sc := make(scope, len(t.Schema))
+			for i, col := range t.Schema {
+				sc[i] = scopeCol{qual: st.Name, name: col}
+			}
+			pred, err := compileScalar(s.c, st.Where, sc)
+			if err != nil {
+				return 0, err
+			}
+			keep = func(r engine.Row) bool {
+				d := pred.Eval(r)
+				return d.Null || d.Int == 0 // keep rows the filter does not match
+			}
+		}
+		return s.c.DeleteRows(phys, keep)
+
+	case *CreateComponentIndex:
+		return 0, s.c.CreateComponentIndex(s.Resolve(st.Table))
+
+	case *DropComponentIndex:
+		return 0, s.c.DropComponentIndex(s.Resolve(st.Table))
+
 	case *SelectQuery:
 		plan, names, err := PlanSelectResolved(s.c, st.Select, s.resolver())
 		if err != nil {

@@ -68,7 +68,9 @@ func (d *DSU) Vertices() int { return len(d.parent) }
 // Components computes the connected components of a graph sequentially and
 // returns the resulting labelling (each vertex labelled by its set root).
 func Components(g *graph.Graph) graph.Labelling {
-	d := New(g.NumEdges())
+	// Size from the vertex count: the maps hold one entry per vertex, and
+	// on dense graphs an edge-count capacity over-allocates quadratically.
+	d := New(g.NumVertices())
 	for _, e := range g.Edges {
 		d.Union(e.V, e.W)
 	}

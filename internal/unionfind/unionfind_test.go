@@ -108,3 +108,43 @@ func TestAgainstBruteForce(t *testing.T) {
 		}
 	}
 }
+
+// TestFindIterativeOnMillionChain builds a parent chain a million links
+// deep by hand — deeper than any tree union-by-rank would ever produce —
+// and calls Find on the tail. A recursive Find would overflow the stack
+// here; the iterative one must survive and, by path compression, re-point
+// every visited node directly at the root.
+func TestFindIterativeOnMillionChain(t *testing.T) {
+	const n = 1_000_000
+	d := New(n)
+	for v := int64(0); v < n; v++ {
+		d.parent[v] = v + 1 // 0 → 1 → … → n
+	}
+	d.parent[n] = n
+
+	if root := d.Find(0); root != n {
+		t.Fatalf("Find(0) = %d, want %d", root, n)
+	}
+	for v := int64(0); v <= n; v++ {
+		if d.parent[v] != n {
+			t.Fatalf("path not compressed: parent[%d] = %d, want %d", v, d.parent[v], n)
+		}
+	}
+}
+
+// TestComponentsMillionPath is the hot-oracle stress: the DSU labels a
+// 1e6-vertex path (the adversarial depth case) in one pass, and the maps
+// are sized from the vertex count, not the edge count.
+func TestComponentsMillionPath(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1e6-vertex stress skipped in -short")
+	}
+	g := datagen.Path(1_000_000)
+	l := Components(g)
+	if got := l.NumComponents(); got != 1 {
+		t.Fatalf("million-path has %d components", got)
+	}
+	if len(l) != 1_000_000 {
+		t.Fatalf("labelled %d vertices", len(l))
+	}
+}

@@ -40,6 +40,10 @@ func TestRegenFuzzCorpus(t *testing.T) {
 			Type: TypeExecPrepared, Payload: EncodeExecPrepared(ExecPrepared{ID: 3, Args: []Arg{TableArg("edges"), IntArg(-7), NullArg()}}),
 		}),
 		"frame_close_prepared": AppendFrame(nil, Frame{Type: TypeClosePrepared, Payload: EncodeClosePrepared(ClosePrepared{ID: 3})}),
+		"frame_subscribe":      AppendFrame(nil, Frame{Type: TypeSubscribe, Payload: EncodeSubscribe(Subscribe{Table: "edges"})}),
+		"frame_subscribe_ok":   AppendFrame(nil, Frame{Type: TypeSubscribeOK, Payload: EncodeSubscribeOK(SubscribeOK{Seq: 42})}),
+		"frame_notify_merge":   AppendFrame(nil, Frame{Type: TypeNotify, Payload: EncodeNotify(Notify{Seq: 43, Kind: NotifyMerge, From: 9, To: 1})}),
+		"frame_notify_rebuild": AppendFrame(nil, Frame{Type: TypeNotify, Payload: EncodeNotify(Notify{Seq: 44, Kind: NotifyRebuild})}),
 		"frame_empty":          {},
 		"frame_lying_hdr":      {0xff, 0xff, 0xff, 0xff, 0xff, 0xff},
 		"frame_truncated":      AppendFrame(nil, Frame{Type: TypeCC, Payload: EncodeCC(CC{Table: "edges"})})[:9],

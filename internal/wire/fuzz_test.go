@@ -32,6 +32,10 @@ func FuzzFrameCodec(f *testing.F) {
 		{Type: TypePrepareOK, Payload: EncodePrepareOK(PrepareOK{ID: 3, NumParams: 3, IsQuery: false})},
 		{Type: TypeExecPrepared, Payload: EncodeExecPrepared(ExecPrepared{ID: 3, Args: []Arg{TableArg("edges"), IntArg(-7), NullArg()}})},
 		{Type: TypeClosePrepared, Payload: EncodeClosePrepared(ClosePrepared{ID: 3})},
+		{Type: TypeSubscribe, Payload: EncodeSubscribe(Subscribe{Table: "edges"})},
+		{Type: TypeSubscribeOK, Payload: EncodeSubscribeOK(SubscribeOK{Seq: 42})},
+		{Type: TypeNotify, Payload: EncodeNotify(Notify{Seq: 43, Kind: NotifyMerge, From: 9, To: 1})},
+		{Type: TypeNotify, Payload: EncodeNotify(Notify{Seq: 44, Kind: NotifyRebuild})},
 	}
 	for _, fr := range seeds {
 		f.Add(AppendFrame(nil, fr))
@@ -120,6 +124,24 @@ func FuzzFrameCodec(f *testing.F) {
 			if c, err := DecodeClosePrepared(fr.Payload); err == nil {
 				if re := EncodeClosePrepared(c); !bytes.Equal(re, fr.Payload) {
 					t.Fatalf("close-prepared round-trip mismatch")
+				}
+			}
+		case TypeSubscribe:
+			if s, err := DecodeSubscribe(fr.Payload); err == nil {
+				if re := EncodeSubscribe(s); !bytes.Equal(re, fr.Payload) {
+					t.Fatalf("subscribe round-trip mismatch")
+				}
+			}
+		case TypeSubscribeOK:
+			if s, err := DecodeSubscribeOK(fr.Payload); err == nil {
+				if re := EncodeSubscribeOK(s); !bytes.Equal(re, fr.Payload) {
+					t.Fatalf("subscribe-ok round-trip mismatch")
+				}
+			}
+		case TypeNotify:
+			if nt, err := DecodeNotify(fr.Payload); err == nil {
+				if re := EncodeNotify(nt); !bytes.Equal(re, fr.Payload) {
+					t.Fatalf("notify round-trip mismatch")
 				}
 			}
 		}

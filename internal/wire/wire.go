@@ -58,6 +58,7 @@ const (
 	TypePrepare       byte = 0x06 // $N statement text; reply: PrepareOK | Error
 	TypeExecPrepared  byte = 0x07 // bound execution; reply: Done | (Schema, Rows*, Done) | Error
 	TypeClosePrepared byte = 0x08 // release a prepared statement; reply: Done | Error
+	TypeSubscribe     byte = 0x09 // watch a table's component index; reply: SubscribeOK, Notify* | Error
 	TypeHelloOK       byte = 0x81
 	TypeSchema        byte = 0x82
 	TypeRows          byte = 0x83
@@ -66,6 +67,8 @@ const (
 	TypeCCDone        byte = 0x86
 	TypeStatsReply    byte = 0x87 // payload: JSON-encoded ServerStats
 	TypePrepareOK     byte = 0x88
+	TypeSubscribeOK   byte = 0x89
+	TypeNotify        byte = 0x8a
 )
 
 // Error codes carried by Error frames, HTTP-flavoured so overload reads
@@ -198,6 +201,16 @@ func (r *reader) i64() int64 {
 		return 0
 	}
 	v := int64(binary.LittleEndian.Uint64(r.data[r.off:]))
+	r.off += 8
+	return v
+}
+
+func (r *reader) u64() uint64 {
+	if r.err != nil || r.off+8 > len(r.data) {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.data[r.off:])
 	r.off += 8
 	return v
 }
@@ -617,6 +630,82 @@ func DecodeClosePrepared(p []byte) (ClosePrepared, error) {
 	return c, r.done()
 }
 
+// Subscribe asks the server to stream component-index events for a table.
+// The server answers SubscribeOK (carrying the index sequence number as of
+// registration) and then a Notify frame per event until the connection
+// closes or the server drains, which it signals with a terminal Error frame
+// (CodeUnavailable). A subscription is terminal for the connection: no
+// further requests are read after it.
+type Subscribe struct {
+	Table string
+}
+
+// EncodeSubscribe encodes s as a TypeSubscribe frame payload.
+func EncodeSubscribe(s Subscribe) []byte {
+	return appendStr(nil, s.Table)
+}
+
+// DecodeSubscribe decodes a TypeSubscribe payload.
+func DecodeSubscribe(p []byte) (Subscribe, error) {
+	r := &reader{data: p}
+	s := Subscribe{Table: r.str()}
+	return s, r.done()
+}
+
+// SubscribeOK acknowledges a Subscribe: Seq is the component index's
+// sequence number at registration time, so the client can anchor the
+// gap-free Notify sequence that follows.
+type SubscribeOK struct {
+	Seq uint64
+}
+
+// EncodeSubscribeOK encodes s as a TypeSubscribeOK frame payload.
+func EncodeSubscribeOK(s SubscribeOK) []byte {
+	return binary.LittleEndian.AppendUint64(nil, s.Seq)
+}
+
+// DecodeSubscribeOK decodes a TypeSubscribeOK payload.
+func DecodeSubscribeOK(p []byte) (SubscribeOK, error) {
+	r := &reader{data: p}
+	s := SubscribeOK{Seq: r.u64()}
+	return s, r.done()
+}
+
+// Notify event kinds. These are wire-protocol values (they mirror the
+// engine's IndexEventMerge/IndexEventRebuild) and must not be renumbered.
+const (
+	NotifyMerge   byte = 0 // From's component was merged into To's
+	NotifyRebuild byte = 1 // labelling rebuilt; From/To are zero
+)
+
+// Notify is one component-index event. Seq increases by exactly one per
+// event on a subscription; a gap means frames were lost and the client
+// should treat the subscription as broken.
+type Notify struct {
+	Seq  uint64
+	Kind byte // NotifyMerge or NotifyRebuild
+	From int64
+	To   int64
+}
+
+// EncodeNotify encodes n as a TypeNotify frame payload.
+func EncodeNotify(n Notify) []byte {
+	out := binary.LittleEndian.AppendUint64(nil, n.Seq)
+	out = append(out, n.Kind)
+	out = binary.LittleEndian.AppendUint64(out, uint64(n.From))
+	return binary.LittleEndian.AppendUint64(out, uint64(n.To))
+}
+
+// DecodeNotify decodes a TypeNotify payload.
+func DecodeNotify(p []byte) (Notify, error) {
+	r := &reader{data: p}
+	n := Notify{Seq: r.u64(), Kind: r.u8(), From: r.i64(), To: r.i64()}
+	if r.err == nil && n.Kind > NotifyRebuild {
+		return Notify{}, fmt.Errorf("wire: invalid notify kind %d", n.Kind)
+	}
+	return n, r.done()
+}
+
 // TenantStats is the admission accounting of one tenant, part of
 // ServerStats.
 type TenantStats struct {
@@ -648,5 +737,12 @@ type ServerStats struct {
 	PlanCacheMisses        int64                  `json:"plan_cache_misses"`
 	PlanCacheInvalidations int64                  `json:"plan_cache_invalidations"`
 	PlanCacheEntries       int64                  `json:"plan_cache_entries"`
-	Tenants                map[string]TenantStats `json:"tenants"`
+	// Component-index maintenance and subscription fan-out accounting.
+	Watchers           int64                  `json:"watchers"` // live subscriptions right now
+	WatchersTotal      int64                  `json:"watchers_total"`
+	Notifies           int64                  `json:"notifies"` // Notify frames written, all subscriptions
+	IndexLabelsTouched int64                  `json:"index_labels_touched"`
+	IndexMerges        int64                  `json:"index_merges"`
+	IndexRebuilds      int64                  `json:"index_rebuilds"`
+	Tenants            map[string]TenantStats `json:"tenants"`
 }
