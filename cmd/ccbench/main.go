@@ -6,7 +6,7 @@
 //
 //	ccbench -table 1|2|3|4|5        one table
 //	ccbench -figure 5|6             one figure
-//	ccbench -experiment gamma|rounds|scaling|spark|variants|methods|rerandom|segments|spill|stream
+//	ccbench -experiment gamma|rounds|scaling|spark|variants|methods|rerandom|segments|spill|stream|frontier
 //	ccbench -all                    everything (the EXPERIMENTS.md run)
 //	ccbench -concurrency 8          N concurrent RC sessions on one cluster
 //	ccbench -json                   machine-readable BENCH_<dataset>.json reports
@@ -66,7 +66,7 @@ func main() {
 	var (
 		table      = flag.Int("table", 0, "print table 1-5")
 		figure     = flag.Int("figure", 0, "print figure 5 or 6")
-		experiment = flag.String("experiment", "", "run experiment: gamma|appendixb|naive|transaction|rounds|scaling|spark|variants|methods|rerandom|segments|spill|stream")
+		experiment = flag.String("experiment", "", "run experiment: gamma|appendixb|naive|transaction|rounds|scaling|spark|variants|methods|rerandom|segments|spill|stream|frontier")
 		all        = flag.Bool("all", false, "run everything")
 		scale      = flag.Float64("scale", 1.0, "dataset scale (1.0 ≈ 1/10000 of the paper)")
 		reps       = flag.Int("reps", 3, "repetitions per cell (paper: 3)")
@@ -210,13 +210,21 @@ func main() {
 			bench.SpillExperiment(out, cfg)
 		case "stream":
 			bench.StreamExperiment(out, cfg)
+		case "frontier":
+			rep := bench.FrontierExperiment(out, cfg)
+			path, err := bench.WriteFrontierReport(*outDir, rep)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ccbench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(out, "wrote %s\n", path)
 		default:
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
 			os.Exit(2)
 		}
 	}
 	if *all {
-		for _, e := range []string{"gamma", "appendixb", "naive", "transaction", "broadcast", "rounds", "scaling", "spark", "variants", "methods", "rerandom", "segments", "spill", "stream"} {
+		for _, e := range []string{"gamma", "appendixb", "naive", "transaction", "broadcast", "rounds", "scaling", "spark", "variants", "methods", "rerandom", "segments", "spill", "stream", "frontier"} {
 			runExp(e)
 		}
 	} else if *experiment != "" {

@@ -23,7 +23,7 @@ import (
 
 func main() {
 	var (
-		algo     = flag.String("algo", "rc", "algorithm: rc|hm|tp|cr|bfs")
+		algo     = flag.String("algo", "rc", "algorithm: rc|hm|tp|cr|bfs|lc|ld|auto")
 		in       = flag.String("in", "", "input edge-list file (v<TAB>w per line)")
 		dataset  = flag.String("dataset", "", "generate a Table II dataset instead of reading a file")
 		scale    = flag.Float64("scale", 1.0, "dataset scale")

@@ -4,8 +4,10 @@
 // so the queries of Appendix A can be typed directly.
 //
 // Meta-commands: \d lists tables, \stats prints engine counters
-// (including the plan-cache line), \load NAME FILE bulk-loads an edge
-// list, \prepare NAME SQL parses a $N statement once under a shell-local
+// (including the plan-cache line), \cc TABLE [ALGO] runs connected
+// components on a resident edge table (default ALGO is auto, the
+// adaptive planner), \load NAME FILE bulk-loads an edge list,
+// \prepare NAME SQL parses a $N statement once under a shell-local
 // name, \bind NAME ARG... executes it with bound arguments (integers,
 // "null", or bare words as table names), \timing toggles per-statement
 // elapsed-time reporting, \trace [N] prints the last N records of the
@@ -240,6 +242,23 @@ func meta(db *dbcc.DB, sess *sql.Session, line string, timing *bool, prepared ma
 			}
 		}
 		runPrepared(p, args)
+	case "\\cc":
+		if len(fields) < 2 || len(fields) > 3 {
+			fmt.Println("usage: \\cc TABLE [ALGO]  (rc|hm|tp|cr|bfs|lc|ld|auto; default auto)")
+			return false
+		}
+		algo := dbcc.Auto
+		if len(fields) == 3 {
+			algo = fields[2]
+		}
+		res, err := db.ConnectedComponentsOf(fields[1], dbcc.Params{Algorithm: algo})
+		if err != nil {
+			fmt.Println("error:", err)
+			return false
+		}
+		fmt.Printf("components=%d rounds=%d time=%v queries=%d peak=%.2fMiB\n",
+			res.Labels.NumComponents(), res.Rounds, res.Elapsed,
+			res.Stats.Queries, float64(res.Stats.PeakBytes)/(1<<20))
 	case "\\load":
 		if len(fields) != 3 {
 			fmt.Println("usage: \\load TABLENAME FILE")
@@ -262,7 +281,7 @@ func meta(db *dbcc.DB, sess *sql.Session, line string, timing *bool, prepared ma
 		}
 		fmt.Printf("loaded %d edges into %s(v1, v2)\n", g.NumEdges(), fields[1])
 	default:
-		fmt.Println("meta commands: \\d  \\stats  \\load NAME FILE  \\prepare NAME SQL  \\bind NAME ARG...  \\timing  \\trace [N]  \\q")
+		fmt.Println("meta commands: \\d  \\stats  \\cc TABLE [ALGO]  \\load NAME FILE  \\prepare NAME SQL  \\bind NAME ARG...  \\timing  \\trace [N]  \\q")
 	}
 	return false
 }

@@ -106,11 +106,14 @@ type Config struct {
 
 // Algorithm names accepted by Params.Algorithm.
 const (
-	RandomisedContraction = "rc"  // the paper's contribution (default)
-	HashToMin             = "hm"  // Rastogi et al. 2013
-	TwoPhase              = "tp"  // Kiveris et al. 2014
-	Cracker               = "cr"  // Lulli et al. 2017
-	BFS                   = "bfs" // naive min-propagation (MADlib)
+	RandomisedContraction = "rc"   // the paper's contribution (default)
+	HashToMin             = "hm"   // Rastogi et al. 2013
+	TwoPhase              = "tp"   // Kiveris et al. 2014
+	Cracker               = "cr"   // Lulli et al. 2017
+	BFS                   = "bfs"  // naive min-propagation (MADlib)
+	LocalContract         = "lc"   // Łącki et al. 2018, local contractions
+	LogDiameter           = "ld"   // Andoni et al. 2018, log-diameter rounds
+	Auto                  = "auto" // adaptive planner: pre-scan picks a driver
 )
 
 // Method selects Randomised Contraction's vertex-order randomisation.

@@ -1,0 +1,186 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"dbcc/internal/ccalg"
+	"dbcc/internal/datagen"
+	"dbcc/internal/engine"
+	"dbcc/internal/graph"
+	"dbcc/internal/verify"
+)
+
+// FrontierEntryJSON is one (dataset, algorithm) cell of the frontier
+// report: the round count, wall time and peak live-table footprint of one
+// run. Derived marks entries whose round count comes from a verified
+// closed form rather than an actual run — deterministic contraction on the
+// 1e6-vertex path needs exactly |V|−1 rounds, which is calibrated on the
+// small path (where the run is cheap) and extrapolated, not executed, at
+// scale.
+type FrontierEntryJSON struct {
+	Dataset   string  `json:"dataset"`
+	Name      string  `json:"name"`
+	Rounds    int     `json:"rounds"`
+	WallSecs  float64 `json:"wall_secs"`
+	PeakBytes int64   `json:"peak_bytes"`
+	Derived   bool    `json:"derived"`
+	Error     string  `json:"error,omitempty"`
+}
+
+// FrontierJSON is the machine-readable frontier report written as
+// BENCH_frontier.json by ccbench -experiment frontier. The CI bench-smoke
+// job gates on it: log-diameter's round count on the 1e6-vertex path must
+// be at most half of deterministic contraction's.
+type FrontierJSON struct {
+	SchemaVersion int                 `json:"schema_version"`
+	Experiment    string              `json:"experiment"`
+	Segments      int                 `json:"segments"`
+	Seed          uint64              `json:"seed"`
+	Entries       []FrontierEntryJSON `json:"entries"`
+}
+
+// frontierDatasets are the A11 comparison graphs: the adversarial
+// sequentially numbered path at calibration and at full scale, a pure hub
+// graph, and a preferential-attachment (friendster-shaped) graph.
+func frontierDatasets(seed uint64) []struct {
+	name string
+	g    *graph.Graph
+} {
+	return []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"path-512", datagen.Path(512)},
+		{"path-1e6", datagen.Path(1000000)},
+		{"star-200000", datagen.Star(200000)},
+		{"friendster-50000", datagen.Friendster(50000, 3, seed)},
+	}
+}
+
+// FrontierExperiment runs experiment A11: round counts and wall time of
+// the two frontier drivers (local contraction, log-diameter) against the
+// deterministic-contraction reference on path-, star- and
+// friendster-shaped graphs, plus the adaptive planner's choice per graph.
+// Deterministic contraction on the sequentially numbered path needs
+// exactly |V|−1 rounds (each round only shaves the smallest live vertex
+// off the chain — the Fig. 2 worst case); the experiment runs it at
+// calibration scale to confirm the closed form and reports the 1e6-vertex
+// entry as derived instead of spending ~1e6 rounds in every CI pass.
+func FrontierExperiment(w io.Writer, cfg Config) *FrontierJSON {
+	rep := &FrontierJSON{
+		SchemaVersion: JSONSchemaVersion,
+		Experiment:    "frontier",
+		Segments:      cfg.Segments,
+		Seed:          cfg.Seed,
+	}
+	fmt.Fprintln(w, "EXPERIMENT A11 — ALGORITHM FRONTIER: LOCAL CONTRACTION AND LOG-DIAMETER VS DETERMINISTIC CONTRACTION")
+	fmt.Fprintln(w, "(rounds / wall seconds per driver; rc-det on the sequentially numbered path needs |V|-1 rounds,")
+	fmt.Fprintln(w, " verified at calibration scale and derived, not run, at 1e6)")
+	fmt.Fprintf(w, "%-18s %-22s %18s %18s %18s\n", "dataset", "planner picks", "rc-det", "lc", "ld")
+
+	for _, ds := range frontierDatasets(cfg.Seed) {
+		cells := map[string]string{}
+		// The planner's decision, from the same pre-scan Auto would run.
+		c := engine.NewCluster(clusterOptions(cfg))
+		if err := graph.Load(c, "input", ds.g); err != nil {
+			fmt.Fprintf(w, "%-18s load failed: %v\n", ds.name, err)
+			c.Close()
+			continue
+		}
+		decision, derr := ccalg.PlanAlgorithm(c, "input", ccalg.Options{Seed: cfg.Seed})
+		c.Close()
+		picked := decision.Algorithm
+		if derr != nil {
+			picked = "error: " + derr.Error()
+		}
+
+		for _, alg := range []string{"rc-det", "lc", "ld"} {
+			entry := FrontierEntryJSON{Dataset: ds.name, Name: alg}
+			if alg == "rc-det" && ds.name == "path-1e6" {
+				// The verified closed form: |V|−1 rounds. Wall time and peak
+				// are unknowable without running it, and stay zero.
+				entry.Rounds = ds.g.NumVertices() - 1
+				entry.Derived = true
+				rep.Entries = append(rep.Entries, entry)
+				cells[alg] = fmt.Sprintf("%d (derived)", entry.Rounds)
+				continue
+			}
+			entry = runFrontierCell(ds.name, ds.g, alg, cfg)
+			rep.Entries = append(rep.Entries, entry)
+			if entry.Error != "" {
+				cells[alg] = "error"
+				fmt.Fprintf(w, "%-18s %s failed: %s\n", ds.name, alg, entry.Error)
+				continue
+			}
+			cells[alg] = fmt.Sprintf("%d / %.2fs", entry.Rounds, entry.WallSecs)
+			if alg == "rc-det" && ds.name == "path-512" && entry.Rounds != 511 {
+				fmt.Fprintf(w, "%-18s NOTE: rc-det took %d rounds, closed form says 511\n", ds.name, entry.Rounds)
+			}
+		}
+		fmt.Fprintf(w, "%-18s %-22s %18s %18s %18s\n",
+			ds.name, picked, cells["rc-det"], cells["lc"], cells["ld"])
+	}
+	return rep
+}
+
+// runFrontierCell executes one (dataset, algorithm) cell on a fresh
+// cluster and verifies the labelling against the oracle.
+func runFrontierCell(dsName string, g *graph.Graph, alg string, cfg Config) FrontierEntryJSON {
+	entry := FrontierEntryJSON{Dataset: dsName, Name: alg}
+	opts := ccalg.Options{Seed: cfg.Seed}
+	name := alg
+	if alg == "rc-det" {
+		name = "rc"
+		opts.RC.Deterministic = true
+	}
+	info, ok := ccalg.ByName(name)
+	if !ok {
+		entry.Error = fmt.Sprintf("unknown algorithm %q", alg)
+		return entry
+	}
+	c := engine.NewCluster(clusterOptions(cfg))
+	defer c.Close()
+	if err := graph.Load(c, "input", g); err != nil {
+		entry.Error = err.Error()
+		return entry
+	}
+	input := c.Stats().LiveBytes
+	c.ResetStats()
+	start := time.Now()
+	res, err := info.Run(c, "input", opts)
+	entry.WallSecs = time.Since(start).Seconds()
+	entry.PeakBytes = c.Stats().PeakBytes - input
+	if err != nil {
+		entry.Error = err.Error()
+		return entry
+	}
+	entry.Rounds = res.Rounds
+	if cfg.Verify {
+		if verr := verify.Labelling(g, res.Labels); verr != nil {
+			entry.Error = verr.Error()
+		}
+	}
+	return entry
+}
+
+// WriteFrontierReport writes the frontier report as BENCH_frontier.json
+// into dir (created if needed) and returns the file path.
+func WriteFrontierReport(dir string, rep *FrontierJSON) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, "BENCH_frontier.json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}

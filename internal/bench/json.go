@@ -46,7 +46,12 @@ import (
 // the bounded-work witness relabels_per_insert, the window deltas
 // index_merges/index_rebuilds/notifies, and the watcher-observed
 // watch_events/seq_gaps (a healthy run reports seq_gaps == 0).
-const JSONSchemaVersion = 7
+//
+// Version 8 added the frontier report (ccbench -experiment frontier —
+// BENCH_frontier.json): experiment tag plus per-(dataset, algorithm)
+// entries with rounds, wall_secs, peak_bytes and the derived flag marking
+// closed-form round counts that were not run to completion.
+const JSONSchemaVersion = 8
 
 // RoundJSON is one algorithm round in the machine-readable report — the
 // serialised form of ccalg.RoundStats.

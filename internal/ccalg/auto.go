@@ -1,0 +1,309 @@
+package ccalg
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"dbcc/internal/engine"
+)
+
+// The adaptive planner's thresholds. They are deliberately coarse: the
+// planner's job is to avoid the pathological pairings (rc-det on a
+// high-diameter path, plain contraction on a hub-dominated graph, an
+// expansion-hungry driver under a tight space budget), not to shave the
+// last round off a good one. All of them feed rules over exact row counts,
+// so a decision is a pure function of the graph and the run options —
+// never of engine tuning knobs, memory budgets or injected faults.
+const (
+	// autoBudgetHeadroom: budgets tighter than this multiple of the input
+	// table's footprint route to Two-Phase, the driver with the flattest
+	// space profile (O(|E|) with no expansion step).
+	autoBudgetHeadroom = 8
+	// autoHubDegree / autoSkewFactor: a graph whose maximum degree is both
+	// absolutely high and this many times the average is "skewed" and
+	// routes to Local Contraction, whose hub exception was built for it.
+	autoHubDegree  = 64
+	autoSkewFactor = 8
+	// autoProbeRounds: how many rounds of BFS-style minimum propagation
+	// the diameter probe runs before giving up. Convergence within the
+	// probe means every component has radius (from its minimum vertex)
+	// within autoProbeRounds; non-convergence routes to Log-Diameter.
+	autoProbeRounds = 6
+	// autoBlowupFactor / autoRoundCeiling: the live monitor abandons the
+	// planned driver and falls back to Two-Phase when its live edge set
+	// grows past autoBlowupFactor times the input's, or its round count
+	// passes autoRoundCeiling. Both triggers are functions of the
+	// RoundStats stream, not of wall time, so runs stay reproducible.
+	autoBlowupFactor = 8
+	autoRoundCeiling = 512
+)
+
+// Prescan is the cheap statistics pass behind a planning decision.
+type Prescan struct {
+	Vertices  int64 // distinct endpoints of the symmetrised input
+	Edges     int64 // symmetric, deduplicated, loop-free edge count
+	MaxDegree int64 // maximum degree in the symmetrised graph
+	AvgDegree int64 // Edges / Vertices (integer division)
+	// ProbeRounds is how many minimum-propagation rounds the diameter
+	// probe ran, and ProbeConverged whether labels reached a fixpoint
+	// within them. The probe only runs when the earlier, cheaper rules
+	// fail to decide, so both fields are zero for e.g. skewed graphs.
+	ProbeRounds    int
+	ProbeConverged bool
+}
+
+// AutoDecision is the outcome of planning: which driver to run and why.
+type AutoDecision struct {
+	// Algorithm is one of "rc-det", "tp", "lc", "ld" — the planner only
+	// ever picks deterministic drivers so that Auto stays reproducible.
+	Algorithm string
+	// Reason is the matched rule, in one human-readable line.
+	Reason  string
+	Prescan Prescan
+}
+
+// PlanAlgorithm runs the pre-scan and decides which driver Auto would use
+// for the given input, without running it. The rules, in order:
+//
+//  1. no edges                         → rc-det (any driver is one round)
+//  2. MaxLiveBytes < 8× input bytes    → tp (flattest space profile)
+//  3. max degree ≥ 64 and ≥ 8× average → lc (hub exception pays off)
+//  4. diameter probe does not converge → ld (round count tracks log D)
+//  5. otherwise                        → rc-det (the paper's best all-rounder)
+//
+// Rules 1–3 cost three aggregate queries and no temp tables; the probe
+// (rule 4) materialises a label table and runs up to autoProbeRounds
+// minimum-propagation rounds — the "few BFS probes" of the design note.
+func PlanAlgorithm(c *engine.Cluster, input string, opts Options) (AutoDecision, error) {
+	if err := validateInput(c, input); err != nil {
+		return AutoDecision{}, err
+	}
+	r := newRun(c, opts)
+	defer r.cleanup()
+
+	var d AutoDecision
+
+	// Degree table of the symmetrised, deduplicated, loop-free graph —
+	// aggregated in one streaming pass, nothing materialised.
+	edges := engine.Distinct(engine.Filter(symmetric(input),
+		engine.Bin(engine.OpNe, engine.Col(0), engine.Col(1))))
+	deg := engine.GroupBy(edges, []int{0}, engine.Agg{Op: engine.AggCount, Name: "deg"})
+	var err error
+	if d.Prescan.Vertices, err = countRows(r.ctx, c, deg); err != nil {
+		return d, err
+	}
+	if d.Prescan.Edges, err = countRows(r.ctx, c, edges); err != nil {
+		return d, err
+	}
+	if d.Prescan.MaxDegree, err = aggInt(r, engine.GroupBy(deg, nil,
+		engine.Agg{Op: engine.AggMax, Arg: engine.Col(1), Name: "maxdeg"})); err != nil {
+		return d, err
+	}
+	if d.Prescan.Vertices > 0 {
+		d.Prescan.AvgDegree = d.Prescan.Edges / d.Prescan.Vertices
+	}
+
+	if d.Prescan.Edges == 0 {
+		d.Algorithm, d.Reason = "rc-det", "no edges: every vertex is its own component"
+		return d, nil
+	}
+	if t, ok := c.Table(input); ok && opts.MaxLiveBytes > 0 && opts.MaxLiveBytes < autoBudgetHeadroom*t.Bytes() {
+		d.Algorithm = "tp"
+		d.Reason = fmt.Sprintf("space budget %d B under %d× the input's %d B: two-phase has the flattest space profile",
+			opts.MaxLiveBytes, autoBudgetHeadroom, t.Bytes())
+		return d, nil
+	}
+	if d.Prescan.MaxDegree >= autoHubDegree && d.Prescan.MaxDegree >= autoSkewFactor*max(d.Prescan.AvgDegree, 1) {
+		d.Algorithm = "lc"
+		d.Reason = fmt.Sprintf("degree skew: max degree %d ≥ %d and ≥ %d× the average %d",
+			d.Prescan.MaxDegree, autoHubDegree, autoSkewFactor, d.Prescan.AvgDegree)
+		return d, nil
+	}
+
+	if err := probeDiameter(r, input, &d.Prescan); err != nil {
+		return d, err
+	}
+	if !d.Prescan.ProbeConverged {
+		d.Algorithm = "ld"
+		d.Reason = fmt.Sprintf("diameter probe unconverged after %d rounds: log-diameter rounds beat contraction",
+			d.Prescan.ProbeRounds)
+		return d, nil
+	}
+	d.Algorithm = "rc-det"
+	d.Reason = fmt.Sprintf("diameter probe converged in %d rounds with no degree skew: deterministic randomised contraction",
+		d.Prescan.ProbeRounds)
+	return d, nil
+}
+
+// probeDiameter runs up to autoProbeRounds rounds of BFS-style minimum
+// propagation (l(v) ← min of l over the closed neighbourhood) over the
+// full graph, recording whether labels converge. Convergence in k rounds
+// bounds every component's radius from its minimum vertex by k.
+func probeDiameter(r *run, input string, p *Prescan) error {
+	if _, err := initFrontier(r, input, "pb"); err != nil {
+		return err
+	}
+	e := r.scan("pb_e")
+	l := r.scan("pb_l")
+	l2 := r.scan("pb_l2")
+	// Columns after joining edges with labels on the far endpoint:
+	// (v, w, w, l(w)); group to the minimum neighbour label, then fold
+	// into the current labels (left join keeps isolated vertices).
+	nbrMin := engine.GroupBy(engine.Join(e, l, 1, 0), []int{0},
+		engine.Agg{Op: engine.AggMin, Arg: engine.Col(3), Name: "m"})
+	step := engine.Project(engine.LeftJoin(l, nbrMin, 0, 0),
+		engine.ProjCol{Expr: engine.Col(0), Name: "v"},
+		engine.ProjCol{Expr: engine.Least(engine.Col(1), engine.Coalesce(engine.Col(3), engine.Col(1))), Name: "r"})
+	changedPlan := engine.Filter(engine.Join(l, l2, 0, 0),
+		engine.Bin(engine.OpNe, engine.Col(1), engine.Col(3)))
+
+	for i := 1; i <= autoProbeRounds; i++ {
+		p.ProbeRounds = i
+		if _, err := r.create("pb_l2", step, 0); err != nil {
+			return err
+		}
+		changed, err := countRows(r.ctx, r.c, changedPlan)
+		if err != nil {
+			return err
+		}
+		if err := r.drop("pb_l"); err != nil {
+			return err
+		}
+		if err := r.rename("pb_l2", "pb_l"); err != nil {
+			return err
+		}
+		if changed == 0 {
+			p.ProbeConverged = true
+			break
+		}
+	}
+	return r.drop("pb_l", "pb_e")
+}
+
+// Auto is the adaptive planner driver: it pre-scans the input with
+// PlanAlgorithm, runs the chosen driver, and watches its RoundStats stream
+// live — a run whose live edge set blows past autoBlowupFactor times the
+// input's, or whose round count passes autoRoundCeiling, is cancelled and
+// restarted under Two-Phase, with the fallback's rounds renumbered to
+// continue the stream. The planner only ever picks deterministic drivers,
+// and both monitor triggers are functions of the round statistics alone,
+// so Auto is as reproducible as any single driver.
+func Auto(c *engine.Cluster, input string, opts Options) (*Result, error) {
+	if err := validateInput(c, input); err != nil {
+		return nil, err
+	}
+	d, err := PlanAlgorithm(c, input, opts)
+	if err != nil {
+		var re *RoundError
+		if !errors.As(err, &re) {
+			err = &RoundError{Algorithm: "auto", Round: 1, Err: err}
+		}
+		return nil, err
+	}
+	res, err := runPlanned(c, input, opts, d.Algorithm)
+	if err == nil || d.Algorithm == "tp" {
+		return res, err
+	}
+	// A monitor abort (and nothing else) falls back to Two-Phase; genuine
+	// failures — the caller's cancellation, space exhaustion, validation —
+	// propagate as-is.
+	var abort *autoAbort
+	if !errors.As(err, &abort) {
+		return nil, err
+	}
+	offset := len(abort.log)
+	fbOpts := opts
+	fbOpts.OnRound = renumberOnRound(opts.OnRound, offset)
+	fb, err := TwoPhase(c, input, fbOpts)
+	if err != nil {
+		return nil, err
+	}
+	merged := append(append([]RoundStats(nil), abort.log...), renumberLog(fb.RoundLog, offset)...)
+	return &Result{Labels: fb.Labels, Rounds: offset + fb.Rounds, RoundLog: merged}, nil
+}
+
+// autoAbort is the sentinel the live monitor cancels a planned run with.
+type autoAbort struct {
+	reason string
+	log    []RoundStats // rounds completed before the abort
+}
+
+func (a *autoAbort) Error() string { return "ccalg: auto monitor abort: " + a.reason }
+
+// runPlanned executes the planner's choice under the live monitor.
+func runPlanned(c *engine.Cluster, input string, opts Options, algorithm string) (*Result, error) {
+	runOpts := opts
+	name := algorithm
+	if algorithm == "rc-det" {
+		name = "rc"
+		runOpts.RC.Deterministic = true
+	}
+	info, ok := ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("ccalg: auto planned unknown algorithm %q", algorithm)
+	}
+
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	runOpts.Context = ctx
+
+	abort := &autoAbort{}
+	tripped := false
+	var inputEdges int64
+	runOpts.OnRound = func(rs RoundStats) {
+		if !tripped {
+			abort.log = append(abort.log, rs)
+			if rs.Round == 1 {
+				inputEdges = rs.LiveEdges
+			}
+			switch {
+			case rs.Round > 1 && inputEdges > 0 && rs.LiveEdges > autoBlowupFactor*inputEdges:
+				abort.reason = fmt.Sprintf("%s live edges %d blew past %d× the input's %d",
+					algorithm, rs.LiveEdges, autoBlowupFactor, inputEdges)
+				tripped = true
+			case rs.Round > autoRoundCeiling:
+				abort.reason = fmt.Sprintf("%s passed %d rounds without converging", algorithm, autoRoundCeiling)
+				tripped = true
+			}
+			if tripped {
+				cancel()
+			}
+		}
+		if opts.OnRound != nil {
+			opts.OnRound(rs)
+		}
+	}
+
+	res, err := info.Run(c, input, runOpts)
+	if err != nil && tripped && (opts.Context == nil || opts.Context.Err() == nil) {
+		return nil, abort
+	}
+	return res, err
+}
+
+// renumberOnRound shifts the Round numbers a fallback run reports so the
+// caller's OnRound stream keeps strictly increasing round numbers across
+// the switch.
+func renumberOnRound(onRound func(RoundStats), offset int) func(RoundStats) {
+	if onRound == nil {
+		return nil
+	}
+	return func(rs RoundStats) {
+		rs.Round += offset
+		onRound(rs)
+	}
+}
+
+func renumberLog(log []RoundStats, offset int) []RoundStats {
+	out := make([]RoundStats, len(log))
+	for i, rs := range log {
+		rs.Round += offset
+		out[i] = rs
+	}
+	return out
+}

@@ -148,7 +148,8 @@ type Info struct {
 }
 
 // Algorithms returns the registry of the five algorithms in the paper's
-// Table I/III order, with their proven complexities (Table I).
+// Table I/III order, with their proven complexities (Table I), followed by
+// the two frontier drivers (local contraction and log-diameter).
 func Algorithms() []Info {
 	return []Info{
 		{Name: "rc", FullName: "Randomised Contraction",
@@ -161,15 +162,32 @@ func Algorithms() []Info {
 			StepsBig0: "O(log |V|)", SpaceBig0: "O(|V|*|E|/log |V|)", Run: Cracker},
 		{Name: "bfs", FullName: "Breadth First Search (MADlib)",
 			StepsBig0: "O(diameter)", SpaceBig0: "O(|E|)", Run: BFS},
+		{Name: "lc", FullName: "Local Contraction",
+			StepsBig0: "O(log |V|)", SpaceBig0: "O(|E|)", Run: LocalContract},
+		{Name: "ld", FullName: "Log-Diameter",
+			StepsBig0: "O(log D)", SpaceBig0: "O(|E|^(1+eps))", Run: LogDiameter},
 	}
 }
 
-// ByName returns the registered algorithm with the given short name.
+// AutoInfo describes the adaptive planner. It is not part of Algorithms()
+// — Auto is a meta-driver that picks one of the registered algorithms per
+// graph, so registries that enumerate the underlying drivers (Table I,
+// the property matrix) would double-count it.
+func AutoInfo() Info {
+	return Info{Name: "auto", FullName: "Adaptive planner",
+		StepsBig0: "per plan", SpaceBig0: "per plan", Run: Auto}
+}
+
+// ByName returns the registered algorithm with the given short name, or
+// the adaptive planner for "auto".
 func ByName(name string) (Info, bool) {
 	for _, a := range Algorithms() {
 		if a.Name == name {
 			return a, true
 		}
+	}
+	if a := AutoInfo(); a.Name == name {
+		return a, true
 	}
 	return Info{}, false
 }

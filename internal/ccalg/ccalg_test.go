@@ -1,97 +1,37 @@
-package ccalg
+package ccalg_test
 
 import (
 	"errors"
 	"fmt"
 	"testing"
 
+	"dbcc/internal/ccalg"
+	"dbcc/internal/ccalg/conformance"
 	"dbcc/internal/datagen"
 	"dbcc/internal/engine"
 	"dbcc/internal/graph"
-	"dbcc/internal/unionfind"
-	"dbcc/internal/verify"
-	"dbcc/internal/xrand"
 )
 
-// runOn loads g into a fresh cluster and runs algorithm fn on it.
-func runOn(t *testing.T, fn Func, g *graph.Graph, opts Options) (*Result, *engine.Cluster) {
-	t.Helper()
-	c := engine.NewCluster(engine.Options{Segments: 4})
-	if err := graph.Load(c, "input", g); err != nil {
-		t.Fatal(err)
-	}
-	res, err := fn(c, "input", opts)
-	if err != nil {
-		t.Fatalf("algorithm failed: %v", err)
-	}
-	return res, c
-}
-
-// checkCorrect asserts the result labelling matches the Union/Find oracle.
-func checkCorrect(t *testing.T, g *graph.Graph, res *Result) {
-	t.Helper()
-	if err := verify.Labelling(g, res.Labels); err != nil {
-		t.Fatalf("incorrect labelling: %v", err)
-	}
-}
-
-// testGraphs is the shared corpus of structurally diverse small graphs.
-func testGraphs() map[string]*graph.Graph {
-	loops := graph.New(0)
-	loops.AddEdge(1, 1)
-	loops.AddEdge(2, 2)
-	loops.AddEdge(5, 5)
-
-	mixed := datagen.PathUnion(4, 60)
-	mixed.AddEdge(1000, 1000) // isolated vertex as loop edge
-
-	single := graph.New(0)
-	single.AddEdge(42, 17)
-
-	return map[string]*graph.Graph{
-		"path":       datagen.Path(60),
-		"cycle":      datagen.Cycle(37),
-		"complete":   datagen.Complete(12),
-		"star":       datagen.Star(25),
-		"pathunion":  datagen.PathUnion(3, 40),
-		"rmat":       datagen.RMAT(8, 300, 0.57, 0.19, 0.19, 0.05, 3),
-		"image2d":    datagen.Image2D(15, 15, 10, 1.1, 0.2, 5),
-		"video3d":    datagen.Video3D(6, 6, 4, 5, 1.1, 0.05, 5),
-		"bitcoin":    datagen.Bitcoin(100, 5),
-		"friendster": datagen.Friendster(80, 3, 5),
-		"erdos":      datagen.ErdosRenyi(50, 80, 9),
-		"loops-only": loops,
-		"mixed":      mixed,
-		"one-edge":   single,
-	}
-}
-
-// TestAllAlgorithmsAllGraphs is the central integration test: every
-// algorithm must produce a labelling equivalent to the Union/Find oracle on
-// every graph family.
-func TestAllAlgorithmsAllGraphs(t *testing.T) {
-	for name, g := range testGraphs() {
-		for _, info := range Algorithms() {
-			t.Run(info.Name+"/"+name, func(t *testing.T) {
-				res, _ := runOn(t, info.Run, g, Options{Seed: 7})
-				checkCorrect(t, g, res)
-			})
-		}
-	}
-}
+// The generic driver-contract tests (oracle equivalence over the corpus,
+// determinism, cancellation, faults, budgets, round-stats invariants,
+// cleanup, validation) live in the conformance package, which instantiates
+// one shared suite for every driver. This file keeps the tests that are
+// specific to individual algorithms: RC's randomisation methods, variants
+// and complexity bounds, BFS's diameter behaviour, and Hash-to-Min's space
+// blowup.
 
 // TestRCMethodsAndVariants exercises every randomisation method × variant
 // combination of Randomised Contraction.
 func TestRCMethodsAndVariants(t *testing.T) {
-	graphs := testGraphs()
-	for _, method := range []Method{FiniteFields, GFPrime, Encryption, RandomReals} {
-		for _, variant := range []Variant{Fast, Safe} {
+	graphs := conformance.FamilyGraphs()
+	for _, method := range []ccalg.Method{ccalg.FiniteFields, ccalg.GFPrime, ccalg.Encryption, ccalg.RandomReals} {
+		for _, variant := range []ccalg.Variant{ccalg.Fast, ccalg.Safe} {
 			for _, name := range []string{"pathunion", "rmat", "loops-only", "mixed"} {
 				t.Run(fmt.Sprintf("%s/%s/%s", method, variant, name), func(t *testing.T) {
 					g := graphs[name]
-					res, _ := runOn(t, RandomisedContraction, g, Options{
-						Seed: 11, RC: RCOptions{Method: method, Variant: variant}})
-					checkCorrect(t, g, res)
+					res, _ := conformance.RunOn(t, ccalg.RandomisedContraction, g, ccalg.Options{
+						Seed: 11, RC: ccalg.RCOptions{Method: method, Variant: variant}})
+					conformance.CheckCorrect(t, g, res)
 				})
 			}
 		}
@@ -103,8 +43,8 @@ func TestRCMethodsAndVariants(t *testing.T) {
 func TestRCSeeds(t *testing.T) {
 	g := datagen.ErdosRenyi(80, 100, 21)
 	for seed := uint64(0); seed < 12; seed++ {
-		res, _ := runOn(t, RandomisedContraction, g, Options{Seed: seed})
-		checkCorrect(t, g, res)
+		res, _ := conformance.RunOn(t, ccalg.RandomisedContraction, g, ccalg.Options{Seed: seed})
+		conformance.CheckCorrect(t, g, res)
 	}
 }
 
@@ -112,8 +52,8 @@ func TestRCSeeds(t *testing.T) {
 // labelling, same round count.
 func TestRCDeterministicForSeed(t *testing.T) {
 	g := datagen.RMAT(8, 200, 0.57, 0.19, 0.19, 0.05, 1)
-	a, _ := runOn(t, RandomisedContraction, g, Options{Seed: 5})
-	b, _ := runOn(t, RandomisedContraction, g, Options{Seed: 5})
+	a, _ := conformance.RunOn(t, ccalg.RandomisedContraction, g, ccalg.Options{Seed: 5})
+	b, _ := conformance.RunOn(t, ccalg.RandomisedContraction, g, ccalg.Options{Seed: 5})
 	if a.Rounds != b.Rounds {
 		t.Fatalf("rounds differ: %d vs %d", a.Rounds, b.Rounds)
 	}
@@ -129,8 +69,8 @@ func TestRCDeterministicForSeed(t *testing.T) {
 // degrades to n−1 rounds (Fig. 2).
 func TestRCLogarithmicRounds(t *testing.T) {
 	g := datagen.Path(512)
-	res, _ := runOn(t, RandomisedContraction, g, Options{Seed: 3})
-	checkCorrect(t, g, res)
+	res, _ := conformance.RunOn(t, ccalg.RandomisedContraction, g, ccalg.Options{Seed: 3})
+	conformance.CheckCorrect(t, g, res)
 	// log2(512) = 9; with E[shrink] ≤ 3/4 the expected round count is
 	// ≤ log_{4/3}(512) ≈ 22. Allow generous slack for variance.
 	if res.Rounds > 40 {
@@ -138,14 +78,60 @@ func TestRCLogarithmicRounds(t *testing.T) {
 	}
 }
 
-// TestBFSRoundsEqualDiameterish verifies the Sec. IV worst case: BFS takes
-// ~n rounds on a sequentially numbered path.
+// TestBFSRoundsOnPath verifies the Sec. IV worst case: BFS takes ~n rounds
+// on a sequentially numbered path.
 func TestBFSRoundsOnPath(t *testing.T) {
 	g := datagen.Path(40)
-	res, _ := runOn(t, BFS, g, Options{})
-	checkCorrect(t, g, res)
+	res, _ := conformance.RunOn(t, ccalg.BFS, g, ccalg.Options{})
+	conformance.CheckCorrect(t, g, res)
 	if res.Rounds < 20 {
 		t.Fatalf("BFS took %d rounds on a 40-path; the worst case should be ~n", res.Rounds)
+	}
+}
+
+// TestFrontierRoundsOnPath pins what the frontier drivers were built for:
+// on the same sequentially numbered path that costs BFS ~n rounds and
+// deterministic contraction n−1, Local Contraction and Log-Diameter
+// converge in a handful of outer rounds (the per-round pointer doubling
+// collapses whole chains).
+func TestFrontierRoundsOnPath(t *testing.T) {
+	g := datagen.Path(4096)
+	for _, name := range []string{"lc", "ld"} {
+		info, _ := ccalg.ByName(name)
+		res, _ := conformance.RunOn(t, info.Run, g, ccalg.Options{})
+		conformance.CheckCorrect(t, g, res)
+		if res.Rounds > 24 {
+			t.Fatalf("%s took %d rounds on a 4096-path, expected far below the %d of contraction",
+				name, res.Rounds, g.NumVertices()-1)
+		}
+	}
+}
+
+// TestLogDiameterExpansionBounded pins the budgeted-exponentiation
+// contract: the live edge set Log-Diameter reports never exceeds
+// the expansion cap times the symmetrised input's edge count.
+func TestLogDiameterExpansionBounded(t *testing.T) {
+	g := datagen.ErdosRenyi(300, 500, 17)
+	res, _ := conformance.RunOn(t, ccalg.LogDiameter, g, ccalg.Options{})
+	conformance.CheckCorrect(t, g, res)
+	input := int64(0)
+	seen := map[[2]int64]bool{}
+	for _, e := range g.Edges {
+		if e.V == e.W {
+			continue
+		}
+		for _, d := range [][2]int64{{e.V, e.W}, {e.W, e.V}} {
+			if !seen[d] {
+				seen[d] = true
+				input++
+			}
+		}
+	}
+	for _, rs := range res.RoundLog {
+		if rs.LiveEdges > 4*input {
+			t.Fatalf("round %d reports %d live edges, over 4× the input's %d: the expansion cap leaked",
+				rs.Round, rs.LiveEdges, input)
+		}
 	}
 }
 
@@ -159,8 +145,8 @@ func TestHashToMinSpaceBlowup(t *testing.T) {
 		t.Fatal(err)
 	}
 	inputBytes := int64(path.NumEdges()) * 2 * engine.DatumSize
-	_, err := HashToMin(c, "input", Options{MaxLiveBytes: 24 * inputBytes})
-	if !errors.Is(err, ErrSpaceLimit) {
+	_, err := ccalg.HashToMin(c, "input", ccalg.Options{MaxLiveBytes: 24 * inputBytes})
+	if !errors.Is(err, ccalg.ErrSpaceLimit) {
 		t.Fatalf("Hash-to-Min on a path: err = %v, want ErrSpaceLimit", err)
 	}
 
@@ -170,11 +156,11 @@ func TestHashToMinSpaceBlowup(t *testing.T) {
 		t.Fatal(err)
 	}
 	starBytes := int64(star.NumEdges()) * 2 * engine.DatumSize
-	res, err := HashToMin(c2, "input", Options{MaxLiveBytes: 24 * starBytes})
+	res, err := ccalg.HashToMin(c2, "input", ccalg.Options{MaxLiveBytes: 24 * starBytes})
 	if err != nil {
 		t.Fatalf("Hash-to-Min on a star failed: %v", err)
 	}
-	checkCorrect(t, star, res)
+	conformance.CheckCorrect(t, star, res)
 }
 
 // TestRCSafeSpaceBounded: the Fig. 3 variant's live space must stay within
@@ -186,8 +172,8 @@ func TestRCSafeSpaceBounded(t *testing.T) {
 		t.Fatal(err)
 	}
 	inputBytes := c.Stats().LiveBytes
-	res, err := RandomisedContraction(c, "input", Options{
-		Seed: 1, RC: RCOptions{Variant: Safe},
+	res, err := ccalg.RandomisedContraction(c, "input", ccalg.Options{
+		Seed: 1, RC: ccalg.RCOptions{Variant: ccalg.Safe},
 		// Sec. II: temporary storage ≤ 4× input + O(|V|); the budget below
 		// allows the 2× symmetrised table, its transient copy, and the two
 		// O(|V|) label tables.
@@ -196,186 +182,31 @@ func TestRCSafeSpaceBounded(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Safe variant exceeded the deterministic space bound: %v", err)
 	}
-	checkCorrect(t, g, res)
+	conformance.CheckCorrect(t, g, res)
 }
 
 // TestNoRerandomiseStillCorrect: ablation A3 — reusing one key is slower
 // (it recreates Fig. 2's worst case adversarially) but never incorrect.
 func TestNoRerandomiseStillCorrect(t *testing.T) {
 	g := datagen.Path(200)
-	res, _ := runOn(t, RandomisedContraction, g, Options{
-		Seed: 9, RC: RCOptions{NoRerandomise: true}})
-	checkCorrect(t, g, res)
-}
-
-// TestInputValidation checks the input contract of every algorithm.
-func TestInputValidation(t *testing.T) {
-	c := engine.NewCluster(engine.Options{Segments: 2})
-	if _, err := c.CreateTable("bad", engine.Schema{"a", "b", "c"}, 0); err != nil {
-		t.Fatal(err)
-	}
-	for _, info := range Algorithms() {
-		if _, err := info.Run(c, "missing", Options{}); err == nil {
-			t.Errorf("%s accepted a missing input table", info.Name)
-		}
-		if _, err := info.Run(c, "bad", Options{}); err == nil {
-			t.Errorf("%s accepted a three-column input table", info.Name)
-		}
-	}
-}
-
-// TestEmptyInput: an empty edge table must yield an empty labelling.
-func TestEmptyInput(t *testing.T) {
-	for _, info := range Algorithms() {
-		c := engine.NewCluster(engine.Options{Segments: 2})
-		if err := graph.Load(c, "input", graph.New(0)); err != nil {
-			t.Fatal(err)
-		}
-		res, err := info.Run(c, "input", Options{Seed: 1})
-		if err != nil {
-			t.Fatalf("%s failed on empty input: %v", info.Name, err)
-		}
-		if len(res.Labels) != 0 {
-			t.Fatalf("%s labelled %d vertices of an empty graph", info.Name, len(res.Labels))
-		}
-	}
-}
-
-// TestTempTablesCleanedUp ensures algorithms leave only the input behind,
-// so sequential runs on one cluster do not interfere.
-func TestTempTablesCleanedUp(t *testing.T) {
-	g := datagen.ErdosRenyi(40, 60, 4)
-	for _, info := range Algorithms() {
-		c := engine.NewCluster(engine.Options{Segments: 3})
-		if err := graph.Load(c, "input", g); err != nil {
-			t.Fatal(err)
-		}
-		if _, err := info.Run(c, "input", Options{Seed: 2}); err != nil {
-			t.Fatal(err)
-		}
-		if names := c.TableNames(); len(names) != 1 || names[0] != "input" {
-			t.Fatalf("%s left tables behind: %v", info.Name, names)
-		}
-	}
-}
-
-// TestCleanupAfterSpaceLimit ensures the space-limit error path also
-// removes temporaries.
-func TestCleanupAfterSpaceLimit(t *testing.T) {
-	g := datagen.Path(2000)
-	c := engine.NewCluster(engine.Options{Segments: 3})
-	if err := graph.Load(c, "input", g); err != nil {
-		t.Fatal(err)
-	}
-	_, err := HashToMin(c, "input", Options{MaxLiveBytes: 1})
-	if !errors.Is(err, ErrSpaceLimit) {
-		t.Fatalf("err = %v", err)
-	}
-	if names := c.TableNames(); len(names) != 1 || names[0] != "input" {
-		t.Fatalf("tables left behind after failure: %v", names)
-	}
-}
-
-// TestContractionShrinkage measures the per-round shrinkage of RC on random
-// graphs and checks the Theorem 1 bound E[γ] ≤ 3/4 statistically (with
-// slack for sampling noise).
-func TestContractionShrinkage(t *testing.T) {
-	rng := xrand.New(99)
-	var totalBefore, totalAfter float64
-	for trial := 0; trial < 20; trial++ {
-		g := datagen.ErdosRenyi(300, 450, rng.Uint64())
-		// One contraction round: choose representatives via a fresh affine
-		// map, count distinct representatives among non-isolated vertices.
-		adj := make(map[int64]map[int64]struct{})
-		addAdj := func(a, b int64) {
-			if adj[a] == nil {
-				adj[a] = make(map[int64]struct{})
-			}
-			adj[a][b] = struct{}{}
-		}
-		for _, e := range g.Edges {
-			if e.V != e.W {
-				addAdj(e.V, e.W)
-				addAdj(e.W, e.V)
-			}
-		}
-		a, b := rng.NonZeroUint64(), rng.Uint64()
-		reps := make(map[int64]struct{})
-		n := 0
-		for v, nbrs := range adj {
-			n++
-			best := int64(gfAx(a, uint64(v), b))
-			for w := range nbrs {
-				if h := int64(gfAx(a, uint64(w), b)); h < best {
-					best = h
-				}
-			}
-			reps[best] = struct{}{}
-		}
-		totalBefore += float64(n)
-		totalAfter += float64(len(reps))
-	}
-	gamma := totalAfter / totalBefore
-	if gamma > 0.78 {
-		t.Fatalf("measured contraction factor %.3f exceeds the 3/4 bound (plus slack)", gamma)
-	}
-}
-
-// gfAx mirrors the axplusb UDF for the shrinkage test.
-func gfAx(a, x, b uint64) uint64 {
-	var r uint64
-	for x != 0 {
-		if x&1 != 0 {
-			r ^= a
-		}
-		x >>= 1
-		if a&(1<<63) != 0 {
-			a = a<<1 ^ 0x1b
-		} else {
-			a <<= 1
-		}
-	}
-	return r ^ b
-}
-
-// TestComponentCountsMatchOracle cross-checks component counts on larger
-// graphs for every algorithm.
-func TestComponentCountsMatchOracle(t *testing.T) {
-	g := datagen.Image2D(30, 30, 36, 1.1, 0.2, 13)
-	want := unionfind.CountComponents(g)
-	for _, info := range Algorithms() {
-		res, _ := runOn(t, info.Run, g, Options{Seed: 3})
-		if got := res.Labels.NumComponents(); got != want {
-			t.Errorf("%s found %d components, oracle says %d", info.Name, got, want)
-		}
-	}
-}
-
-// TestByName checks the registry lookups.
-func TestByName(t *testing.T) {
-	for _, name := range []string{"rc", "hm", "tp", "cr", "bfs"} {
-		info, ok := ByName(name)
-		if !ok || info.Run == nil {
-			t.Errorf("ByName(%q) failed", name)
-		}
-	}
-	if _, ok := ByName("nope"); ok {
-		t.Error("ByName accepted an unknown algorithm")
-	}
+	res, _ := conformance.RunOn(t, ccalg.RandomisedContraction, g, ccalg.Options{
+		Seed: 9, RC: ccalg.RCOptions{NoRerandomise: true}})
+	conformance.CheckCorrect(t, g, res)
 }
 
 // TestDeterministicAcrossRunsAndSegments pins the reproducibility contract
-// for every algorithm of the paper's evaluation: with a fixed seed the
-// labelling (not merely the partition it induces) is identical across
-// repeated runs AND across segment counts. Segment count is physical data
-// placement; it must never leak into results.
+// for every algorithm of the paper's evaluation plus the frontier drivers
+// and the planner: with a fixed seed the labelling (not merely the
+// partition it induces) is identical across repeated runs AND across
+// segment counts. Segment count is physical data placement; it must never
+// leak into results.
 func TestDeterministicAcrossRunsAndSegments(t *testing.T) {
 	graphs := map[string]*graph.Graph{
 		"rmat":      datagen.RMAT(7, 160, 0.57, 0.19, 0.19, 0.05, 11),
 		"pathunion": datagen.PathUnion(3, 50),
 	}
-	for _, algName := range []string{"rc", "hm", "tp", "cr"} {
-		info, ok := ByName(algName)
+	for _, algName := range []string{"rc", "hm", "tp", "cr", "lc", "ld", "auto"} {
+		info, ok := ccalg.ByName(algName)
 		if !ok {
 			t.Fatalf("unknown algorithm %q", algName)
 		}
@@ -385,16 +216,16 @@ func TestDeterministicAcrossRunsAndSegments(t *testing.T) {
 			for _, segs := range []int{1, 4, 16} {
 				for rep := 0; rep < 2; rep++ {
 					c := engine.NewCluster(engine.Options{Segments: segs})
-					RegisterUDFs(c)
+					ccalg.RegisterUDFs(c)
 					if err := graph.Load(c, "input", g); err != nil {
 						t.Fatal(err)
 					}
-					res, err := info.Run(c, "input", Options{Seed: 42})
+					res, err := info.Run(c, "input", ccalg.Options{Seed: 42})
 					if err != nil {
 						t.Fatalf("%s/%s segs=%d rep=%d: %v", algName, gName, segs, rep, err)
 					}
 					if ref == nil {
-						checkCorrect(t, g, res)
+						conformance.CheckCorrect(t, g, res)
 						ref, refRounds = res.Labels, res.Rounds
 						continue
 					}

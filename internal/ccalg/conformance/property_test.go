@@ -1,4 +1,4 @@
-package ccalg
+package conformance
 
 import (
 	"fmt"
@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"dbcc/internal/ccalg"
 	"dbcc/internal/datagen"
 	"dbcc/internal/engine"
 	"dbcc/internal/graph"
@@ -14,17 +15,20 @@ import (
 	"dbcc/internal/xrand"
 )
 
-// Property-based differential suite: every algorithm, on randomly drawn
-// graphs from six structural families, must produce the same canonical
-// labelling as the Union/Find oracle — and the *identical* labelling
-// regardless of memory budget (spilling kernels are bit-identical), of
-// injected faults (retries are transparent), of the bloom-join /
-// operator-fusion execution knobs (pruning and fusion are pure
-// optimizations), and of whether round-loop statements run prepared
-// through the plan cache or as freshly parsed text. The budget and fault
-// axes are exactly the conditions the ICDE'20 evaluation never varies:
-// the paper's correctness claims are per-algorithm, so any divergence
-// here is an engine bug, not an algorithm property.
+// Property-based differential suite: every driver — the paper's five, the
+// two frontier drivers and the adaptive planner — on randomly drawn graphs
+// from six structural families, must produce the same canonical labelling
+// as the Union/Find oracle — and the *identical* labelling regardless of
+// memory budget (spilling kernels are bit-identical), of injected faults
+// (retries are transparent), of the bloom-join / operator-fusion execution
+// knobs (pruning and fusion are pure optimizations), and of whether
+// round-loop statements run prepared through the plan cache or as freshly
+// parsed text. The budget and fault axes are exactly the conditions the
+// ICDE'20 evaluation never varies: the paper's correctness claims are
+// per-algorithm, so any divergence here is an engine bug, not an algorithm
+// property. For the adaptive planner the matrix additionally pins that
+// planning decisions are a pure function of the graph: were a decision to
+// depend on an engine knob, the cells would diverge.
 
 // propertyCells is the execution matrix: each cell is one cluster
 // configuration every algorithm × family pair must label identically
@@ -118,36 +122,6 @@ func randomFamilies(rng *xrand.Rand) map[string]*graph.Graph {
 	return fams
 }
 
-// canonicalize maps every vertex to the smallest vertex of its component,
-// the representative-independent form labellings are compared in.
-func canonicalize(l graph.Labelling) map[int64]int64 {
-	minOf := map[int64]int64{}
-	for v, lab := range l {
-		if m, ok := minOf[lab]; !ok || v < m {
-			minOf[lab] = v
-		}
-	}
-	out := make(map[int64]int64, len(l))
-	for v, lab := range l {
-		out[v] = minOf[lab]
-	}
-	return out
-}
-
-// sameLabelling asserts two labellings are exactly equal (same
-// representatives, not merely the same partition).
-func sameLabelling(t *testing.T, ctxt string, got, want graph.Labelling) {
-	t.Helper()
-	if len(got) != len(want) {
-		t.Fatalf("%s: labelled %d vertices, want %d", ctxt, len(got), len(want))
-	}
-	for v, lab := range want {
-		if got[v] != lab {
-			t.Fatalf("%s: vertex %d labelled %d, want %d", ctxt, v, got[v], lab)
-		}
-	}
-}
-
 // propertyCluster builds a cluster for one (budget, faults, knobs) cell.
 func propertyCluster(budget int64, faulty, bloomOff, fusionOff bool) *engine.Cluster {
 	opts := engine.Options{
@@ -175,11 +149,11 @@ func propertyCluster(budget int64, faulty, bloomOff, fusionOff bool) *engine.Clu
 }
 
 // TestPropertyAllAlgorithmsBudgetsFaults is the suite driver: per trial it
-// draws one graph per family and checks, for every algorithm, that the
+// draws one graph per family and checks, for every driver, that the
 // labelling (a) canonicalizes to the Union/Find oracle's and (b) is
 // bit-identical across every cell of the budget × fault × knob matrix.
 func TestPropertyAllAlgorithmsBudgetsFaults(t *testing.T) {
-	// One trial is ~300 algorithm runs (5 algorithms × 6 families × 10
+	// One trial is ~580 algorithm runs (8 drivers × 6 families × 12
 	// matrix cells); DBCC_PROPERTY_TRIALS raises the count for soak runs
 	// without inflating every CI pass.
 	trials := 1
@@ -189,8 +163,8 @@ func TestPropertyAllAlgorithmsBudgetsFaults(t *testing.T) {
 	rng := xrand.New(20200420) // ICDE'20, why not
 	for trial := 0; trial < trials; trial++ {
 		for fam, g := range randomFamilies(rng.Split()) {
-			oracle := canonicalize(unionfind.Components(g))
-			for _, info := range Algorithms() {
+			oracle := Canonicalize(unionfind.Components(g))
+			for _, info := range Drivers() {
 				var ref graph.Labelling
 				for _, cell := range propertyCells {
 					ctxt := fmt.Sprintf("trial %d %s/%s cell=%s faults=%v",
@@ -199,11 +173,11 @@ func TestPropertyAllAlgorithmsBudgetsFaults(t *testing.T) {
 					if err := graph.Load(c, "input", g); err != nil {
 						t.Fatal(err)
 					}
-					res, err := info.Run(c, "input", Options{Seed: uint64(trial) + 7, NoPrepare: cell.noPrepare})
+					res, err := info.Run(c, "input", ccalg.Options{Seed: uint64(trial) + 7, NoPrepare: cell.noPrepare})
 					if err != nil {
 						t.Fatalf("%s: %v", ctxt, err)
 					}
-					canon := canonicalize(res.Labels)
+					canon := Canonicalize(res.Labels)
 					if len(canon) != len(oracle) {
 						t.Fatalf("%s: labelled %d vertices, oracle has %d",
 							ctxt, len(canon), len(oracle))
@@ -217,7 +191,7 @@ func TestPropertyAllAlgorithmsBudgetsFaults(t *testing.T) {
 					if ref == nil {
 						ref = res.Labels
 					} else {
-						sameLabelling(t, ctxt+" (vs first cell)", res.Labels, ref)
+						SameLabelling(t, ctxt+" (vs first cell)", res.Labels, ref)
 					}
 					c.Close()
 				}
@@ -232,12 +206,12 @@ func TestPropertyAllAlgorithmsBudgetsFaults(t *testing.T) {
 func TestPropertyBudgetedRunsSpill(t *testing.T) {
 	g := datagen.ErdosRenyi(120, 260, 5)
 	var spilledSomewhere bool
-	for _, info := range Algorithms() {
+	for _, info := range Drivers() {
 		c := propertyCluster(1<<10, false, false, false)
 		if err := graph.Load(c, "input", g); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := info.Run(c, "input", Options{Seed: 5}); err != nil {
+		if _, err := info.Run(c, "input", ccalg.Options{Seed: 5}); err != nil {
 			t.Fatalf("%s: %v", info.Name, err)
 		}
 		if s := c.Stats(); s.SpilledBytes > 0 {

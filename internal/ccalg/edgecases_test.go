@@ -1,88 +1,37 @@
-package ccalg
+package ccalg_test
 
 import (
 	"fmt"
 	"testing"
 
+	"dbcc/internal/ccalg"
+	"dbcc/internal/ccalg/conformance"
 	"dbcc/internal/graph"
 	"dbcc/internal/xrand"
 )
 
-// edgeCaseGraphs are adversarial and degenerate inputs every algorithm
-// must handle: negative vertex IDs (legal 64-bit values the generators
-// never emit but input files may), duplicate and parallel edges, loops
-// mixed with real edges, extreme ID magnitudes, and a vertex adjacent to
-// everything.
-func edgeCaseGraphs() map[string]*graph.Graph {
-	negative := graph.New(0)
-	negative.AddEdge(-5, -9)
-	negative.AddEdge(-9, 3)
-	negative.AddEdge(7, 7)
-
-	dupes := graph.New(0)
-	for i := 0; i < 5; i++ {
-		dupes.AddEdge(1, 2) // parallel edges
-		dupes.AddEdge(2, 1) // and the reversed duplicates
-	}
-	dupes.AddEdge(2, 3)
-
-	loopsAndEdges := graph.New(0)
-	loopsAndEdges.AddEdge(1, 1) // loop on a vertex that also has real edges
-	loopsAndEdges.AddEdge(1, 2)
-	loopsAndEdges.AddEdge(3, 3)
-
-	extremes := graph.New(0)
-	extremes.AddEdge(0, 9223372036854775807)
-	extremes.AddEdge(-9223372036854775808, 0)
-	extremes.AddEdge(42, 42)
-
-	hub := graph.New(0)
-	for i := int64(1); i <= 40; i++ {
-		hub.AddEdge(0, i)
-	}
-
-	twoVertexLoop := graph.New(0)
-	twoVertexLoop.AddEdge(5, 5)
-	twoVertexLoop.AddEdge(5, 5)
-
-	return map[string]*graph.Graph{
-		"negative-ids":    negative,
-		"duplicate-edges": dupes,
-		"loops-and-edges": loopsAndEdges,
-		"extreme-ids":     extremes,
-		"hub":             hub,
-		"repeated-loop":   twoVertexLoop,
-	}
-}
-
-func TestEdgeCasesAllAlgorithms(t *testing.T) {
-	for name, g := range edgeCaseGraphs() {
-		for _, info := range Algorithms() {
-			t.Run(info.Name+"/"+name, func(t *testing.T) {
-				res, _ := runOn(t, info.Run, g, Options{Seed: 13})
-				checkCorrect(t, g, res)
-			})
-		}
-	}
-}
+// The per-driver edge-case loop moved into the conformance suite's oracle
+// subtest (conformance.Graphs includes conformance.EdgeCaseGraphs); this
+// file keeps the RC-method axis and the randomised fuzz, which have no
+// per-driver analogue.
 
 // TestEdgeCasesAllRCMethods runs the tricky inputs through every
 // randomisation method (the GF(2^64) and GF(p) bijections must behave on
 // negative bit patterns too).
 func TestEdgeCasesAllRCMethods(t *testing.T) {
-	for name, g := range edgeCaseGraphs() {
-		for _, method := range []Method{FiniteFields, GFPrime, Encryption, RandomReals} {
+	for name, g := range conformance.EdgeCaseGraphs() {
+		for _, method := range []ccalg.Method{ccalg.FiniteFields, ccalg.GFPrime, ccalg.Encryption, ccalg.RandomReals} {
 			t.Run(fmt.Sprintf("%s/%s", method, name), func(t *testing.T) {
-				res, _ := runOn(t, RandomisedContraction, g, Options{
-					Seed: 3, RC: RCOptions{Method: method}})
-				checkCorrect(t, g, res)
+				res, _ := conformance.RunOn(t, ccalg.RandomisedContraction, g, ccalg.Options{
+					Seed: 3, RC: ccalg.RCOptions{Method: method}})
+				conformance.CheckCorrect(t, g, res)
 			})
 		}
 	}
 }
 
 // TestManySeedsFuzz is a randomised stress test: random graphs, random
-// seeds, every algorithm, always checked against the oracle.
+// seeds, every driver, always checked against the oracle.
 func TestManySeedsFuzz(t *testing.T) {
 	rng := xrand.New(2024)
 	for trial := 0; trial < 15; trial++ {
@@ -95,9 +44,9 @@ func TestManySeedsFuzz(t *testing.T) {
 			w := rng.Int63n(int64(n)) - int64(n)/2
 			g.AddEdge(v, w)
 		}
-		for _, info := range Algorithms() {
-			res, _ := runOn(t, info.Run, g, Options{Seed: rng.Uint64()})
-			checkCorrect(t, g, res)
+		for _, info := range conformance.Drivers() {
+			res, _ := conformance.RunOn(t, info.Run, g, ccalg.Options{Seed: rng.Uint64()})
+			conformance.CheckCorrect(t, g, res)
 		}
 	}
 }

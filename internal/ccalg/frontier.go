@@ -1,0 +1,171 @@
+package ccalg
+
+import (
+	"fmt"
+
+	"dbcc/internal/engine"
+)
+
+// Shared machinery of the two frontier drivers (LocalContract and
+// LogDiameter). Both algorithms run the same contraction skeleton: a live
+// edge set E (symmetric, deduplicated, loops dropped), a label table L
+// mapping every original vertex to its current representative, and a
+// per-round representative table P over the live vertices. A round builds
+// P by its own rule (min of the closed neighbourhood for LogDiameter;
+// degree-thresholded with hub exceptions for LocalContract), jumps P to a
+// pointer fixpoint, rewrites E through P and folds P into L. The drivers
+// differ only in how P is chosen and in LogDiameter's graph-exponentiation
+// step, so everything else lives here.
+//
+// All plans below are built once per run and executed every round through
+// the rename dance (<p>_e2 is always created fresh and renamed to <p>_e,
+// and so on) — the engine analogue of prepared statements, matching the
+// BFS/Two-Phase drivers.
+
+// frontierPlans holds the round-loop plans shared by both drivers.
+type frontierPlans struct {
+	jump        engine.Plan // p2(v) = p(p(v)): one pointer-doubling step
+	jumpChanged engine.Plan // rows whose pointer the doubling step moved
+	contract    engine.Plan // E rewritten through P, loops dropped, deduplicated
+	fold        engine.Plan // L rewritten through P
+	liveV       engine.Plan // distinct endpoints of the live edge set
+}
+
+// newFrontierPlans builds the shared round-loop plans for the run-private
+// tables <prefix>_e, <prefix>_p, <prefix>_p2 and <prefix>_l.
+func newFrontierPlans(r *run, prefix string) frontierPlans {
+	e := r.scan(prefix + "_e")
+	p := r.scan(prefix + "_p")
+	p2 := r.scan(prefix + "_p2")
+	l := r.scan(prefix + "_l")
+
+	// One pointer-doubling step. P is total over the live vertices and
+	// closed under itself (every representative is a live vertex), so the
+	// inner join loses no rows. Columns after join: v, p(v), p(v), p(p(v)).
+	jump := engine.Project(engine.Join(p, p, 1, 0),
+		engine.ProjCol{Expr: engine.Col(0), Name: "v"},
+		engine.ProjCol{Expr: engine.Col(3), Name: "r"})
+	jumpChanged := engine.Filter(engine.Join(p, p2, 0, 0),
+		engine.Bin(engine.OpNe, engine.Col(1), engine.Col(3)))
+
+	// Rewrite both endpoints of every edge through the (fixpointed) P:
+	// two joins, then drop the loops contraction created and deduplicate.
+	// E holds both orientations, so the output is symmetric by symmetry of
+	// the input. Columns: (u, w, u, r(u)) → (r(u), w) → (r(u), w, w, r(w)).
+	half := engine.Project(engine.Join(e, p, 0, 0),
+		engine.ProjCol{Expr: engine.Col(3), Name: "v"},
+		engine.ProjCol{Expr: engine.Col(1), Name: "w"})
+	full := engine.Project(engine.Join(half, p, 1, 0),
+		engine.ProjCol{Expr: engine.Col(0), Name: "v"},
+		engine.ProjCol{Expr: engine.Col(3), Name: "w"})
+	contract := engine.Distinct(engine.Filter(full,
+		engine.Bin(engine.OpNe, engine.Col(0), engine.Col(1))))
+
+	// Fold P into the original-vertex labels: representatives contracted
+	// away in earlier rounds are absent from P, so a left join keeps their
+	// final labels. Columns: (orig, cur, cur, root).
+	fold := engine.Project(engine.LeftJoin(l, p, 1, 0),
+		engine.ProjCol{Expr: engine.Col(0), Name: "v"},
+		engine.ProjCol{Expr: engine.Coalesce(engine.Col(3), engine.Col(1)), Name: "r"})
+
+	return frontierPlans{
+		jump:        jump,
+		jumpChanged: jumpChanged,
+		contract:    contract,
+		fold:        fold,
+		liveV:       engine.GroupBy(e, []int{0}),
+	}
+}
+
+// initFrontier materialises the run's starting state: <prefix>_l as the
+// identity labelling over every input vertex (loop-only vertices
+// included), and <prefix>_e as the symmetric, deduplicated, loop-free live
+// edge set. It returns the live edge count (both orientations, matching
+// the LiveEdges convention of the BFS round log).
+func initFrontier(r *run, input, prefix string) (int64, error) {
+	verts := engine.Project(
+		engine.GroupBy(symmetric(input), []int{0}),
+		engine.ProjCol{Expr: engine.Col(0), Name: "v"},
+		engine.ProjCol{Expr: engine.Col(0), Name: "r"})
+	if _, err := r.create(prefix+"_l", verts, 0); err != nil {
+		return 0, err
+	}
+	edges := engine.Distinct(engine.Filter(symmetric(input),
+		engine.Bin(engine.OpNe, engine.Col(0), engine.Col(1))))
+	return r.create(prefix+"_e", edges, 0)
+}
+
+// contractStep finishes a round whose representative table <prefix>_p has
+// just been created: it jumps P to a pointer fixpoint (the drivers
+// guarantee P is acyclic, so the doubling terminates in logarithmically
+// many steps), contracts the edge set through it, folds it into the
+// labels, and returns the surviving (liveVertices, liveEdges).
+func contractStep(r *run, prefix string, fp *frontierPlans) (int64, int64, error) {
+	for i := 0; ; i++ {
+		if i > maxRounds {
+			return 0, 0, fmt.Errorf("ccalg: %s pointer jumping exceeded %d steps", prefix, maxRounds)
+		}
+		if _, err := r.create(prefix+"_p2", fp.jump, 0); err != nil {
+			return 0, 0, err
+		}
+		changed, err := countRows(r.ctx, r.c, fp.jumpChanged)
+		if err != nil {
+			return 0, 0, err
+		}
+		if err := r.drop(prefix + "_p"); err != nil {
+			return 0, 0, err
+		}
+		if err := r.rename(prefix+"_p2", prefix+"_p"); err != nil {
+			return 0, 0, err
+		}
+		if changed == 0 {
+			break
+		}
+	}
+	liveE, err := r.create(prefix+"_e2", fp.contract, 0)
+	if err != nil {
+		return 0, 0, err
+	}
+	if _, err := r.create(prefix+"_l2", fp.fold, 0); err != nil {
+		return 0, 0, err
+	}
+	if err := r.drop(prefix+"_e", prefix+"_l", prefix+"_p"); err != nil {
+		return 0, 0, err
+	}
+	if err := r.rename(prefix+"_e2", prefix+"_e"); err != nil {
+		return 0, 0, err
+	}
+	if err := r.rename(prefix+"_l2", prefix+"_l"); err != nil {
+		return 0, 0, err
+	}
+	liveV, err := countRows(r.ctx, r.c, fp.liveV)
+	if err != nil {
+		return 0, 0, err
+	}
+	return liveV, liveE, nil
+}
+
+// finishFrontier reads the final labelling and drops the run's state.
+func finishFrontier(r *run, prefix string, rounds int) (*Result, error) {
+	labels, err := r.labelsOf(prefix + "_l")
+	if err != nil {
+		return nil, err
+	}
+	if err := r.drop(prefix+"_l", prefix+"_e"); err != nil {
+		return nil, err
+	}
+	return &Result{Labels: labels, Rounds: rounds, RoundLog: r.roundLog}, nil
+}
+
+// aggInt evaluates a single-row, single-column aggregate plan (0 when the
+// aggregate has no input rows, e.g. MAX over an empty table).
+func aggInt(r *run, p engine.Plan) (int64, error) {
+	_, rows, err := r.c.QueryCtx(r.ctx, p)
+	if err != nil {
+		return 0, err
+	}
+	if len(rows) == 0 || rows[0][0].Null {
+		return 0, nil
+	}
+	return rows[0][0].Int, nil
+}

@@ -1,0 +1,134 @@
+package ccalg
+
+import (
+	"fmt"
+
+	"dbcc/internal/engine"
+)
+
+// Local contraction's degree-threshold schedule: vertices of degree at
+// most τ contract locally this round, and τ grows geometrically so every
+// vertex — however high its degree — becomes contractible within
+// log_lcTauGrowth(Δ) rounds.
+const (
+	lcInitialTau = 16
+	lcTauGrowth  = 4
+)
+
+// LocalContract is the local-contractions algorithm in the style of Łącki,
+// Mirrokni and Włodarczyk ("Connected components at scale via local
+// contractions", arXiv:1807.10727): each round contracts the low-degree
+// vertices (degree ≤ τ) into a neighbour, while high-degree hubs are
+// excepted — a hub never contracts into anything, and a low vertex
+// adjacent to a hub contracts into its smallest hub neighbour rather than
+// chase a chain of low vertices. The exception keeps per-round work local
+// (a low vertex only inspects its ≤ τ neighbours) and funnels the mass of
+// skewed graphs straight into their hubs; the threshold grows by
+// lcTauGrowth per round, so once τ clears the maximum degree the algorithm
+// degenerates to pure minimum-contraction and finishes in O(log |V|)
+// further rounds.
+//
+// The representative map is acyclic by construction — pointers among
+// hub-free low vertices strictly decrease, a hub-adjacent low vertex
+// points at a hub, and hubs are fixpoints — so the shared pointer-doubling
+// step contracts whole trees per round.
+func LocalContract(c *engine.Cluster, input string, opts Options) (*Result, error) {
+	if err := validateInput(c, input); err != nil {
+		return nil, err
+	}
+	r := newRun(c, opts)
+	defer r.cleanup()
+	res, err := runLocalContract(r, input)
+	if err != nil {
+		return nil, r.roundError("lc", err)
+	}
+	return res, nil
+}
+
+func runLocalContract(r *run, input string) (*Result, error) {
+	liveE, err := initFrontier(r, input, "lc")
+	if err != nil {
+		return nil, err
+	}
+	fp := newFrontierPlans(r, "lc")
+	e := r.scan("lc_e")
+
+	// Degree of every live vertex (E is symmetric, so the out-degree is
+	// the degree), rebuilt per round into lc_d.
+	deg := engine.GroupBy(e, []int{0}, engine.Agg{Op: engine.AggCount, Name: "deg"})
+
+	rounds := 0
+	tau := int64(lcInitialTau)
+	for {
+		rounds++
+		if rounds > maxRounds {
+			return nil, fmt.Errorf("ccalg: Local Contraction exceeded %d rounds", maxRounds)
+		}
+		r.beginRound()
+		if _, err := r.create("lc_d", deg, 0); err != nil {
+			return nil, err
+		}
+		// The τ-dependent plans are re-instantiated from their template
+		// each round with the current threshold as a literal — the Plan-API
+		// analogue of binding a parameter on a prepared statement. Nothing
+		// is parsed; the surrounding plans stay fixed.
+		if _, err := r.create("lc_p", lcRepPlan(r, tau), 0); err != nil {
+			return nil, err
+		}
+		if err := r.drop("lc_d"); err != nil {
+			return nil, err
+		}
+		liveV, nextE, err := contractStep(r, "lc", &fp)
+		if err != nil {
+			return nil, err
+		}
+		liveE = nextE
+		r.endRound(liveV, liveE)
+		if liveE == 0 {
+			break
+		}
+		if tau < 1<<40 {
+			tau *= lcTauGrowth
+		}
+	}
+	return finishFrontier(r, "lc", rounds)
+}
+
+// lcRepPlan builds the round's representative map at threshold tau:
+//
+//	rep(v) = v                      when deg(v) > τ (hub exception)
+//	       = min hub neighbour      when v is low but hub-adjacent
+//	       = min(N(v) ∪ {v})        otherwise (plain local contraction)
+//
+// composed as two left joins over the lc_d degree table: the closed-
+// neighbourhood minimum, overridden by the hub-neighbour minimum,
+// overridden by self for hubs.
+func lcRepPlan(r *run, tau int64) engine.Plan {
+	e := r.scan("lc_e")
+	d := r.scan("lc_d")
+	hub := engine.Bin(engine.OpGt, engine.Col(1), engine.Const(tau))
+
+	// Minimum of the closed neighbourhood, per live vertex.
+	allMin := engine.Project(
+		engine.GroupBy(e, []int{0},
+			engine.Agg{Op: engine.AggMin, Arg: engine.Col(1), Name: "mw"}),
+		engine.ProjCol{Expr: engine.Col(0), Name: "v"},
+		engine.ProjCol{Expr: engine.Least(engine.Col(0), engine.Col(1)), Name: "r"})
+	// Minimum hub neighbour, where one exists. Columns after joining each
+	// edge with the neighbour's degree row: (v, w, w, deg(w)).
+	hubNbrMin := engine.GroupBy(
+		engine.Filter(engine.Join(e, d, 1, 0), engine.Bin(engine.OpGt, engine.Col(3), engine.Const(tau))),
+		[]int{0},
+		engine.Agg{Op: engine.AggMin, Arg: engine.Col(1), Name: "h"})
+	// The hub set itself: one column of vertices with deg > τ.
+	hubs := engine.Project(engine.Filter(d, hub),
+		engine.ProjCol{Expr: engine.Col(0), Name: "v"})
+
+	// Columns: (v, m) ⟕ (v, h) → (v, m, v', h) ⟕ (v) → (v, m, v', h, hv).
+	// coalesce(hv, h, m): self for hubs, hub neighbour for hub-adjacent
+	// lows, neighbourhood minimum for the rest.
+	joined := engine.LeftJoin(engine.LeftJoin(allMin, hubNbrMin, 0, 0), hubs, 0, 0)
+	return engine.Project(joined,
+		engine.ProjCol{Expr: engine.Col(0), Name: "v"},
+		engine.ProjCol{Expr: engine.Coalesce(engine.Col(4), engine.Col(3), engine.Col(1)), Name: "r"})
+}

@@ -1,10 +1,17 @@
-package ccalg
+package ccalg_test
 
 import (
 	"testing"
 
+	"dbcc/internal/ccalg"
+	"dbcc/internal/ccalg/conformance"
 	"dbcc/internal/datagen"
 )
+
+// The generic per-driver round-log checks (numbering, OnRound mirroring,
+// queries per round, the parse-free prepared-loop pin) live in the
+// conformance suite's roundstats subtest; this file keeps the RC-specific
+// shrinkage and reproducibility pins.
 
 // TestRCRoundLogShrinkage checks the contraction invariant the round log
 // exposes: the live edge set of Randomised Contraction never grows from
@@ -13,8 +20,8 @@ import (
 // loops), and the run ends with the graph contracted away entirely.
 func TestRCRoundLogShrinkage(t *testing.T) {
 	g := datagen.Bitcoin(300, 7)
-	res, _ := runOn(t, RandomisedContraction, g, Options{Seed: 11})
-	checkCorrect(t, g, res)
+	res, _ := conformance.RunOn(t, ccalg.RandomisedContraction, g, ccalg.Options{Seed: 11})
+	conformance.CheckCorrect(t, g, res)
 	if len(res.RoundLog) == 0 {
 		t.Fatal("RC produced no round log")
 	}
@@ -46,9 +53,9 @@ func TestRCRoundLogShrinkage(t *testing.T) {
 // variant's round log — the CI baseline anchor — is identical across runs.
 func TestRCDeterministicRoundLogReproducible(t *testing.T) {
 	g := datagen.Bitcoin(200, 3)
-	opts := Options{Seed: 5, RC: RCOptions{Deterministic: true}}
-	res1, _ := runOn(t, RandomisedContraction, g, opts)
-	res2, _ := runOn(t, RandomisedContraction, g, opts)
+	opts := ccalg.Options{Seed: 5, RC: ccalg.RCOptions{Deterministic: true}}
+	res1, _ := conformance.RunOn(t, ccalg.RandomisedContraction, g, opts)
+	res2, _ := conformance.RunOn(t, ccalg.RandomisedContraction, g, opts)
 	if len(res1.RoundLog) != len(res2.RoundLog) {
 		t.Fatalf("round counts differ: %d vs %d", len(res1.RoundLog), len(res2.RoundLog))
 	}
@@ -56,37 +63,5 @@ func TestRCDeterministicRoundLogReproducible(t *testing.T) {
 		if res1.RoundLog[i] != res2.RoundLog[i] {
 			t.Fatalf("round %d differs: %+v vs %+v", i+1, res1.RoundLog[i], res2.RoundLog[i])
 		}
-	}
-}
-
-// TestAllAlgorithmsRoundLog checks every registered algorithm emits a
-// consistent per-round stream and streams the same entries through the
-// OnRound callback.
-func TestAllAlgorithmsRoundLog(t *testing.T) {
-	g := datagen.Bitcoin(150, 9)
-	for _, info := range Algorithms() {
-		t.Run(info.Name, func(t *testing.T) {
-			var streamed []RoundStats
-			opts := Options{Seed: 13, OnRound: func(rs RoundStats) { streamed = append(streamed, rs) }}
-			res, _ := runOn(t, info.Run, g, opts)
-			checkCorrect(t, g, res)
-			if len(res.RoundLog) == 0 {
-				t.Fatal("no round log")
-			}
-			if len(streamed) != len(res.RoundLog) {
-				t.Fatalf("OnRound streamed %d entries, log has %d", len(streamed), len(res.RoundLog))
-			}
-			for i, rs := range res.RoundLog {
-				if rs != streamed[i] {
-					t.Fatalf("round %d: streamed %+v, logged %+v", i+1, streamed[i], rs)
-				}
-				if rs.Round != i+1 {
-					t.Fatalf("round %d numbered %d", i+1, rs.Round)
-				}
-				if rs.Queries <= 0 {
-					t.Fatalf("round %d issued %d queries", rs.Round, rs.Queries)
-				}
-			}
-		})
 	}
 }

@@ -1,0 +1,71 @@
+package ccalg
+
+import (
+	"testing"
+
+	"dbcc/internal/datagen"
+	"dbcc/internal/xrand"
+)
+
+// TestContractionShrinkage measures the per-round shrinkage of RC on random
+// graphs and checks the Theorem 1 bound E[γ] ≤ 3/4 statistically (with
+// slack for sampling noise).
+func TestContractionShrinkage(t *testing.T) {
+	rng := xrand.New(99)
+	var totalBefore, totalAfter float64
+	for trial := 0; trial < 20; trial++ {
+		g := datagen.ErdosRenyi(300, 450, rng.Uint64())
+		// One contraction round: choose representatives via a fresh affine
+		// map, count distinct representatives among non-isolated vertices.
+		adj := make(map[int64]map[int64]struct{})
+		addAdj := func(a, b int64) {
+			if adj[a] == nil {
+				adj[a] = make(map[int64]struct{})
+			}
+			adj[a][b] = struct{}{}
+		}
+		for _, e := range g.Edges {
+			if e.V != e.W {
+				addAdj(e.V, e.W)
+				addAdj(e.W, e.V)
+			}
+		}
+		a, b := rng.NonZeroUint64(), rng.Uint64()
+		reps := make(map[int64]struct{})
+		n := 0
+		for v, nbrs := range adj {
+			n++
+			best := int64(gfAx(a, uint64(v), b))
+			for w := range nbrs {
+				if h := int64(gfAx(a, uint64(w), b)); h < best {
+					best = h
+				}
+			}
+			reps[best] = struct{}{}
+		}
+		totalBefore += float64(n)
+		totalAfter += float64(len(reps))
+	}
+	gamma := totalAfter / totalBefore
+	if gamma > 0.78 {
+		t.Fatalf("measured contraction factor %.3f exceeds the 3/4 bound (plus slack)", gamma)
+	}
+}
+
+// gfAx mirrors the axplusb UDF for the shrinkage test (and the Appendix A
+// replica).
+func gfAx(a, x, b uint64) uint64 {
+	var r uint64
+	for x != 0 {
+		if x&1 != 0 {
+			r ^= a
+		}
+		x >>= 1
+		if a&(1<<63) != 0 {
+			a = a<<1 ^ 0x1b
+		} else {
+			a <<= 1
+		}
+	}
+	return r ^ b
+}
